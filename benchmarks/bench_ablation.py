@@ -1,0 +1,11 @@
+"""Section 6.1 ablations: refinement work parameters (design choices)."""
+
+from repro.experiments import ablation
+
+
+def test_ablation_refinement_work(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: ablation.run(ks=(8,), repetitions=1, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "ablation_refinement_work.txt")

@@ -1,0 +1,12 @@
+"""Tables 15-20: per-instance kMetis/parMetis-like results."""
+
+from repro.experiments import detailed
+
+
+def test_detailed_baselines(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: detailed.run_baseline_detailed(ks=(4, 8, 16), repetitions=1,
+                                               seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "tables15_20_baselines_detailed.txt")

@@ -1,0 +1,12 @@
+"""Tables 6-14: per-instance KaPPa-{Minimal,Fast,Strong} results."""
+
+from repro.experiments import detailed
+
+
+def test_detailed_kappa(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: detailed.run_kappa_detailed(ks=(4, 8, 16), repetitions=1,
+                                            seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "tables6_14_kappa_detailed.txt")

@@ -1,0 +1,11 @@
+"""Figure 1: quotient graph + distributed edge coloring schedule."""
+
+from repro.experiments import figure1
+
+
+def test_fig1_coloring(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: figure1.run(instance="delaunay11", k=8, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "fig1_coloring.txt")

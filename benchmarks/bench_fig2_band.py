@@ -1,0 +1,11 @@
+"""Figure 2: boundary-band exchange sizes across BFS depths."""
+
+from repro.experiments import figure2
+
+
+def test_fig2_band_exchange(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: figure2.run(instance="delaunay13", k=8, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "fig2_band_exchange.txt")

@@ -1,0 +1,16 @@
+"""Figure 3: scalability in simulated time (cluster anchors + model)."""
+
+from repro.experiments import figure3
+
+
+def test_fig3_scalability(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: figure3.run(
+            instances=("road16k", "rgg13", "delaunay13"),
+            cluster_ps=(2, 4, 8),
+            model_ps=(4, 8, 16, 32, 64, 128, 256, 512, 1024),
+            seed=0,
+        ),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "fig3_scalability.txt")

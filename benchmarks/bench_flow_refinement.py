@@ -1,0 +1,11 @@
+"""Section 8 extension: flow-based pair refinement ablation."""
+
+from repro.experiments import flow_exp
+
+
+def test_flow_refinement(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: flow_exp.run(ks=(8,), repetitions=1, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "flow_refinement.txt")

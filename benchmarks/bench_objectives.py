@@ -1,0 +1,11 @@
+"""Section 1: cut-vs-alternative-objectives correlation."""
+
+from repro.experiments import objectives_exp
+
+
+def test_objective_correlation(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: objectives_exp.run(k=8, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "objectives_correlation.txt")

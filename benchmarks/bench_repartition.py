@@ -1,0 +1,11 @@
+"""Section 8 extension: adaptive repartitioning vs from-scratch."""
+
+from repro.experiments import repartition_exp
+
+
+def test_repartitioning(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: repartition_exp.run(k=8, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "repartitioning.txt")

@@ -1,0 +1,11 @@
+"""Section 5.1: edge-coloring vs randomized-local pair selection."""
+
+from repro.experiments import scheduling_exp
+
+
+def test_pair_selection_strategies(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: scheduling_exp.run(ks=(8,), repetitions=1, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "scheduling_strategies.txt")

@@ -1,0 +1,8 @@
+"""Table 1: benchmark-set properties (instance generation throughput)."""
+
+from repro.experiments import table1
+
+
+def test_table1_instances(benchmark, record_experiment):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    record_experiment(result, "table1_instances.txt")

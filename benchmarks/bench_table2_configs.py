@@ -1,0 +1,11 @@
+"""Table 2: the minimal/fast/strong configurations' quality/time trade-off."""
+
+from repro.experiments import table2
+
+
+def test_table2_configs(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: table2.run(ks=(8,), repetitions=1, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "table2_configs.txt")

@@ -1,0 +1,11 @@
+"""Table 3 (right): sequential matching algorithm comparison."""
+
+from repro.experiments import table3
+
+
+def test_table3_matching(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: table3.run_matchings(ks=(8,), repetitions=1, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "table3_matching.txt")

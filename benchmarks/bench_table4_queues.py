@@ -1,0 +1,11 @@
+"""Table 4 (left): FM queue-selection strategies."""
+
+from repro.experiments import table4
+
+
+def test_table4_queues(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: table4.run_queues(ks=(8,), repetitions=1, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "table4_queues.txt")

@@ -1,0 +1,11 @@
+"""Table 4 (right): KaPPa variants vs scotch/metis/parmetis-like tools."""
+
+from repro.experiments import table4
+
+
+def test_table4_tools(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: table4.run_tools(ks=(8,), repetitions=1, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "table4_tools.txt")

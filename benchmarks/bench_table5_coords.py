@@ -1,0 +1,11 @@
+"""Table 5: the largest graphs with coordinate information."""
+
+from repro.experiments import table5
+
+
+def test_table5_coords(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: table5.run(k=16, repetitions=1, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "table5_coords.txt")

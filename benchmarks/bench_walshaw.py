@@ -1,0 +1,11 @@
+"""Tables 21-23: the Walshaw benchmark protocol (scaled)."""
+
+from repro.experiments import walshaw_exp
+
+
+def test_walshaw_benchmark(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: walshaw_exp.run(ks=(2, 4, 8), repeats_per_rating=1, seed=0),
+        rounds=1, iterations=1,
+    )
+    record_experiment(result, "tables21_23_walshaw.txt")

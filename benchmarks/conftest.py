@@ -1,0 +1,36 @@
+"""Benchmark harness support.
+
+Every ``bench_*.py`` regenerates one table/figure of the paper via its
+:mod:`repro.experiments` driver, times it with pytest-benchmark, writes
+the regenerated table to ``results/``, and asserts the reproduction
+claims (the paper's qualitative findings).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_experiment(results_dir):
+    """Write an ExperimentResult to results/ and assert its claims."""
+
+    def _record(result, filename: str):
+        text = result.to_text()
+        (results_dir / filename).write_text(text + "\n")
+        print("\n" + text)
+        failed = [c for c, ok in result.claims.items() if not ok]
+        assert not failed, f"reproduction claims failed: {failed}"
+        return result
+
+    return _record

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Domain decomposition for a parallel FEM solver.
+
+The paper's motivating application: "when you process a graph in parallel
+on k PEs you often want to partition the graph into k blocks of about
+equal size" so each PE simulates one subdomain and communication is
+proportional to the cut.
+
+This example decomposes a graded airfoil-style mesh for 16 solver ranks,
+and translates partition quality into solver terms: per-rank load,
+halo-exchange volume, and the number of neighbour ranks each rank talks
+to per time step.
+
+Run:  python examples/mesh_decomposition.py
+"""
+
+import numpy as np
+
+from repro import STRONG, partition_graph
+from repro.baselines import metis_like_partition
+from repro.core import metrics
+from repro.generators import graded_mesh
+
+
+def solver_stats(g, part, k):
+    """Per-rank load, halo volume, and neighbour count."""
+    loads = metrics.block_weights(g, part, k)
+    us, vs, ws = metrics.cut_edges(g, part)
+    halo = np.zeros(k)
+    neighbours = [set() for _ in range(k)]
+    for u, v, w in zip(part[us], part[vs], ws):
+        halo[u] += w
+        halo[v] += w
+        neighbours[u].add(int(v))
+        neighbours[v].add(int(u))
+    return loads, halo, [len(s) for s in neighbours]
+
+
+def main() -> None:
+    k = 16
+    mesh = graded_mesh(8000, seed=7)
+    print(f"mesh: {mesh.n} nodes, {mesh.m} edges (graded element sizes)")
+
+    for name, run in (
+        ("kappa-strong", lambda: partition_graph(mesh, k, config=STRONG,
+                                                 seed=0).partition.part),
+        ("metis-like", lambda: metis_like_partition(mesh, k,
+                                                    seed=0).partition.part),
+    ):
+        part = run()
+        loads, halo, nbrs = solver_stats(mesh, part, k)
+        cut = metrics.cut_value(mesh, part)
+        print(f"\n{name}:")
+        print(f"  total cut (≈ total communication): {cut:.0f}")
+        print(f"  load imbalance: {loads.max() / loads.mean():.3f} "
+              f"(slowest rank vs average)")
+        print(f"  worst-rank halo volume: {halo.max():.0f}")
+        print(f"  neighbour ranks per rank: "
+              f"min={min(nbrs)} avg={np.mean(nbrs):.1f} max={max(nbrs)}")
+
+    print(
+        "\nThe strong KaPPa configuration trades ~2-3x partitioning time "
+        "for a smaller cut — worthwhile whenever the mesh is partitioned "
+        "once and simulated for thousands of time steps."
+    )
+
+
+if __name__ == "__main__":
+    main()

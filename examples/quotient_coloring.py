@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Figures 1 & 2 as a runnable demo: the quotient graph, its distributed
+edge coloring, and the boundary-band exchange of pairwise refinement.
+
+Run:  python examples/quotient_coloring.py
+"""
+
+import numpy as np
+
+from repro import FAST, partition_graph
+from repro.core import metrics
+from repro.generators import delaunay_graph
+from repro.parallel import (
+    coloring_to_matchings,
+    distributed_edge_coloring,
+    verify_edge_coloring,
+)
+from repro.refinement import extract_band
+
+
+def main() -> None:
+    g = delaunay_graph(4000, seed=5)
+    k = 8
+    part = partition_graph(g, k, config=FAST, seed=0).partition
+
+    # ---- Figure 1: quotient graph + edge coloring ----------------------
+    q = part.quotient()
+    print(f"quotient graph Q: {q.n} blocks, {q.m} adjacent pairs")
+    colors = distributed_edge_coloring(q, seed=1)
+    verify_edge_coloring(q, colors)
+    matchings = coloring_to_matchings(colors)
+    print(f"distributed coloring used {len(matchings)} colors "
+          f"(Δ={int(q.degrees().max())}, bound 2Δ−1="
+          f"{2 * int(q.degrees().max()) - 1})")
+    for c, pairs in enumerate(matchings):
+        print(f"  color {c}: pairs {pairs} refine concurrently")
+
+    # ---- Figure 2: boundary-band exchange ------------------------------
+    a, b = matchings[0][0]
+    print(f"\nband extraction for pair ({a}, {b}):")
+    for depth in (1, 2, 5, 20):
+        band, pair_nodes = extract_band(g, part.part, a, b, depth)
+        frac = band.graph.n / max(len(pair_nodes), 1)
+        print(f"  BFS depth {depth:2d}: band {band.graph.n:5d} of "
+              f"{len(pair_nodes)} pair nodes ({frac:.1%}) — "
+              f"{int(band.movable.sum())} movable + halo, "
+              f"boundary {band.n_boundary}")
+    print("\nOnly the band is exchanged between the two PEs — 'for large "
+          "graphs, only a small fraction of each block has to be "
+          "communicated' (Section 5.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Partitioning a road network for distributed route planning.
+
+Section 6.2's most striking result: on the European road network the
+Metis family "was not able at all to discover the structure inherent in
+the network (e.g., due to waterbodies, mountains, and national borders)"
+and produced several-times-larger cuts than KaPPa.  This example rebuilds
+the effect on a synthetic country-style network: clustered cities, sparse
+highways, natural low-cut borders between regions.
+
+Run:  python examples/road_network.py
+"""
+
+import numpy as np
+
+from repro import FAST, MINIMAL, partition_graph
+from repro.baselines import metis_like_partition, parmetis_like_partition
+from repro.core import metrics
+from repro.generators import road_network
+
+
+def main() -> None:
+    g = road_network(12_000, n_cities=16, seed=5)
+    print(f"road network: {g.n} junctions, {g.m} road segments, "
+          f"avg degree {2 * g.m / g.n:.2f}")
+
+    k = 16
+    results = {}
+    for name, run in (
+        ("kappa-fast", lambda: partition_graph(g, k, config=FAST, seed=0)),
+        ("kappa-minimal", lambda: partition_graph(g, k, config=MINIMAL,
+                                                  seed=0)),
+        ("metis-like", lambda: metis_like_partition(g, k, seed=0)),
+        ("parmetis-like", lambda: parmetis_like_partition(g, k, seed=0)),
+    ):
+        res = run()
+        results[name] = res
+        print(f"  {name:14s}: cut={res.cut:6.0f}  "
+              f"balance={res.partition.balance:.3f}  time={res.time_s:.2f}s")
+
+    ratio = results["metis-like"].cut / results["kappa-fast"].cut
+    print(f"\nmetis-like cuts {ratio:.2f}x more road segments than "
+          f"kappa-fast on this network.")
+    print("For distributed route planning, every cut segment is a border "
+          "arc that queries must synchronise across — the cut is the "
+          "per-query communication bound.")
+
+    # where do the cuts fall? KaPPa's boundary should sit on the sparse
+    # inter-city highways (long segments), not inside dense city cores.
+    part = results["kappa-fast"].partition.part
+    us, vs, _ = metrics.cut_edges(g, part)
+    cut_len = np.linalg.norm(g.coords[us] - g.coords[vs], axis=1)
+    all_us, all_vs, _ = g.edge_array()
+    all_len = np.linalg.norm(g.coords[all_us] - g.coords[all_vs], axis=1)
+    print(f"\nmedian length of cut segments: {np.median(cut_len):.4f} vs "
+          f"{np.median(all_len):.4f} over all segments")
+    print("(cut edges are systematically longer: the partition follows "
+          "the sparse highways between cities, i.e. the natural borders)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Legacy shim: this environment has setuptools but no `wheel`, so PEP 660
+# editable installs fail; `pip install -e . --no-build-isolation
+# --no-use-pep517` (or `python setup.py develop`) uses this file instead.
+setup()

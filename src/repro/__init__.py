@@ -1,0 +1,48 @@
+"""repro — a reproduction of "Engineering a Scalable High Quality Graph
+Partitioner" (Holtgrewe, Sanders, Schulz; IPDPS 2010): the KaPPa parallel
+multilevel graph partitioner, its substrates, baselines, and experiment
+harness, in pure Python.
+
+Quickstart
+----------
+>>> from repro import partition_graph, FAST
+>>> from repro.generators import random_geometric_graph
+>>> g = random_geometric_graph(2000, seed=0)
+>>> result = partition_graph(g, k=8, config=FAST)
+>>> result.partition.is_feasible()
+True
+"""
+
+from .graph import Graph, from_edge_list, read_metis, write_metis
+from .core import (
+    FAST,
+    MINIMAL,
+    STRONG,
+    WALSHAW,
+    KappaConfig,
+    KappaPartitioner,
+    KappaResult,
+    Partition,
+    partition_graph,
+    preset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "from_edge_list",
+    "read_metis",
+    "write_metis",
+    "FAST",
+    "MINIMAL",
+    "STRONG",
+    "WALSHAW",
+    "KappaConfig",
+    "KappaPartitioner",
+    "KappaResult",
+    "Partition",
+    "partition_graph",
+    "preset",
+    "__version__",
+]

@@ -1,0 +1,101 @@
+"""A diffusion-based partitioner (DiBaP-like; paper Section 7).
+
+"DiBaP [18] is a multi-level graph partitioning package based on
+diffusion.  It currently yields the best partitioning results for the
+biggest graphs in [26] but has no scalable parallelization."
+
+This from-scratch implementation follows the Bubble-FOS/C idea behind
+DiBaP: every block owns a set of seed nodes that inject load; the load
+diffuses over the graph for a few steps; nodes join the block whose
+diffused load dominates; block seeds re-center on their region and the
+process repeats.  Blocks that fall behind in weight inject more load
+(the balance feedback), and a final greedy pass plus rebalancing enforce
+the L_max constraint.  Diffusion produces notably *smooth* block shapes
+— the property that made DiBaP strong on large meshes — at much higher
+cost per node than multilevel FM, and with no parallel formulation
+(matching the paper's remark).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.csr import Graph
+from ..core import metrics
+from ..core.partition import Partition
+from ..core.partitioner import KappaResult
+from ..initial.kway import spread_seeds
+from ..refinement.balance import rebalance
+from ..refinement.kway_greedy import greedy_kway_refinement
+
+__all__ = ["diffusion_partition"]
+
+
+def _diffusion_operator(g: Graph, alpha: float = 0.5) -> sp.csr_matrix:
+    """The lazy diffusion matrix ``(1-α)·I + α·D⁻¹A`` (row-stochastic)."""
+    adj = sp.csr_matrix((g.adjwgt, g.adjncy, g.xadj), shape=(g.n, g.n))
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    inv = np.where(deg > 0, 1.0 / np.maximum(deg, 1e-12), 0.0)
+    walk = sp.diags(inv) @ adj
+    return ((1.0 - alpha) * sp.eye(g.n, format="csr")
+            + alpha * walk).tocsr()
+
+
+def diffusion_partition(
+    g: Graph,
+    k: int,
+    epsilon: float = 0.03,
+    seed: int = 0,
+    outer_iterations: int = 8,
+    diffusion_steps: int = 10,
+    alpha: float = 0.5,
+) -> KappaResult:
+    """Partition by iterated diffusion (Bubble-FOS/C style)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    if k == 1 or g.n == 0:
+        return KappaResult(
+            partition=Partition(g, np.zeros(g.n, dtype=np.int64), k, epsilon),
+            time_s=time.perf_counter() - t0,
+        )
+    op = _diffusion_operator(g, alpha)
+    seeds = spread_seeds(g, k, rng)
+    target = g.total_node_weight() / k
+    boost = np.ones(k)
+
+    part = np.zeros(g.n, dtype=np.int64)
+    for _ in range(outer_iterations):
+        # inject per-block load at the seeds, scaled by balance feedback
+        load = np.zeros((g.n, k))
+        for b in range(k):
+            load[int(seeds[b]), b] = float(boost[b]) * g.n
+        for _ in range(diffusion_steps):
+            load = op @ load
+        part = np.asarray(np.argmax(load, axis=1), dtype=np.int64)
+
+        # re-center seeds: the node with maximal own-block load
+        w = metrics.block_weights(g, part, k)
+        for b in range(k):
+            members = np.nonzero(part == b)[0]
+            if len(members):
+                seeds[b] = int(members[np.argmax(load[members, b])])
+            else:
+                seeds[b] = int(rng.integers(0, g.n))  # lost block: reseed
+        # underweight blocks inject more load next round
+        boost = np.clip(target / np.maximum(w, 1e-9), 0.25, 4.0) * boost
+        boost /= boost.mean()
+
+    part = greedy_kway_refinement(g, part, k, epsilon, max_passes=3,
+                                  rng=rng)
+    if not metrics.is_balanced(g, part, k, epsilon):
+        part = rebalance(g, part, k, epsilon, rng=rng)
+    return KappaResult(
+        partition=Partition(g, part, k, epsilon),
+        time_s=time.perf_counter() - t0,
+    )

@@ -1,0 +1,64 @@
+"""A kMetis-style partitioner: multilevel direct k-way.
+
+kMetis (Karypis & Kumar [22]) coarsens with SHEM under the plain edge
+weight, partitions the coarsest graph by recursive bisection, and refines
+every level with fast *greedy k-way* passes — no FM hill-climbing, no
+per-pair localisation, no rollback.  That is exactly what this module
+implements, so the Table 4 comparison ("kMetis cuts ~16–18 % more than
+KaPPa but is an order of magnitude faster") contrasts real algorithmic
+classes rather than a strawman.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..coarsening.hierarchy import coarsen
+from ..core import metrics
+from ..core.partition import Partition
+from ..core.partitioner import KappaResult
+from ..initial.recursive import recursive_bisection
+from ..refinement.balance import rebalance
+from ..refinement.kway_greedy import greedy_kway_refinement
+
+__all__ = ["metis_like_partition"]
+
+
+def metis_like_partition(
+    g: Graph,
+    k: int,
+    epsilon: float = 0.03,
+    seed: int = 0,
+    refine_passes: int = 4,
+) -> KappaResult:
+    """Partition via Metis-style multilevel direct k-way."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    t0 = time.perf_counter()
+    hierarchy = coarsen(
+        g, k, rating="weight", matching="shem", alpha=60.0, seed=seed,
+    )
+    part = recursive_bisection(
+        hierarchy.coarsest, k, epsilon, seed=seed, method="growing"
+    )
+    rng = np.random.default_rng(seed)
+    for level in range(hierarchy.depth - 1, 0, -1):
+        part = hierarchy.project(part, level)
+        part = greedy_kway_refinement(
+            hierarchy.graphs[level - 1], part, k, epsilon,
+            max_passes=refine_passes, rng=rng,
+        )
+    if hierarchy.depth == 1:
+        part = greedy_kway_refinement(g, part, k, epsilon,
+                                      max_passes=refine_passes, rng=rng)
+    if not metrics.is_balanced(g, part, k, epsilon):
+        part = rebalance(g, part, k, epsilon, rng=rng)
+    return KappaResult(
+        partition=Partition(g, part, k, epsilon),
+        time_s=time.perf_counter() - t0,
+        levels=hierarchy.depth,
+        coarsest_n=hierarchy.coarsest.n,
+    )

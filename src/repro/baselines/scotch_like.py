@@ -1,0 +1,108 @@
+"""A Scotch-style partitioner: multilevel recursive bisection.
+
+Scotch (Pellegrini [19]) partitions by recursive bipartitioning, each
+bisection itself multilevel: coarsen with a heavy-edge matching, bisect
+the coarsest graph, refine with 2-way FM on every level.  PT-Scotch's
+parallel weakness — "in the initial bipartition, there is less parallelism
+available" (paper Section 7) — is inherent to this architecture.
+
+This from-scratch implementation follows that scheme with the classic
+component choices (plain ``weight`` rating + SHEM, greedy growing
+bisection), deliberately *without* KaPPa's innovations (expansion*2
+rating, GPA, TopGain, pairwise band refinement), so the Table 4 comparison
+contrasts the genuine algorithmic classes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.subgraph import induced_subgraph
+from ..coarsening.hierarchy import coarsen
+from ..core import metrics
+from ..core.partition import Partition
+from ..core.partitioner import KappaResult
+from ..initial.growing import grow_bisection
+from ..refinement.balance import rebalance
+from ..refinement.fm import fm_bipartition_refine
+
+__all__ = ["scotch_like_partition"]
+
+
+def _multilevel_bisection(
+    g: Graph,
+    target0: float,
+    lmax0: float,
+    lmax1: float,
+    seed: int,
+) -> np.ndarray:
+    """One multilevel 2-way partition (the Scotch building block)."""
+    rng = np.random.default_rng(seed)
+    hierarchy = coarsen(
+        g, k=2, rating="weight", matching="shem",
+        alpha=60.0, seed=seed,
+    )
+    coarsest = hierarchy.coarsest
+    frac = target0 / max(g.total_node_weight(), 1e-12)
+    side = grow_bisection(coarsest, frac * coarsest.total_node_weight(), rng)
+    side = fm_bipartition_refine(
+        coarsest, side, lmax=lmax0, lmax_b=lmax1, alpha=0.2,
+        queue_selection="alternating", rng=rng,
+    ).side
+    part = side.astype(np.int64)
+    for level in range(hierarchy.depth - 1, 0, -1):
+        part = hierarchy.project(part, level)
+        fine = hierarchy.graphs[level - 1]
+        part = fm_bipartition_refine(
+            fine, part.astype(np.int8), lmax=lmax0, lmax_b=lmax1,
+            alpha=0.05, queue_selection="alternating", rng=rng,
+        ).side.astype(np.int64)
+    return part
+
+
+def scotch_like_partition(
+    g: Graph,
+    k: int,
+    epsilon: float = 0.03,
+    seed: int = 0,
+) -> KappaResult:
+    """Partition via Scotch-style multilevel recursive bisection."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    t0 = time.perf_counter()
+    part = np.zeros(g.n, dtype=np.int64)
+    levels = max(1, int(np.ceil(np.log2(max(k, 1)))))
+    eps_level = (1.0 + epsilon) ** (1.0 / levels) - 1.0
+
+    def rec(nodes: np.ndarray, parts: int, base: int, depth: int) -> None:
+        if parts <= 1 or len(nodes) == 0:
+            part[nodes] = base
+            return
+        sub, smap = induced_subgraph(g, nodes)
+        k0 = parts // 2
+        k1 = parts - k0
+        total = sub.total_node_weight()
+        target0 = total * (k0 / parts)
+        lmax0 = (1.0 + eps_level) * target0 + sub.max_node_weight()
+        lmax1 = (1.0 + eps_level) * (total - target0) + sub.max_node_weight()
+        side = _multilevel_bisection(sub, target0, lmax0, lmax1,
+                                     seed + 31 * depth + base)
+        nodes0 = smap.to_parent[side == 0]
+        nodes1 = smap.to_parent[side == 1]
+        if len(nodes0) == 0 or len(nodes1) == 0:
+            half = max(1, len(nodes) // 2)
+            nodes0, nodes1 = nodes[:half], nodes[half:]
+        rec(nodes0, k0, base, depth + 1)
+        rec(nodes1, k1, base + k0, depth + 1)
+
+    rec(np.arange(g.n, dtype=np.int64), k, 0, 0)
+    if not metrics.is_balanced(g, part, k, epsilon):
+        part = rebalance(g, part, k, epsilon, rng=np.random.default_rng(seed))
+    return KappaResult(
+        partition=Partition(g, part, k, epsilon),
+        time_s=time.perf_counter() - t0,
+    )

@@ -1,0 +1,206 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro partition  graph.metis -k 8 --preset strong -o out.part
+    repro evaluate   graph.metis out.part -k 8 --epsilon 0.03
+    repro generate   rgg --param n=4096 -o graph.metis
+    repro info       graph.metis
+
+Graphs are read/written in METIS format (``--format dimacs`` for DIMACS);
+partition files hold one block id per line (METIS convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from .baselines import (
+    metis_like_partition,
+    parmetis_like_partition,
+    scotch_like_partition,
+)
+from .core import KappaPartitioner, metrics, preset
+from .graph import (
+    read_dimacs,
+    read_metis,
+    read_partition,
+    write_dimacs,
+    write_metis,
+    write_partition,
+)
+
+__all__ = ["main", "build_parser"]
+
+GENERATORS = {
+    "rgg": ("random_geometric_graph", {"n": 4096, "seed": 0}),
+    "delaunay": ("delaunay_graph", {"n": 4096, "seed": 0}),
+    "grid": ("triangulated_grid", {"rows": 64, "cols": 64}),
+    "grid3d": ("grid3d_graph", {"nx": 16, "ny": 16, "nz": 16}),
+    "road": ("road_network", {"n": 4096, "n_cities": 12, "seed": 0}),
+    "social": ("preferential_attachment", {"n": 4096, "m_per_node": 4, "seed": 0}),
+    "rmat": ("rmat_graph", {"scale": 12, "edge_factor": 8, "seed": 0}),
+}
+
+TOOLS = ("kappa", "metis_like", "parmetis_like", "scotch_like")
+
+
+def _read_graph(path: str, fmt: str):
+    return read_dimacs(path) if fmt == "dimacs" else read_metis(path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KaPPa-reproduction graph partitioner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition a graph into k blocks")
+    p.add_argument("graph", help="input graph file")
+    p.add_argument("-k", type=int, required=True, help="number of blocks")
+    p.add_argument("--preset", default="fast",
+                   choices=("minimal", "fast", "strong", "walshaw"))
+    p.add_argument("--tool", default="kappa", choices=TOOLS)
+    p.add_argument("--epsilon", type=float, default=0.03)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--execution", default="sequential",
+                   choices=("sequential", "cluster"))
+    p.add_argument("--format", default="metis", choices=("metis", "dimacs"))
+    p.add_argument("-o", "--output", default=None,
+                   help="partition output file (default: <graph>.part.<k>)")
+
+    e = sub.add_parser("evaluate", help="evaluate an existing partition")
+    e.add_argument("graph")
+    e.add_argument("partition")
+    e.add_argument("-k", type=int, default=None,
+                   help="number of blocks (default: max id + 1)")
+    e.add_argument("--epsilon", type=float, default=0.03)
+    e.add_argument("--format", default="metis", choices=("metis", "dimacs"))
+
+    g = sub.add_parser("generate", help="generate a benchmark instance")
+    g.add_argument("family", choices=sorted(GENERATORS))
+    g.add_argument("--param", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="generator parameter override (repeatable)")
+    g.add_argument("--format", default="metis", choices=("metis", "dimacs"))
+    g.add_argument("-o", "--output", required=True)
+
+    i = sub.add_parser("info", help="print graph statistics")
+    i.add_argument("graph")
+    i.add_argument("--format", default="metis", choices=("metis", "dimacs"))
+    return parser
+
+
+def _cmd_partition(args) -> int:
+    g = _read_graph(args.graph, args.format)
+    t0 = time.perf_counter()
+    if args.tool == "kappa":
+        cfg = preset(args.preset).derive(epsilon=args.epsilon)
+        res = KappaPartitioner(cfg).partition(
+            g, args.k, seed=args.seed, execution=args.execution
+        )
+    else:
+        fn = {
+            "metis_like": metis_like_partition,
+            "parmetis_like": parmetis_like_partition,
+            "scotch_like": scotch_like_partition,
+        }[args.tool]
+        res = fn(g, args.k, args.epsilon, args.seed)
+    elapsed = time.perf_counter() - t0
+    out = args.output or f"{args.graph}.part.{args.k}"
+    write_partition(res.partition.part, out)
+    print(f"graph: n={g.n} m={g.m}")
+    print(f"tool: {args.tool}"
+          + (f" ({args.preset})" if args.tool == "kappa" else ""))
+    print(f"cut: {res.cut:g}")
+    print(f"balance: {res.partition.balance:.4f} "
+          f"(feasible at eps={args.epsilon:g}: "
+          f"{res.partition.is_feasible(args.epsilon)})")
+    print(f"time: {elapsed:.2f}s")
+    if res.sim_time_s is not None:
+        print(f"simulated parallel time: {res.sim_time_s * 1e3:.3f}ms")
+    print(f"partition written to {out}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    g = _read_graph(args.graph, args.format)
+    part = read_partition(args.partition)
+    if len(part) != g.n:
+        print(f"error: partition has {len(part)} entries, graph has {g.n} "
+              f"nodes", file=sys.stderr)
+        return 1
+    k = args.k if args.k is not None else int(part.max()) + 1
+    cut = metrics.cut_value(g, part)
+    bal = metrics.balance(g, part, k)
+    ok = metrics.is_balanced(g, part, k, args.epsilon)
+    print(f"k: {k}")
+    print(f"cut: {cut:g}")
+    print(f"balance: {bal:.4f}")
+    print(f"block weights: {metrics.block_weights(g, part, k).tolist()}")
+    print(f"feasible at eps={args.epsilon:g}: {ok}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from . import generators
+
+    fn_name, defaults = GENERATORS[args.family]
+    params = dict(defaults)
+    for override in args.param:
+        if "=" not in override:
+            print(f"error: bad --param {override!r} (need NAME=VALUE)",
+                  file=sys.stderr)
+            return 1
+        name, value = override.split("=", 1)
+        if name not in params:
+            print(f"error: unknown parameter {name!r} for {args.family} "
+                  f"(known: {sorted(params)})", file=sys.stderr)
+            return 1
+        params[name] = type(defaults[name])(value)
+    g = getattr(generators, fn_name)(**params)
+    if args.format == "dimacs":
+        write_dimacs(g, args.output)
+    else:
+        write_metis(g, args.output)
+    print(f"generated {args.family} ({params}): n={g.n} m={g.m} -> "
+          f"{args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    g = _read_graph(args.graph, args.format)
+    deg = g.degrees()
+    print(f"nodes: {g.n}")
+    print(f"edges: {g.m}")
+    print(f"total node weight: {g.total_node_weight():g}")
+    print(f"total edge weight: {g.total_edge_weight():g}")
+    if g.n:
+        print(f"degree: min={int(deg.min())} avg={deg.mean():.2f} "
+              f"max={int(deg.max())}")
+    comp = g.connected_components()
+    print(f"connected components: {int(comp.max()) + 1 if g.n else 0}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "partition": _cmd_partition,
+        "evaluate": _cmd_evaluate,
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

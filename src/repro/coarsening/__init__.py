@@ -1,0 +1,54 @@
+"""Contraction phase: edge ratings, matching algorithms (sequential and
+parallel), edge contraction, geometric prepartitioning, and the multilevel
+hierarchy driver."""
+
+from .ratings import RATINGS, rate_edges, rating_function
+from .contract import contract_matching, project_partition
+from .prepartition import (
+    recursive_coordinate_bisection,
+    numbering_prepartition,
+    prepartition,
+)
+from .hierarchy import Hierarchy, coarsen, contraction_threshold
+from .matching import (
+    MATCHERS,
+    dispatch,
+    empty_matching,
+    gap_edge_indices,
+    gpa_matching,
+    greedy_matching,
+    locally_dominant_matching,
+    matched_pairs,
+    matching_weight,
+    max_weight_path_matching,
+    parallel_matching,
+    parallel_matching_spmd,
+    shem_matching,
+)
+
+__all__ = [
+    "RATINGS",
+    "rate_edges",
+    "rating_function",
+    "contract_matching",
+    "project_partition",
+    "recursive_coordinate_bisection",
+    "numbering_prepartition",
+    "prepartition",
+    "Hierarchy",
+    "coarsen",
+    "contraction_threshold",
+    "MATCHERS",
+    "dispatch",
+    "empty_matching",
+    "gap_edge_indices",
+    "gpa_matching",
+    "greedy_matching",
+    "locally_dominant_matching",
+    "matched_pairs",
+    "matching_weight",
+    "max_weight_path_matching",
+    "parallel_matching",
+    "parallel_matching_spmd",
+    "shem_matching",
+]

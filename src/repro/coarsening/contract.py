@@ -1,0 +1,87 @@
+"""Edge contraction (paper Section 2).
+
+"Contracting an edge {u, v} means to replace the nodes u and v by a new
+node x connected to the former neighbors of u and v.  We set
+c(x) = c(u) + c(v).  If replacing edges of the form {u, w}, {v, w} would
+generate two parallel edges {x, w}, we insert a single edge with
+ω({x, w}) = ω({u, w}) + ω({v, w})."
+
+:func:`contract_matching` contracts a whole matching at once (one
+coarsening level); :func:`project_partition` performs the corresponding
+uncontraction of a partition vector.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = ["contract_matching", "project_partition"]
+
+
+def contract_matching(g: Graph, matching: np.ndarray) -> Tuple[Graph, np.ndarray]:
+    """Contract all matched pairs simultaneously.
+
+    Returns ``(coarse, coarse_map)`` where ``coarse_map[v]`` is the coarse
+    node that fine node ``v`` maps to.  Node weights are summed over the
+    constituents, parallel edges merged by summing, self-edges (the
+    contracted matching edges themselves) dropped.  Coordinates, when
+    present, become the node-weight-weighted centroid of the constituents.
+    """
+    matching = np.asarray(matching, dtype=np.int64)
+    if matching.shape != (g.n,):
+        raise ValueError("matching must have one entry per node")
+    rep = np.minimum(np.arange(g.n, dtype=np.int64), matching)
+    uniq, coarse_map = np.unique(rep, return_inverse=True)
+    n_coarse = len(uniq)
+
+    # coarse node weights
+    vwgt = np.zeros(n_coarse, dtype=np.float64)
+    np.add.at(vwgt, coarse_map, g.vwgt)
+
+    # coarse edges: map, drop intra-pair, merge parallels
+    src = coarse_map[g.directed_sources()]
+    dst = coarse_map[g.adjncy]
+    keep = src < dst  # also removes the contracted edges (src == dst)
+    cu, cv, cw = src[keep], dst[keep], g.adjwgt[keep]
+    if len(cu):
+        key = cu * n_coarse + cv
+        order = np.argsort(key, kind="stable")
+        key, cu, cv, cw = key[order], cu[order], cv[order], cw[order]
+        first = np.ones(len(key), dtype=bool)
+        first[1:] = key[1:] != key[:-1]
+        groups = np.cumsum(first) - 1
+        merged = np.zeros(int(first.sum()), dtype=np.float64)
+        np.add.at(merged, groups, cw)
+        cu, cv, cw = cu[first], cv[first], merged
+
+    # CSR assembly (both directions)
+    s2 = np.concatenate([cu, cv])
+    d2 = np.concatenate([cv, cu])
+    w2 = np.concatenate([cw, cw])
+    order = np.lexsort((d2, s2))
+    xadj = np.zeros(n_coarse + 1, dtype=np.int64)
+    np.add.at(xadj, s2 + 1, 1)
+    np.cumsum(xadj, out=xadj)
+
+    coords = None
+    if g.coords is not None:
+        dim = g.coords.shape[1]
+        coords = np.zeros((n_coarse, dim), dtype=np.float64)
+        for d in range(dim):
+            np.add.at(coords[:, d], coarse_map, g.coords[:, d] * g.vwgt)
+        denom = np.where(vwgt > 0, vwgt, 1.0)
+        coords /= denom[:, None]
+
+    coarse = Graph(xadj, d2[order], w2[order], vwgt, coords=coords, validate=False)
+    return coarse, coarse_map
+
+
+def project_partition(coarse_part: np.ndarray, coarse_map: np.ndarray) -> np.ndarray:
+    """Uncontract: lift a partition of the coarse graph to the fine graph
+    ("a good partition at one level […] will also be a good partition on
+    the next finer level", paper Section 2)."""
+    return np.asarray(coarse_part, dtype=np.int64)[coarse_map]

@@ -1,0 +1,31 @@
+"""Matching algorithms: SHEM, Greedy, GPA (paper §3.2) and the two-phase
+parallel matching with gap-graph resolution (paper §3.3)."""
+
+from .base import empty_matching, matching_weight, matched_pairs, sort_edges_desc
+from .greedy import greedy_matching
+from .shem import shem_matching
+from .gpa import gpa_matching, max_weight_path_matching
+from .registry import MATCHERS, dispatch
+from .parallel import (
+    gap_edge_indices,
+    locally_dominant_matching,
+    parallel_matching,
+    parallel_matching_spmd,
+)
+
+__all__ = [
+    "empty_matching",
+    "matching_weight",
+    "matched_pairs",
+    "sort_edges_desc",
+    "greedy_matching",
+    "shem_matching",
+    "gpa_matching",
+    "max_weight_path_matching",
+    "MATCHERS",
+    "dispatch",
+    "gap_edge_indices",
+    "locally_dominant_matching",
+    "parallel_matching",
+    "parallel_matching_spmd",
+]

@@ -1,0 +1,50 @@
+"""Shared helpers for the matching algorithms.
+
+Matching convention (used across :mod:`repro.coarsening` and validated by
+:func:`repro.graph.validate.validate_matching`): an ``int64`` array
+``partner`` of length ``n`` with ``partner[v]`` the matched partner of
+``v``, or ``v`` itself when unmatched.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ...graph.csr import Graph
+
+__all__ = ["empty_matching", "matching_weight", "matched_pairs", "sort_edges_desc"]
+
+
+def empty_matching(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)
+
+
+def matching_weight(matching: np.ndarray, us: np.ndarray, vs: np.ndarray,
+                    scores: np.ndarray) -> float:
+    """Total score of the matched edges (each counted once)."""
+    sel = matching[us] == vs
+    return float(scores[sel].sum())
+
+
+def matched_pairs(matching: np.ndarray) -> np.ndarray:
+    """Matched pairs as an ``(p, 2)`` array with first column < second."""
+    v = np.arange(len(matching))
+    sel = matching > v
+    return np.stack([v[sel], matching[sel]], axis=1)
+
+
+def sort_edges_desc(us: np.ndarray, vs: np.ndarray, scores: np.ndarray,
+                    rng: np.random.Generator = None) -> np.ndarray:
+    """Indices sorting edges by descending score.
+
+    Ties are broken randomly when an ``rng`` is given (the paper randomises
+    tie-breaking), otherwise by edge id for determinism.
+    """
+    if rng is not None:
+        jitter = rng.permutation(len(scores))
+        order = np.lexsort((jitter, -scores))
+    else:
+        order = np.lexsort((np.arange(len(scores)), -scores))
+    return order

@@ -1,0 +1,214 @@
+"""The Global Path Algorithm (paper Section 3.2; Maue & Sanders [17]).
+
+"Similar to Greedy, GPA scans the edges in order of decreasing weight but
+rather than immediately building a matching, it first constructs a
+collection of paths and even cycles.  Afterwards, optimal solutions are
+computed for each of these paths and cycles using dynamic programming."
+
+Like Greedy, GPA is a ½-approximation in the worst case, but empirically
+produces considerably better matchings — Table 3 shows GPA beating SHEM
+by ~2.5 % and Greedy by far more in final partition quality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ...graph.csr import Graph
+from .base import empty_matching, sort_edges_desc
+
+__all__ = ["gpa_matching", "max_weight_path_matching"]
+
+
+def max_weight_path_matching(weights: List[float]) -> Tuple[float, List[int]]:
+    """Optimal matching on a path whose consecutive edges have ``weights``.
+
+    Classic DP: ``M[i] = max(M[i-1], M[i-2] + w[i])``.  Returns the total
+    weight and the selected edge indices.
+    """
+    L = len(weights)
+    if L == 0:
+        return 0.0, []
+    best = [0.0] * (L + 1)
+    take = [False] * (L + 1)
+    best[1] = weights[0]
+    take[1] = True
+    for i in range(2, L + 1):
+        skip = best[i - 1]
+        use = best[i - 2] + weights[i - 1]
+        if use > skip:
+            best[i], take[i] = use, True
+        else:
+            best[i], take[i] = skip, False
+    sel: List[int] = []
+    i = L
+    while i >= 1:
+        if take[i]:
+            sel.append(i - 1)
+            i -= 2
+        else:
+            i -= 1
+    sel.reverse()
+    return best[L], sel
+
+
+def _cycle_matching(weights: List[float]) -> Tuple[float, List[int]]:
+    """Optimal matching on an (even) cycle with edge ``weights``.
+
+    Either edge 0 is excluded (a plain path DP over 1..L−1) or edge 0 is
+    taken (then its neighbours 1 and L−1 are excluded, path DP over
+    2..L−2).
+    """
+    L = len(weights)
+    if L < 3:
+        raise ValueError("a cycle has at least 3 edges")
+    w_without0, sel0 = max_weight_path_matching(weights[1:])
+    w_with0, sel1 = max_weight_path_matching(weights[2 : L - 1])
+    w_with0 += weights[0]
+    if w_with0 > w_without0:
+        return w_with0, [0] + [i + 2 for i in sel1]
+    return w_without0, [i + 1 for i in sel0]
+
+
+class _UnionFind:
+    __slots__ = ("parent", "rank")
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return ra
+
+
+def gpa_matching(
+    g: Graph,
+    scores: np.ndarray,
+    us: np.ndarray,
+    vs: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """GPA matching over edges scored by ``scores``."""
+    n = g.n
+    order = sort_edges_desc(us, vs, scores, rng)
+
+    # -- phase 1: grow a collection of paths and even cycles ------------
+    deg = np.zeros(n, dtype=np.int64)
+    adj: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+    uf = _UnionFind(n)
+    edge_count = np.zeros(n, dtype=np.int64)  # per component root
+    closed = np.zeros(n, dtype=bool)          # component already a cycle
+
+    for i in order:
+        u, v = int(us[i]), int(vs[i])
+        if deg[u] >= 2 or deg[v] >= 2:
+            continue
+        w = float(scores[i])
+        ru, rv = uf.find(u), uf.find(v)
+        if ru == rv:
+            # u, v are the two endpoints of one path; close it into a
+            # cycle only when the cycle length would be even
+            if closed[ru] or edge_count[ru] % 2 == 0:
+                continue
+            adj[u].append((v, w))
+            adj[v].append((u, w))
+            deg[u] += 1
+            deg[v] += 1
+            edge_count[ru] += 1
+            closed[ru] = True
+        else:
+            if closed[ru] or closed[rv]:
+                continue
+            total = edge_count[ru] + edge_count[rv] + 1
+            r = uf.union(u, v)
+            edge_count[r] = total
+            adj[u].append((v, w))
+            adj[v].append((u, w))
+            deg[u] += 1
+            deg[v] += 1
+
+    # -- phase 2: optimal matching on each path / cycle by DP -----------
+    matching = empty_matching(n)
+    visited = np.zeros(n, dtype=bool)
+
+    for start in range(n):
+        if visited[start] or deg[start] == 0:
+            continue
+        root = uf.find(start)
+        if closed[root]:
+            continue  # cycles handled below (need a deg-2 walk)
+        if deg[start] == 2:
+            continue  # not an endpoint; reached later from an endpoint
+        # walk the path from this endpoint
+        nodes = [start]
+        weights: List[float] = []
+        visited[start] = True
+        prev, cur = -1, start
+        while True:
+            nxt = None
+            for nbr, w in adj[cur]:
+                if nbr != prev:
+                    nxt = (nbr, w)
+                    break
+            if nxt is None:
+                break
+            nbr, w = nxt
+            if visited[nbr]:
+                break
+            weights.append(w)
+            nodes.append(nbr)
+            visited[nbr] = True
+            prev, cur = cur, nbr
+        _, sel = max_weight_path_matching(weights)
+        for ei in sel:
+            a, b = nodes[ei], nodes[ei + 1]
+            matching[a] = b
+            matching[b] = a
+
+    # cycles: every node has degree 2 and the component is marked closed
+    for start in range(n):
+        if visited[start] or deg[start] != 2:
+            continue
+        nodes = [start]
+        weights = []
+        visited[start] = True
+        prev, cur = -1, start
+        while True:
+            nxt = None
+            for nbr, w in adj[cur]:
+                if nbr != prev:
+                    nxt = (nbr, w)
+                    break
+            assert nxt is not None
+            nbr, w = nxt
+            weights.append(w)
+            if nbr == start:
+                break
+            nodes.append(nbr)
+            visited[nbr] = True
+            prev, cur = cur, nbr
+        _, sel = _cycle_matching(weights)
+        L = len(nodes)
+        for ei in sel:
+            a, b = nodes[ei], nodes[(ei + 1) % L]
+            matching[a] = b
+            matching[b] = a
+    return matching

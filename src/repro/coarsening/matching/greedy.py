@@ -1,0 +1,36 @@
+"""The Greedy matching algorithm (paper Section 3.2).
+
+"The edges are sorted by descending weight and then scanned.  When edge
+{u, v} and neither u nor v are matched yet, {u, v} is put into the
+matching.  The Greedy algorithm guarantees a matching whose weight is at
+least half of the weight of a maximum weight matching."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...graph.csr import Graph
+from .base import empty_matching, sort_edges_desc
+
+__all__ = ["greedy_matching"]
+
+
+def greedy_matching(
+    g: Graph,
+    scores: np.ndarray,
+    us: np.ndarray,
+    vs: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Half-approximate greedy matching over edges scored by ``scores``."""
+    matching = empty_matching(g.n)
+    order = sort_edges_desc(us, vs, scores, rng)
+    for i in order:
+        u, v = int(us[i]), int(vs[i])
+        if matching[u] == u and matching[v] == v:
+            matching[u] = v
+            matching[v] = u
+    return matching

@@ -1,0 +1,42 @@
+"""Matching algorithm registry and the common dispatch entry point."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ...graph.csr import Graph
+from ..ratings import rate_edges
+from .gpa import gpa_matching
+from .greedy import greedy_matching
+from .shem import shem_matching
+
+__all__ = ["MATCHERS", "dispatch"]
+
+MATCHERS: Dict[str, Callable] = {
+    "shem": shem_matching,
+    "greedy": greedy_matching,
+    "gpa": gpa_matching,
+}
+
+
+def dispatch(
+    g: Graph,
+    algorithm: str = "gpa",
+    rating: str = "expansion_star2",
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Rate all edges of ``g`` and run the selected matching algorithm.
+
+    Returns the partner array (``partner[v] == v`` for unmatched nodes).
+    """
+    try:
+        matcher = MATCHERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown matching algorithm {algorithm!r}; "
+            f"choose from {sorted(MATCHERS)}"
+        ) from None
+    us, vs, ws, scores = rate_edges(g, rating)
+    return matcher(g, scores, us, vs, rng)

@@ -1,0 +1,90 @@
+"""Preliminary partitioning for matching locality (paper Section 3.3).
+
+"We first compute a preliminary partition of the graph, e.g., using
+coordinate information.  Currently we have implemented a recursive
+bisection algorithm for nodes with 2D coordinates that alternately splits
+the data by the x-coordinate and the y-coordinate.  We can also use the
+initial numbering of the nodes.  Note that the preliminary partitioning
+does not directly affect the final partitioning computed later — its main
+purpose is to increase locality for the computation of matchings."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = [
+    "recursive_coordinate_bisection",
+    "numbering_prepartition",
+    "prepartition",
+]
+
+
+def recursive_coordinate_bisection(
+    coords: np.ndarray,
+    p: int,
+    weights: np.ndarray = None,
+) -> np.ndarray:
+    """Split points into ``p`` parts by alternating median cuts on the x-
+    and y-coordinate (Bentley's kd-splitting, refs [2, 3] of the paper).
+
+    Handles arbitrary ``p`` (not just powers of two) by splitting part
+    counts as evenly as possible; ``weights`` balance weighted point sets.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n = len(coords)
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    w = np.ones(n) if weights is None else np.asarray(weights, dtype=np.float64)
+    owner = np.zeros(n, dtype=np.int64)
+
+    def split(idx: np.ndarray, parts: int, axis: int, base: int) -> None:
+        if parts <= 1 or len(idx) == 0:
+            owner[idx] = base
+            return
+        left_parts = parts // 2
+        frac = left_parts / parts
+        order = idx[np.argsort(coords[idx, axis], kind="stable")]
+        cum = np.cumsum(w[order])
+        total = cum[-1]
+        split_at = int(np.searchsorted(cum, frac * total)) + 1
+        split_at = min(max(split_at, 1), len(order) - 1) if len(order) > 1 else 1
+        nxt = (axis + 1) % coords.shape[1]
+        split(order[:split_at], left_parts, nxt, base)
+        split(order[split_at:], parts - left_parts, nxt, base + left_parts)
+
+    split(np.arange(n, dtype=np.int64), p, 0, 0)
+    return owner
+
+
+def numbering_prepartition(n: int, p: int, weights: np.ndarray = None) -> np.ndarray:
+    """Contiguous chunks of the node numbering ("we can also use the
+    initial numbering of the nodes")."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if weights is None:
+        return np.minimum((np.arange(n, dtype=np.int64) * p) // max(n, 1), p - 1)
+    w = np.asarray(weights, dtype=np.float64)
+    cum = np.cumsum(w)
+    total = cum[-1] if n else 0.0
+    if total <= 0:
+        return np.zeros(n, dtype=np.int64)
+    owner = np.minimum((cum - w / 2) / total * p, p - 1).astype(np.int64)
+    return np.maximum(owner, 0)
+
+
+def prepartition(g: Graph, p: int, mode: str = "auto") -> np.ndarray:
+    """Choose the preliminary partition for parallel matching.
+
+    ``auto`` uses geometric bisection when coordinates are available and
+    falls back to the node numbering otherwise — the paper's behaviour.
+    """
+    if mode not in ("auto", "geometric", "numbering"):
+        raise ValueError(f"unknown prepartition mode {mode!r}")
+    if mode == "geometric" and g.coords is None:
+        raise ValueError("geometric prepartitioning requires coordinates")
+    if mode in ("geometric", "auto") and g.coords is not None:
+        return recursive_coordinate_bisection(g.coords, p, g.vwgt)
+    return numbering_prepartition(g.n, p, g.vwgt)

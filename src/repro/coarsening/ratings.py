@@ -1,0 +1,88 @@
+"""Edge rating functions (paper Section 3.1).
+
+A rating function scores each edge's value for contraction.  The paper's
+insight: ratings that *combine* edge weight with node weights (discouraging
+the creation of heavy nodes) beat the plain edge weight used by most
+previous systems by up to 8.8 % in final cut (Table 3).
+
+    expansion({u,v})   = ω({u,v}) / (c(u) + c(v))
+    expansion*({u,v})  = ω({u,v}) / (c(u)·c(v))
+    expansion*2({u,v}) = ω({u,v})² / (c(u)·c(v))          (adopted default)
+    innerOuter({u,v})  = ω({u,v}) / (Out(v) + Out(u) − 2ω(u,v))
+
+with Out(v) = Σ_{x∈Γ(v)} ω({v,x}).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = ["RATINGS", "rate_edges", "rating_function"]
+
+RatingFn = Callable[[Graph, np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+
+def _weight(g: Graph, us: np.ndarray, vs: np.ndarray, ws: np.ndarray) -> np.ndarray:
+    """The classical rating: the edge weight itself."""
+    return ws.astype(np.float64, copy=True)
+
+
+def _expansion(g: Graph, us, vs, ws) -> np.ndarray:
+    return ws / (g.vwgt[us] + g.vwgt[vs])
+
+
+def _expansion_star(g: Graph, us, vs, ws) -> np.ndarray:
+    return ws / (g.vwgt[us] * g.vwgt[vs])
+
+
+def _expansion_star2(g: Graph, us, vs, ws) -> np.ndarray:
+    return ws * ws / (g.vwgt[us] * g.vwgt[vs])
+
+
+def _inner_outer(g: Graph, us, vs, ws) -> np.ndarray:
+    out = g.weighted_degrees()
+    denom = out[us] + out[vs] - 2.0 * ws
+    # a component consisting of the single edge {u,v} has denom == 0: the
+    # edge has no outer connectivity at all, the best possible contraction
+    rating = np.empty(len(ws), dtype=np.float64)
+    zero = denom <= 0
+    rating[~zero] = ws[~zero] / denom[~zero]
+    rating[zero] = np.inf
+    return rating
+
+
+RATINGS: Dict[str, RatingFn] = {
+    "weight": _weight,
+    "expansion": _expansion,
+    "expansion_star": _expansion_star,
+    "expansion_star2": _expansion_star2,
+    "inner_outer": _inner_outer,
+}
+
+
+def rating_function(name: str) -> RatingFn:
+    """Look up a rating function by name (see :data:`RATINGS`)."""
+    try:
+        return RATINGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown rating {name!r}; choose from {sorted(RATINGS)}"
+        ) from None
+
+
+def rate_edges(
+    g: Graph,
+    rating: str = "expansion_star2",
+    edges: Tuple[np.ndarray, np.ndarray, np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Rate all edges of ``g`` (vectorised).
+
+    Returns ``(us, vs, ws, ratings)`` with ``us < vs``.  Pass ``edges``
+    to reuse an already-extracted edge list.
+    """
+    us, vs, ws = g.edge_array() if edges is None else edges
+    return us, vs, ws, rating_function(rating)(g, us, vs, ws)

@@ -1,0 +1,36 @@
+"""Core: partition object, quality metrics, configuration presets,
+result reporting, and the KaPPa driver."""
+
+from . import metrics
+from .config import FAST, MINIMAL, STRONG, WALSHAW, KappaConfig, preset
+from .partition import Partition
+from .reporting import RunRecord, InstanceSummary, geometric_mean, summarize, format_table
+
+__all__ = [
+    "metrics",
+    "KappaConfig",
+    "MINIMAL",
+    "FAST",
+    "STRONG",
+    "WALSHAW",
+    "preset",
+    "Partition",
+    "RunRecord",
+    "InstanceSummary",
+    "geometric_mean",
+    "summarize",
+    "format_table",
+]
+
+from .partitioner import KappaPartitioner, KappaResult, partition_graph
+
+__all__ += ["KappaPartitioner", "KappaResult", "partition_graph"]
+
+from .repartition import RepartitionResult, repartition
+
+__all__ += ["RepartitionResult", "repartition"]
+
+from . import objectives
+from .objectives import ObjectiveReport, evaluate_objectives
+
+__all__ += ["objectives", "ObjectiveReport", "evaluate_objectives"]

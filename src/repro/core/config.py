@@ -1,0 +1,135 @@
+"""Configuration presets — the paper's Table 2.
+
+Three named strategies plus the strengthened Walshaw-benchmark variant
+(Section 6.3).  Field names follow Table 2:
+
+=====================  ========  ======  ======
+parameter              minimal   fast    strong
+=====================  ========  ======  ======
+rating                 expansion*2 (all)
+matching               GPA (all)
+stop contraction       n/(60·k²) (all)
+init. part.            recursive bisection ("scotch-like", all)
+init. repeats          1         3       5
+queue selection        TopGain (all)
+BFS search depth       1         5       20
+stop refinement        —         no chg  2× no chg
+max. global iters      1         15      15
+local iterations       1         3       5
+matching selection     distributed edge coloring (all)
+FM patience α          1 %       5 %     20 %
+=====================  ========  ======  ======
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = ["KappaConfig", "MINIMAL", "FAST", "STRONG", "WALSHAW", "preset"]
+
+
+@dataclass(frozen=True)
+class KappaConfig:
+    """All tuning knobs of the partitioner.
+
+    Defaults correspond to the paper's *fast* configuration.
+    """
+
+    # -- problem parameters -------------------------------------------
+    epsilon: float = 0.03          # allowed imbalance (paper default 3 %)
+    seed: int = 0                  # master RNG seed; PEs derive seed+rank
+
+    # -- contraction (Section 3) --------------------------------------
+    rating: str = "expansion_star2"  # Table 3 winner
+    matching: str = "gpa"            # Table 3 winner
+    contraction_alpha: float = 60.0  # stop at max(20, n/(alpha*k^2)), §4
+    contraction_min_nodes: int = 20
+    max_levels: int = 50             # safety bound on hierarchy depth
+
+    # -- initial partitioning (Section 4) ------------------------------
+    initial_partitioner: str = "recursive_bisection"
+    init_repeats: int = 3
+
+    # -- refinement (Section 5) ----------------------------------------
+    queue_selection: str = "top_gain"   # Table 4 winner
+    bfs_band_depth: int = 5
+    stop_rule: str = "no_change"        # "always" | "no_change" | "twice_no_change"
+    max_global_iterations: int = 15
+    local_iterations: int = 3
+    matching_selection: str = "edge_coloring"  # §5.1 default
+    fm_alpha: float = 0.05              # FM patience (fraction of min block)
+    refine_algorithm: str = "fm"        # "fm" | "flow" | "fm_flow" (§8)
+
+    # -- parallel execution --------------------------------------------
+    n_pes: Optional[int] = None  # None → one PE per block (paper setting)
+    prepartition: str = "auto"   # "geometric" | "numbering" | "auto"
+
+    name: str = "fast"
+
+    def derive(self, **kwargs) -> "KappaConfig":
+        """A copy with some fields replaced (presets are frozen)."""
+        return replace(self, **kwargs)
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if not (0 < self.fm_alpha <= 1):
+            raise ValueError("fm_alpha must lie in (0, 1]")
+        if self.stop_rule not in ("always", "no_change", "twice_no_change"):
+            raise ValueError(f"unknown stop_rule {self.stop_rule!r}")
+        if self.init_repeats < 1:
+            raise ValueError("init_repeats must be >= 1")
+        if self.max_global_iterations < 1 or self.local_iterations < 1:
+            raise ValueError("iteration counts must be >= 1")
+        if self.bfs_band_depth < 1:
+            raise ValueError("bfs_band_depth must be >= 1")
+        if self.refine_algorithm not in ("fm", "flow", "fm_flow"):
+            raise ValueError(
+                f"unknown refine_algorithm {self.refine_algorithm!r}"
+            )
+
+
+MINIMAL = KappaConfig(
+    name="minimal",
+    init_repeats=1,
+    bfs_band_depth=1,
+    stop_rule="always",
+    max_global_iterations=1,
+    local_iterations=1,
+    fm_alpha=0.01,
+)
+
+FAST = KappaConfig(name="fast")
+
+STRONG = KappaConfig(
+    name="strong",
+    init_repeats=5,
+    bfs_band_depth=20,
+    stop_rule="twice_no_change",
+    max_global_iterations=15,
+    local_iterations=5,
+    fm_alpha=0.20,
+)
+
+#: The strengthened strategy of Section 6.3 (Walshaw benchmark): strong,
+#: BFS depth 20, FM patience 30 %.  The 3-ratings × 50-repeats outer loop
+#: lives in :mod:`repro.walshaw.runner`, not in the config.
+WALSHAW = STRONG.derive(name="walshaw", fm_alpha=0.30)
+
+_PRESETS = {
+    "minimal": MINIMAL,
+    "fast": FAST,
+    "strong": STRONG,
+    "walshaw": WALSHAW,
+}
+
+
+def preset(name: str) -> KappaConfig:
+    """Look up a named preset ("minimal" / "fast" / "strong" / "walshaw")."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {sorted(_PRESETS)}"
+        ) from None

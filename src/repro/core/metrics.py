@@ -1,0 +1,92 @@
+"""Partition quality metrics (paper Section 2).
+
+The objective is the total cut ``Σ_{i<j} ω(E_ij)``; the constraint is
+``c(V_i) ≤ L_max := (1+ε)·c(V)/k + max_v c(v)``.  The paper reports
+*balance* as ``max_i c(V_i) / (c(V)/k)`` (e.g. "avg. balance 1.030" for
+ε = 3 %), and FM uses the *imbalance penalty*
+``max(0, max(c(A), c(B)) − L_max)`` for its lexicographic rollback.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = [
+    "cut_value",
+    "block_weights",
+    "lmax",
+    "balance",
+    "imbalance_penalty",
+    "is_balanced",
+    "boundary_nodes",
+    "external_degree",
+    "cut_edges",
+]
+
+
+def cut_value(g: Graph, part: np.ndarray) -> float:
+    """Total weight of edges whose endpoints lie in different blocks."""
+    part = np.asarray(part)
+    src = g.directed_sources()
+    return float(g.adjwgt[part[src] != part[g.adjncy]].sum()) / 2.0
+
+
+def block_weights(g: Graph, part: np.ndarray, k: int) -> np.ndarray:
+    """``c(V_i)`` for each block, as a length-``k`` float array."""
+    w = np.zeros(k, dtype=np.float64)
+    np.add.at(w, np.asarray(part), g.vwgt)
+    return w
+
+
+def lmax(g: Graph, k: int, epsilon: float) -> float:
+    """``L_max = (1 + ε)·c(V)/k + max_v c(v)`` (paper Section 2)."""
+    return (1.0 + epsilon) * g.total_node_weight() / k + g.max_node_weight()
+
+
+def balance(g: Graph, part: np.ndarray, k: int) -> float:
+    """``max_i c(V_i) / (c(V)/k)`` — the quantity in the paper's
+    "avg. balance" columns (1.03 ≙ 3 % over the average block)."""
+    total = g.total_node_weight()
+    if total == 0 or k == 0:
+        return 1.0
+    return float(block_weights(g, part, k).max() / (total / k))
+
+
+def imbalance_penalty(weights: np.ndarray, limit: float) -> float:
+    """``max(0, max_i c(V_i) − L_max)`` — the first component of FM's
+    lexicographic rollback objective (paper Section 5.2)."""
+    return float(max(0.0, float(np.max(weights)) - limit))
+
+
+def is_balanced(g: Graph, part: np.ndarray, k: int, epsilon: float) -> bool:
+    """True when every block weight is at most L_max(k, epsilon)."""
+    return bool(block_weights(g, part, k).max() <= lmax(g, k, epsilon) + 1e-9)
+
+
+def boundary_nodes(g: Graph, part: np.ndarray) -> np.ndarray:
+    """Nodes with at least one neighbour in a different block."""
+    part = np.asarray(part)
+    src = g.directed_sources()
+    crossing = part[src] != part[g.adjncy]
+    out = np.zeros(g.n, dtype=bool)
+    out[src[crossing]] = True
+    return np.nonzero(out)[0]
+
+
+def external_degree(g: Graph, part: np.ndarray, v: int) -> float:
+    """Total weight of ``v``'s edges leaving its block."""
+    part = np.asarray(part)
+    nbrs = g.neighbors(v)
+    return float(g.incident_weights(v)[part[nbrs] != part[v]].sum())
+
+
+def cut_edges(g: Graph, part: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The cut edge list ``(us, vs, ws)`` with ``us < vs``."""
+    part = np.asarray(part)
+    us, vs, ws = g.edge_array()
+    mask = part[us] != part[vs]
+    return us[mask], vs[mask], ws[mask]

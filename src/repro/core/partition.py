@@ -1,0 +1,104 @@
+"""The :class:`Partition` result object.
+
+A thin, immutable-by-convention wrapper pairing a graph with a block
+assignment, caching the derived quality numbers the experiments report
+(cut, balance, block weights) and providing the quotient-graph view used
+by pairwise refinement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.quotient import quotient_graph
+from . import metrics
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """A k-way partition of a graph.
+
+    Parameters
+    ----------
+    graph:
+        The partitioned graph.
+    part:
+        ``int64`` block-assignment vector of length ``graph.n``.
+    k:
+        Number of blocks (block ids must lie in ``0..k-1``; empty blocks
+        are permitted).
+    epsilon:
+        The balance parameter this partition was computed for; used by
+        :meth:`is_feasible` and recorded in experiment outputs.
+    """
+
+    def __init__(self, graph: Graph, part: np.ndarray, k: int,
+                 epsilon: float = 0.03) -> None:
+        part = np.asarray(part, dtype=np.int64)
+        if part.shape != (graph.n,):
+            raise ValueError("partition vector must have length n")
+        if graph.n and (part.min() < 0 or part.max() >= k):
+            raise ValueError("block id out of range")
+        self.graph = graph
+        self.part = part
+        self.k = int(k)
+        self.epsilon = float(epsilon)
+        self._cut: Optional[float] = None
+        self._weights: Optional[np.ndarray] = None
+
+    # -- cached quality numbers ---------------------------------------
+    @property
+    def cut(self) -> float:
+        if self._cut is None:
+            self._cut = metrics.cut_value(self.graph, self.part)
+        return self._cut
+
+    @property
+    def block_weights(self) -> np.ndarray:
+        if self._weights is None:
+            self._weights = metrics.block_weights(self.graph, self.part, self.k)
+        return self._weights
+
+    @property
+    def balance(self) -> float:
+        return metrics.balance(self.graph, self.part, self.k)
+
+    @property
+    def lmax(self) -> float:
+        return metrics.lmax(self.graph, self.k, self.epsilon)
+
+    def is_feasible(self, epsilon: Optional[float] = None) -> bool:
+        eps = self.epsilon if epsilon is None else epsilon
+        return metrics.is_balanced(self.graph, self.part, self.k, eps)
+
+    def imbalance_penalty(self) -> float:
+        return metrics.imbalance_penalty(self.block_weights, self.lmax)
+
+    # -- views ----------------------------------------------------------
+    def quotient(self) -> Graph:
+        """The quotient graph Q (paper Figure 1)."""
+        return quotient_graph(self.graph, self.part, self.k)
+
+    def boundary(self) -> np.ndarray:
+        return metrics.boundary_nodes(self.graph, self.part)
+
+    def block_nodes(self, b: int) -> np.ndarray:
+        return np.nonzero(self.part == b)[0]
+
+    # -- manipulation (returns new objects) -----------------------------
+    def with_assignment(self, part: np.ndarray) -> "Partition":
+        """A new Partition over the same graph/k/ε with a new vector."""
+        return Partition(self.graph, part, self.k, self.epsilon)
+
+    def copy(self) -> "Partition":
+        return Partition(self.graph, self.part.copy(), self.k, self.epsilon)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Partition(k={self.k}, cut={self.cut:g}, "
+            f"balance={self.balance:.3f}, eps={self.epsilon:g})"
+        )

@@ -1,0 +1,274 @@
+"""The KaPPa driver: multilevel partitioning end to end.
+
+Two execution paths share every algorithm kernel (DESIGN.md §5):
+
+* ``execution="sequential"`` — deterministic single-process run used for
+  the quality experiments (identical algorithmic decisions, no threads);
+* ``execution="cluster"`` — the full SPMD pipeline on a simulated cluster
+  with one virtual PE per block: parallel two-phase matching (§3.3),
+  all-PEs initial partitioning (§4), distributed quotient coloring and
+  pairwise band refinement (§5).  Its :class:`ClusterResult` makespan is
+  the simulated parallel runtime used by the Figure 3 reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..coarsening.hierarchy import Hierarchy, coarsen
+from ..coarsening.contract import contract_matching
+from ..coarsening.matching.parallel import parallel_matching_spmd
+from ..coarsening.prepartition import prepartition
+from ..initial.runner import initial_partition, initial_partition_spmd
+from ..refinement.balance import rebalance
+from ..refinement.pairwise import pairwise_refinement, pairwise_refinement_spmd
+from ..parallel.comm import SimCluster
+from ..parallel.costmodel import DEFAULT_MACHINE, MachineModel
+from . import metrics
+from .config import FAST, KappaConfig
+from .partition import Partition
+
+__all__ = ["KappaResult", "KappaPartitioner", "partition_graph"]
+
+
+@dataclass
+class KappaResult:
+    """A finished partitioning run with its statistics."""
+
+    partition: Partition
+    time_s: float
+    sim_time_s: Optional[float] = None  # cluster path: simulated makespan
+    levels: int = 0
+    coarsest_n: int = 0
+    stats: Dict[str, float] = field(default_factory=dict)
+    #: cut after refining each level, coarsest first (sequential path) —
+    #: the multilevel "cut trajectory" (monotone improvements per level)
+    level_cuts: List[float] = field(default_factory=list)
+
+    @property
+    def cut(self) -> float:
+        return self.partition.cut
+
+    @property
+    def balance(self) -> float:
+        return self.partition.balance
+
+
+class KappaPartitioner:
+    """Multilevel k-way graph partitioner (the paper's KaPPa system).
+
+    >>> from repro.generators import random_geometric_graph
+    >>> from repro.core import FAST
+    >>> g = random_geometric_graph(1000, seed=0)
+    >>> res = KappaPartitioner(FAST).partition(g, k=4)
+    >>> res.partition.is_feasible()
+    True
+    """
+
+    def __init__(self, config: KappaConfig = FAST,
+                 machine: MachineModel = DEFAULT_MACHINE) -> None:
+        self.config = config
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    def partition(self, g: Graph, k: int, seed: Optional[int] = None,
+                  execution: str = "sequential") -> KappaResult:
+        """Partition ``g`` into ``k`` blocks.
+
+        ``seed`` overrides the config seed for repeated runs.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k > max(1, g.n):
+            raise ValueError("k cannot exceed the number of nodes")
+        if execution not in ("sequential", "cluster"):
+            raise ValueError(f"unknown execution mode {execution!r}")
+        seed = self.config.seed if seed is None else seed
+        if execution == "cluster":
+            return self._partition_cluster(g, k, seed)
+        return self._partition_sequential(g, k, seed)
+
+    # ------------------------------------------------------------------
+    def _partition_sequential(self, g: Graph, k: int, seed: int) -> KappaResult:
+        cfg = self.config
+        t0 = time.perf_counter()
+        n_pes = cfg.n_pes if cfg.n_pes is not None else k
+        hierarchy = coarsen(
+            g, k,
+            rating=cfg.rating,
+            matching=cfg.matching,
+            alpha=cfg.contraction_alpha,
+            min_nodes=cfg.contraction_min_nodes,
+            max_levels=cfg.max_levels,
+            seed=seed,
+            n_pes=1 if k == 1 else min(n_pes, max(1, g.n // 4)),
+            prepartition_mode=cfg.prepartition,
+        )
+        t_coarsen = time.perf_counter()
+        part = initial_partition(
+            hierarchy.coarsest, k, cfg.epsilon,
+            method=cfg.initial_partitioner,
+            repeats=cfg.init_repeats,
+            seed=seed,
+        )
+        t_initial = time.perf_counter()
+        level_cuts = [metrics.cut_value(hierarchy.coarsest, part)]
+        for level in range(hierarchy.depth - 1, 0, -1):
+            part = hierarchy.project(part, level)
+            part = self._refine(hierarchy.graphs[level - 1], part, k, seed + level)
+            level_cuts.append(metrics.cut_value(hierarchy.graphs[level - 1], part))
+        if hierarchy.depth == 1:
+            part = self._refine(g, part, k, seed)
+            level_cuts.append(metrics.cut_value(g, part))
+        part = self._ensure_feasible(g, part, k, seed)
+        t_refine = time.perf_counter()
+        return KappaResult(
+            partition=Partition(g, part, k, cfg.epsilon),
+            time_s=t_refine - t0,
+            levels=hierarchy.depth,
+            coarsest_n=hierarchy.coarsest.n,
+            level_cuts=level_cuts,
+            stats={
+                "time_coarsen_s": t_coarsen - t0,
+                "time_initial_s": t_initial - t_coarsen,
+                "time_refine_s": t_refine - t_initial,
+            },
+        )
+
+    def _refine(self, g: Graph, part: np.ndarray, k: int, seed: int) -> np.ndarray:
+        cfg = self.config
+        if k == 1:
+            return part
+        return pairwise_refinement(
+            g, part, k,
+            epsilon=cfg.epsilon,
+            bfs_depth=cfg.bfs_band_depth,
+            alpha=cfg.fm_alpha,
+            queue_selection=cfg.queue_selection,
+            local_iterations=cfg.local_iterations,
+            max_global_iterations=cfg.max_global_iterations,
+            stop_rule=cfg.stop_rule,
+            seed=seed,
+            matching_selection=cfg.matching_selection,
+            pair_algorithm=cfg.refine_algorithm,
+        )
+
+    def _ensure_feasible(self, g: Graph, part: np.ndarray, k: int,
+                         seed: int) -> np.ndarray:
+        if not metrics.is_balanced(g, part, k, self.config.epsilon):
+            part = rebalance(g, part, k, self.config.epsilon,
+                             rng=np.random.default_rng(seed))
+        return part
+
+    # ------------------------------------------------------------------
+    def _partition_cluster(self, g: Graph, k: int, seed: int) -> KappaResult:
+        """Full SPMD pipeline: one virtual PE per block by default, or
+        ``config.n_pes < k`` PEs with blocks multiplexed (Section 8)."""
+        cfg = self.config
+        t0 = time.perf_counter()
+        p = k if cfg.n_pes is None else min(cfg.n_pes, k)
+        cluster = SimCluster(p, machine=self.machine)
+        res = cluster.run(self._spmd_program, g, k, seed)
+        part, levels, coarsest_n = res.results[0]
+        for other, _, _ in res.results[1:]:
+            if not np.array_equal(other, part):
+                raise AssertionError("PEs finished with inconsistent partitions")
+        elapsed = time.perf_counter() - t0
+        return KappaResult(
+            partition=Partition(g, part, k, cfg.epsilon),
+            time_s=elapsed,
+            sim_time_s=res.makespan,
+            levels=levels,
+            coarsest_n=coarsest_n,
+            stats={
+                "bytes_sent": float(res.bytes_sent),
+                "messages_sent": float(res.messages_sent),
+            },
+        )
+
+    def _spmd_program(self, comm, g: Graph, k: int, seed: int):
+        cfg = self.config
+        from ..coarsening.hierarchy import contraction_threshold
+
+        # ---- parallel coarsening (§3.3) ------------------------------
+        owner = prepartition(g, comm.size, cfg.prepartition)
+        threshold = contraction_threshold(
+            g.n, k, cfg.contraction_alpha, cfg.contraction_min_nodes
+        )
+        graphs: List[Graph] = [g]
+        maps: List[np.ndarray] = []
+        current = g
+        for level in range(cfg.max_levels):
+            if current.n <= threshold or current.m == 0:
+                break
+            m = parallel_matching_spmd(
+                comm, current, owner,
+                algorithm=cfg.matching, rating=cfg.rating,
+                seed=seed + level,
+            )
+            coarse, cmap = contract_matching(current, m)
+            comm.compute(current.m / comm.size)  # distributed contraction
+            if coarse.n > 0.95 * current.n:
+                break
+            graphs.append(coarse)
+            maps.append(cmap)
+            new_owner = np.zeros(coarse.n, dtype=np.int64)
+            new_owner[cmap] = owner
+            owner = new_owner
+            current = coarse
+        hierarchy = Hierarchy(graphs=graphs, maps=maps)
+
+        # ---- initial partitioning on all PEs (§4) ---------------------
+        part = initial_partition_spmd(
+            comm, hierarchy.coarsest, k, cfg.epsilon,
+            method=cfg.initial_partitioner,
+            repeats=cfg.init_repeats,
+            seed=seed,
+        )
+
+        # ---- pairwise refinement per level (§5) -----------------------
+        for level in range(hierarchy.depth - 1, 0, -1):
+            part = hierarchy.project(part, level)
+            part = self._refine_spmd(comm, hierarchy.graphs[level - 1],
+                                     part, k, seed + level)
+        if hierarchy.depth == 1:
+            part = self._refine_spmd(comm, g, part, k, seed)
+        if not metrics.is_balanced(g, part, k, cfg.epsilon):
+            part = rebalance(g, part, k, cfg.epsilon,
+                             rng=np.random.default_rng(seed))
+        return part, hierarchy.depth, hierarchy.coarsest.n
+
+    def _refine_spmd(self, comm, g: Graph, part: np.ndarray, k: int,
+                     seed: int):
+        cfg = self.config
+        if k == 1:
+            return part
+        return pairwise_refinement_spmd(
+            comm, g, part,
+            k=k,
+            pair_algorithm=cfg.refine_algorithm,
+            epsilon=cfg.epsilon,
+            bfs_depth=cfg.bfs_band_depth,
+            alpha=cfg.fm_alpha,
+            queue_selection=cfg.queue_selection,
+            local_iterations=cfg.local_iterations,
+            max_global_iterations=cfg.max_global_iterations,
+            stop_rule=cfg.stop_rule,
+            seed=seed,
+        )
+
+
+def partition_graph(
+    g: Graph,
+    k: int,
+    config: KappaConfig = FAST,
+    seed: Optional[int] = None,
+    execution: str = "sequential",
+) -> KappaResult:
+    """Convenience one-shot API: ``KappaPartitioner(config).partition(...)``."""
+    return KappaPartitioner(config).partition(g, k, seed=seed, execution=execution)

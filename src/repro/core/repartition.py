@@ -1,0 +1,104 @@
+"""Repartitioning (paper Section 8 outlook).
+
+"There will also be further issues when KaPPa is generalized for graph
+clustering, hypergraph partitioning, or repartitioning."
+
+In adaptive simulations the graph (or its node weights) changes between
+time steps; recomputing a partition from scratch both wastes time and —
+more importantly — *migrates* data arbitrarily.  :func:`repartition`
+reuses the old assignment: repair balance, then run pairwise refinement
+only (no coarsening), so the result stays close to the old partition.
+The migration volume (node weight that changed blocks) is reported
+alongside the usual quality numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..refinement.balance import rebalance
+from ..refinement.pairwise import pairwise_refinement
+from . import metrics
+from .config import FAST, KappaConfig
+from .partition import Partition
+from .partitioner import KappaResult
+
+__all__ = ["RepartitionResult", "repartition"]
+
+
+@dataclass
+class RepartitionResult:
+    """A repartitioning outcome: quality plus migration cost."""
+
+    partition: Partition
+    time_s: float
+    migrated_weight: float     # node weight that changed blocks
+    migrated_nodes: int
+
+    @property
+    def cut(self) -> float:
+        return self.partition.cut
+
+    @property
+    def migration_fraction(self) -> float:
+        total = self.partition.graph.total_node_weight()
+        return self.migrated_weight / total if total else 0.0
+
+
+def repartition(
+    g: Graph,
+    old_part: np.ndarray,
+    k: int,
+    config: KappaConfig = FAST,
+    seed: int = 0,
+) -> RepartitionResult:
+    """Adapt ``old_part`` to (a possibly changed) ``g``.
+
+    ``g`` must have the same node ids as the graph ``old_part`` was
+    computed for (adaptive-refinement scenario: weights and edges may have
+    changed, the node set has not).  Block ids outside ``0..k-1`` are
+    reassigned to the lightest block first.
+    """
+    t0 = time.perf_counter()
+    old_part = np.asarray(old_part, dtype=np.int64)
+    if old_part.shape != (g.n,):
+        raise ValueError("old partition must have one entry per node")
+    part = old_part.copy()
+
+    # repair out-of-range ids (nodes added by coarsest-level changes etc.)
+    bad = (part < 0) | (part >= k)
+    if bad.any():
+        w = metrics.block_weights(g, np.where(bad, 0, part), k)
+        for v in np.nonzero(bad)[0]:
+            target = int(np.argmin(w))
+            part[v] = target
+            w[target] += g.vwgt[v]
+
+    if not metrics.is_balanced(g, part, k, config.epsilon):
+        part = rebalance(g, part, k, config.epsilon,
+                         rng=np.random.default_rng(seed))
+    part = pairwise_refinement(
+        g, part, k,
+        epsilon=config.epsilon,
+        bfs_depth=config.bfs_band_depth,
+        alpha=config.fm_alpha,
+        queue_selection=config.queue_selection,
+        local_iterations=config.local_iterations,
+        max_global_iterations=config.max_global_iterations,
+        stop_rule=config.stop_rule,
+        seed=seed,
+        matching_selection=config.matching_selection,
+        pair_algorithm=config.refine_algorithm,
+    )
+    moved = part != old_part
+    return RepartitionResult(
+        partition=Partition(g, part, k, config.epsilon),
+        time_s=time.perf_counter() - t0,
+        migrated_weight=float(g.vwgt[moved].sum()),
+        migrated_nodes=int(moved.sum()),
+    )

@@ -1,0 +1,104 @@
+"""Result records and aggregation for experiments.
+
+The paper reports, per (algorithm, instance, k): average cut, best cut,
+average balance and average runtime over 10 repetitions, and aggregates
+across instances with the *geometric mean* "in order to give every
+instance the same influence" (Section 6).  These helpers implement exactly
+that protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["RunRecord", "InstanceSummary", "geometric_mean", "summarize", "format_table"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; zero values are clamped to 1 (a zero cut would
+    otherwise annihilate the aggregate — same convention partitioning
+    papers use when perfect cuts occur)."""
+    vals = [max(float(v), 1.0e-12) for v in values]
+    if not vals:
+        raise ValueError("geometric mean of empty sequence")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One partitioning run: the row unit of every results table."""
+
+    algorithm: str
+    instance: str
+    k: int
+    epsilon: float
+    cut: float
+    balance: float
+    time_s: float
+    seed: int = 0
+    sim_time_s: Optional[float] = None  # simulated parallel makespan
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class InstanceSummary:
+    """Aggregation of repeated runs on one (algorithm, instance, k)."""
+
+    algorithm: str
+    instance: str
+    k: int
+    runs: int
+    avg_cut: float
+    best_cut: float
+    avg_balance: float
+    avg_time: float
+    avg_sim_time: Optional[float] = None
+
+
+def summarize(records: Iterable[RunRecord]) -> List[InstanceSummary]:
+    """Group records by (algorithm, instance, k) and compute the paper's
+    per-instance statistics (arithmetic averages within an instance; the
+    geometric mean is only used *across* instances)."""
+    groups: Dict[tuple, List[RunRecord]] = {}
+    for r in records:
+        groups.setdefault((r.algorithm, r.instance, r.k), []).append(r)
+    out = []
+    for (alg, inst, k), rs in sorted(groups.items()):
+        sims = [r.sim_time_s for r in rs if r.sim_time_s is not None]
+        out.append(
+            InstanceSummary(
+                algorithm=alg,
+                instance=inst,
+                k=k,
+                runs=len(rs),
+                avg_cut=sum(r.cut for r in rs) / len(rs),
+                best_cut=min(r.cut for r in rs),
+                avg_balance=sum(r.balance for r in rs) / len(rs),
+                avg_time=sum(r.time_s for r in rs) / len(rs),
+                avg_sim_time=(sum(sims) / len(sims)) if sims else None,
+            )
+        )
+    return out
+
+
+def format_table(rows: Sequence[Sequence], headers: Sequence[str]) -> str:
+    """Plain-text aligned table (the benches print these)."""
+    def fmt(x) -> str:
+        if isinstance(x, float):
+            return f"{x:.3f}" if abs(x) < 100 else f"{x:.1f}"
+        return str(x)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

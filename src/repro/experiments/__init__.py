@@ -1,0 +1,29 @@
+"""Experiment drivers: one module per table/figure of the paper's
+evaluation (see DESIGN.md §4 for the index)."""
+
+from .common import ExperimentResult, TOOLS, run_tool, run_repeated, records_for_suite, geo
+from . import ablation, flow_exp, objectives_exp, repartition_exp, scheduling_exp, table1, table2, table3, table4, table5, detailed, figure1, figure2, figure3, walshaw_exp
+
+__all__ = [
+    "ExperimentResult",
+    "TOOLS",
+    "run_tool",
+    "run_repeated",
+    "records_for_suite",
+    "geo",
+    "ablation",
+    "flow_exp",
+    "objectives_exp",
+    "repartition_exp",
+    "scheduling_exp",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "detailed",
+    "figure1",
+    "figure2",
+    "figure3",
+    "walshaw_exp",
+]

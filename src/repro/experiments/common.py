@@ -1,0 +1,143 @@
+"""Shared experiment infrastructure.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` holding
+the regenerated table rows plus the *reproduction claims* — the paper's
+qualitative findings (who wins, by roughly what factor) checked against
+our measurements.  ``benchmarks/bench_*.py`` executes these and writes the
+tables to ``results/``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import (
+    metis_like_partition,
+    parmetis_like_partition,
+    scotch_like_partition,
+)
+from ..core import (
+    FAST,
+    MINIMAL,
+    STRONG,
+    KappaConfig,
+    KappaPartitioner,
+    RunRecord,
+    geometric_mean,
+)
+from ..core.partitioner import KappaResult
+from ..generators import load, suite
+from ..graph.csr import Graph
+
+__all__ = [
+    "ExperimentResult",
+    "TOOLS",
+    "run_tool",
+    "run_repeated",
+    "records_for_suite",
+    "geo",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure plus its checked reproduction claims."""
+
+    name: str
+    headers: Sequence[str]
+    rows: List[Sequence]
+    claims: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self) -> str:
+        from ..core.reporting import format_table
+
+        out = [f"== {self.name} ==", format_table(self.rows, self.headers)]
+        if self.claims:
+            out.append("")
+            out.append("reproduction claims:")
+            for claim, ok in self.claims.items():
+                out.append(f"  [{'ok' if ok else 'FAIL'}] {claim}")
+        if self.notes:
+            out.append("")
+            out.append(self.notes)
+        return "\n".join(out)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values())
+
+
+def _kappa_runner(config: KappaConfig):
+    def run(g: Graph, k: int, epsilon: float, seed: int) -> KappaResult:
+        cfg = config if epsilon == config.epsilon else config.derive(epsilon=epsilon)
+        return KappaPartitioner(cfg).partition(g, k, seed=seed)
+
+    return run
+
+
+#: name -> callable(g, k, epsilon, seed) -> KappaResult
+TOOLS: Dict[str, Callable] = {
+    "kappa_strong": _kappa_runner(STRONG),
+    "kappa_fast": _kappa_runner(FAST),
+    "kappa_minimal": _kappa_runner(MINIMAL),
+    "scotch_like": lambda g, k, eps, seed: scotch_like_partition(g, k, eps, seed),
+    "metis_like": lambda g, k, eps, seed: metis_like_partition(g, k, eps, seed),
+    "parmetis_like": lambda g, k, eps, seed: parmetis_like_partition(g, k, eps, seed),
+}
+
+
+def run_tool(tool: str, g: Graph, k: int, epsilon: float = 0.03,
+             seed: int = 0) -> KappaResult:
+    try:
+        fn = TOOLS[tool]
+    except KeyError:
+        raise ValueError(f"unknown tool {tool!r}; choose from {sorted(TOOLS)}") from None
+    return fn(g, k, epsilon, seed)
+
+
+def run_repeated(tool: str, g: Graph, instance: str, k: int,
+                 epsilon: float = 0.03, repetitions: int = 3,
+                 seed: int = 0) -> List[RunRecord]:
+    """The paper's protocol: ``repetitions`` runs with different seeds
+    (paper uses 10; experiments default to 3 for bench runtime)."""
+    records = []
+    for r in range(repetitions):
+        res = run_tool(tool, g, k, epsilon, seed + r)
+        records.append(RunRecord(
+            algorithm=tool,
+            instance=instance,
+            k=k,
+            epsilon=epsilon,
+            cut=res.cut,
+            balance=res.balance,
+            time_s=res.time_s,
+            seed=seed + r,
+            sim_time_s=res.sim_time_s,
+        ))
+    return records
+
+
+def records_for_suite(tool: str, suite_name: str, ks: Sequence[int],
+                      epsilon: float = 0.03, repetitions: int = 2,
+                      seed: int = 0,
+                      instances: Optional[Sequence[str]] = None) -> List[RunRecord]:
+    names = list(suite(suite_name)) if instances is None else list(instances)
+    records: List[RunRecord] = []
+    for name in names:
+        g = load(name)
+        for k in ks:
+            records.extend(
+                run_repeated(tool, g, name, k, epsilon, repetitions, seed)
+            )
+    return records
+
+
+def geo(records: Sequence[RunRecord], attr: str) -> float:
+    """Geometric mean of an attribute across records (the paper's
+    cross-instance aggregate)."""
+    return geometric_mean([getattr(r, attr) for r in records])

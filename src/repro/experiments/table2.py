@@ -1,0 +1,55 @@
+"""Table 2: the minimal / fast / strong parameter settings and their
+average quality/time trade-off.
+
+The paper's bottom rows report, over the small suite: avg. cut (geom.)
+2985 / 2910 / 2890 and avg. time 0.67 / 1.29 / 2.10 s — i.e. minimal is
+the fastest and worst, strong the slowest and best, with fast in between.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import FAST, MINIMAL, STRONG
+from .common import ExperimentResult, geo, records_for_suite
+
+__all__ = ["run", "CONFIG_FIELDS"]
+
+CONFIG_FIELDS = (
+    "init_repeats", "bfs_band_depth", "stop_rule",
+    "max_global_iterations", "local_iterations", "fm_alpha",
+)
+
+
+def run(ks: Sequence[int] = (8,), repetitions: int = 2,
+        seed: int = 0) -> ExperimentResult:
+    rows = []
+    aggregates = {}
+    for cfg in (MINIMAL, FAST, STRONG):
+        for f in CONFIG_FIELDS:
+            rows.append((f"param:{f}", cfg.name, str(getattr(cfg, f))))
+        recs = records_for_suite(f"kappa_{cfg.name}", "small", ks,
+                                 repetitions=repetitions, seed=seed)
+        cut = geo(recs, "cut")
+        t = geo(recs, "time_s")
+        aggregates[cfg.name] = (cut, t)
+        rows.append(("avg. cut (geom.)", cfg.name, f"{cut:.1f}"))
+        rows.append(("avg. time (geom.) [s]", cfg.name, f"{t:.3f}"))
+
+    cuts = {n: a[0] for n, a in aggregates.items()}
+    times = {n: a[1] for n, a in aggregates.items()}
+    claims = {
+        "quality ordering: strong <= fast <= minimal (geom. mean cut)":
+            cuts["strong"] <= cuts["fast"] * 1.005
+            and cuts["fast"] <= cuts["minimal"] * 1.005,
+        "time ordering: minimal < fast < strong":
+            times["minimal"] < times["fast"] < times["strong"],
+        "strong costs a small multiple of minimal (paper: ~3x)":
+            times["strong"] < 25 * times["minimal"],
+    }
+    return ExperimentResult(
+        name="Table 2 — minimal/fast/strong settings and aggregates",
+        headers=["row", "config", "value"],
+        rows=rows,
+        claims=claims,
+    )

@@ -1,0 +1,47 @@
+"""Instance generators: the paper's benchmark classes, built synthetically
+(see DESIGN.md for the substitution rationale)."""
+
+from .rgg import random_geometric_graph, rgg
+from .delaunay import delaunay_graph, delaunay
+from .fem import (
+    triangulated_grid,
+    grid3d_graph,
+    sphere_mesh,
+    graded_mesh,
+    washer_mesh,
+)
+from .roadnet import road_network
+from .social import preferential_attachment, rmat_graph
+from .matrixgraph import laplacian2d_graph, laplacian9pt_graph, stiffness_graph
+from .suite import (
+    InstanceSpec,
+    SMALL_SUITE,
+    LARGE_SUITE,
+    load,
+    suite,
+    instance_table,
+)
+
+__all__ = [
+    "random_geometric_graph",
+    "rgg",
+    "delaunay_graph",
+    "delaunay",
+    "triangulated_grid",
+    "grid3d_graph",
+    "sphere_mesh",
+    "graded_mesh",
+    "washer_mesh",
+    "road_network",
+    "preferential_attachment",
+    "rmat_graph",
+    "laplacian2d_graph",
+    "laplacian9pt_graph",
+    "stiffness_graph",
+    "InstanceSpec",
+    "SMALL_SUITE",
+    "LARGE_SUITE",
+    "load",
+    "suite",
+    "instance_table",
+]

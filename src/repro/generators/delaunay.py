@@ -1,0 +1,34 @@
+"""Delaunay triangulation graphs — the paper's ``DelaunayX`` family.
+
+"DelaunayX is the Delaunay triangulation of 2^X random points in the unit
+square." (Section 6, Instances)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from ..graph.build import from_edge_list
+from ..graph.csr import Graph
+
+__all__ = ["delaunay_graph", "delaunay"]
+
+
+def delaunay_graph(n: int, seed: int = 0) -> Graph:
+    """Delaunay triangulation of ``n`` uniform random points in the unit
+    square, with coordinates attached."""
+    if n < 3:
+        raise ValueError("Delaunay triangulation needs n >= 3 points")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    tri = Delaunay(pts)
+    # each simplex contributes its three edges
+    s = tri.simplices
+    edges = np.concatenate([s[:, [0, 1]], s[:, [1, 2]], s[:, [0, 2]]])
+    return from_edge_list(n, edges, coords=pts)
+
+
+def delaunay(x: int, seed: int = 0) -> Graph:
+    """The paper's ``DelaunayX`` instance: triangulation of 2**x points."""
+    return delaunay_graph(2**x, seed=seed)

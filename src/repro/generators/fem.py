@@ -1,0 +1,130 @@
+"""Synthetic finite-element-style meshes.
+
+Substitutes for the Walshaw-archive FEM instances (4elt, fesphere, wing,
+fetooth, 598a, m14b, auto, …) which are not available offline.  Each
+generator produces the *graph class* those instances represent: near-planar
+or thin-3D meshes with low, near-uniform degree — the structure that drives
+the paper's per-class observations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay, ConvexHull
+
+from ..graph.build import from_edge_list
+from ..graph.csr import Graph
+
+__all__ = [
+    "triangulated_grid",
+    "grid3d_graph",
+    "sphere_mesh",
+    "graded_mesh",
+    "washer_mesh",
+]
+
+
+def triangulated_grid(rows: int, cols: int) -> Graph:
+    """A structured triangular mesh: a grid with one diagonal per cell
+    (the classic "4elt-like" planar FEM pattern)."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+            if c + 1 < cols and r + 1 < rows:
+                edges.append((v, v + cols + 1))
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    coords = np.stack([cc.ravel(), rr.ravel()], axis=1).astype(np.float64)
+    return from_edge_list(rows * cols, edges, coords=coords)
+
+
+def grid3d_graph(nx: int, ny: int, nz: int) -> Graph:
+    """A 6-neighbour 3-D grid (the "brack2 / 598a-like" volumetric class).
+
+    Coordinates are the first two grid axes (partitioners only use 2-D
+    coordinates for geometric prepartitioning, as in the paper).
+    """
+    def vid(x: int, y: int, z: int) -> int:
+        return (x * ny + y) * nz + z
+
+    edges = []
+    for x in range(nx):
+        for y in range(ny):
+            for z in range(nz):
+                v = vid(x, y, z)
+                if x + 1 < nx:
+                    edges.append((v, vid(x + 1, y, z)))
+                if y + 1 < ny:
+                    edges.append((v, vid(x, y + 1, z)))
+                if z + 1 < nz:
+                    edges.append((v, vid(x, y, z + 1)))
+    xs, ys, zs = np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz),
+                             indexing="ij")
+    coords = np.stack([xs.ravel() + 0.1 * zs.ravel(), ys.ravel() + 0.1 * zs.ravel()],
+                      axis=1).astype(np.float64)
+    return from_edge_list(nx * ny * nz, edges, coords=coords)
+
+
+def sphere_mesh(n: int, seed: int = 0) -> Graph:
+    """A triangulated sphere surface ("fesphere-like"): the convex hull of
+    ``n`` random points on the unit sphere."""
+    if n < 4:
+        raise ValueError("sphere mesh needs n >= 4")
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, 3))
+    pts /= np.linalg.norm(pts, axis=1, keepdims=True)
+    hull = ConvexHull(pts)
+    s = hull.simplices
+    edges = np.concatenate([s[:, [0, 1]], s[:, [1, 2]], s[:, [0, 2]]])
+    # project to 2-D coordinates for the geometric prepartitioner
+    return from_edge_list(n, edges, coords=pts[:, :2])
+
+
+def graded_mesh(n: int, seed: int = 0, grading: float = 3.0) -> Graph:
+    """An unstructured mesh with graded density ("wing/airfoil-like"):
+    Delaunay triangulation of points concentrated near a curve, so element
+    sizes vary by ~``exp(grading)`` across the domain."""
+    if n < 3:
+        raise ValueError("graded mesh needs n >= 3")
+    rng = np.random.default_rng(seed)
+    # half the points cluster near the "airfoil" curve y = 0.5 + 0.1 sin(4πx)
+    n_near = n // 2
+    x1 = rng.random(n_near)
+    y1 = 0.5 + 0.1 * np.sin(4 * np.pi * x1) + rng.normal(
+        scale=np.exp(-grading) + 0.02, size=n_near
+    )
+    x2 = rng.random(n - n_near)
+    y2 = rng.random(n - n_near)
+    pts = np.stack([np.concatenate([x1, x2]), np.concatenate([y1, y2])], axis=1)
+    tri = Delaunay(pts)
+    s = tri.simplices
+    edges = np.concatenate([s[:, [0, 1]], s[:, [1, 2]], s[:, [0, 2]]])
+    return from_edge_list(n, edges, coords=pts)
+
+
+def washer_mesh(rings: int, per_ring: int) -> Graph:
+    """An annular structured mesh ("af_shell-like" sheet-metal shell):
+    ``rings`` concentric rings of ``per_ring`` nodes each, quadrilateral
+    cells with one diagonal."""
+    if rings < 2 or per_ring < 3:
+        raise ValueError("washer needs rings >= 2 and per_ring >= 3")
+    n = rings * per_ring
+
+    def vid(r: int, t: int) -> int:
+        return r * per_ring + (t % per_ring)
+
+    edges = []
+    for r in range(rings):
+        for t in range(per_ring):
+            edges.append((vid(r, t), vid(r, t + 1)))  # around the ring
+            if r + 1 < rings:
+                edges.append((vid(r, t), vid(r + 1, t)))       # radial
+                edges.append((vid(r, t), vid(r + 1, t + 1)))   # diagonal
+    radii = 1.0 + np.repeat(np.arange(rings), per_ring)
+    theta = 2 * np.pi * np.tile(np.arange(per_ring), rings) / per_ring
+    coords = np.stack([radii * np.cos(theta), radii * np.sin(theta)], axis=1)
+    return from_edge_list(n, edges, coords=coords)

@@ -1,0 +1,98 @@
+"""Graphs from sparse-matrix stencils.
+
+Substitute for the Florida Sparse Matrix Collection instances (af_shell9,
+af_shell10, bcsstk*): graphs of symmetric positive-definite FEM/FD
+matrices.  We build the matrices ourselves — 5-/9-point Laplacian stencils
+and randomly-perturbed stiffness patterns — and convert them through the
+same ``from_scipy_sparse`` path a user would apply to a downloaded matrix,
+so the full code path of "matrix file → partitioning instance" is
+exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.build import from_scipy_sparse
+from ..graph.csr import Graph
+
+__all__ = ["laplacian2d_graph", "laplacian9pt_graph", "stiffness_graph"]
+
+
+def laplacian2d_graph(rows: int, cols: int) -> Graph:
+    """Graph of the 5-point finite-difference Laplacian on a grid."""
+    mat = _laplacian(rows, cols, nine_point=False)
+    g = from_scipy_sparse(mat)
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    return Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt,
+                 coords=np.stack([cc.ravel(), rr.ravel()], axis=1).astype(float),
+                 validate=False)
+
+
+def laplacian9pt_graph(rows: int, cols: int) -> Graph:
+    """Graph of the 9-point stencil (adds diagonal couplings — a denser,
+    bcsstk-like connectivity)."""
+    mat = _laplacian(rows, cols, nine_point=True)
+    g = from_scipy_sparse(mat)
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    return Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt,
+                 coords=np.stack([cc.ravel(), rr.ravel()], axis=1).astype(float),
+                 validate=False)
+
+
+def _laplacian(rows: int, cols: int, nine_point: bool) -> sp.coo_matrix:
+    n = rows * cols
+    data, ri, ci = [], [], []
+
+    def add(a, b, w):
+        data.append(w)
+        ri.append(a)
+        ci.append(b)
+
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                add(v, v + 1, -1.0)
+            if r + 1 < rows:
+                add(v, v + cols, -1.0)
+            if nine_point:
+                if r + 1 < rows and c + 1 < cols:
+                    add(v, v + cols + 1, -0.5)
+                if r + 1 < rows and c - 1 >= 0:
+                    add(v, v + cols - 1, -0.5)
+    mat = sp.coo_matrix((data, (ri, ci)), shape=(n, n))
+    return mat + mat.T
+
+
+def stiffness_graph(n_elements: int, seed: int = 0) -> Graph:
+    """A random FEM "stiffness-matrix" graph: quadrilateral elements laid
+    on a thin shell strip (af_shell-like aspect ratio 20:1), with element
+    matrices coupling all 4 corner nodes and random material weights."""
+    if n_elements < 1:
+        raise ValueError("need at least one element")
+    rng = np.random.default_rng(seed)
+    cols = max(2, int(np.sqrt(n_elements * 20)))
+    rows = max(2, round(n_elements / cols))  # fill a complete rows×cols grid
+    nnode = (rows + 1) * (cols + 1)
+
+    def nid(r, c):
+        return r * (cols + 1) + c
+
+    data, ri, ci = [], [], []
+    for r in range(rows):
+        for c in range(cols):
+            corners = [nid(r, c), nid(r, c + 1), nid(r + 1, c), nid(r + 1, c + 1)]
+            w = float(rng.uniform(0.5, 2.0))
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    data.append(w)
+                    ri.append(corners[i])
+                    ci.append(corners[j])
+    mat = sp.coo_matrix((data, (ri, ci)), shape=(nnode, nnode))
+    g = from_scipy_sparse(mat + mat.T)
+    rr, cc = np.meshgrid(np.arange(rows + 1), np.arange(cols + 1), indexing="ij")
+    return Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt,
+                 coords=np.stack([cc.ravel(), rr.ravel()], axis=1).astype(float),
+                 validate=False)

@@ -1,0 +1,48 @@
+"""Random geometric graphs — the paper's ``rggX`` family.
+
+"rggX is a random geometric graph with 2^X nodes where nodes represent
+random points in the unit square and edges connect nodes whose Euclidean
+distance is below 0.55·sqrt(ln n / n).  This threshold was chosen in order
+to ensure that the graph is almost connected." (Section 6, Instances)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..graph.build import from_edge_list
+from ..graph.csr import Graph
+
+__all__ = ["random_geometric_graph", "rgg"]
+
+
+def random_geometric_graph(
+    n: int,
+    radius: Optional[float] = None,
+    seed: int = 0,
+) -> Graph:
+    """Generate a random geometric graph on ``n`` uniform points in the
+    unit square.
+
+    ``radius`` defaults to the paper's ``0.55 * sqrt(ln n / n)``.  The
+    resulting graph carries 2-D coordinates (used by the geometric
+    prepartitioner).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    if radius is None:
+        radius = 0.55 * math.sqrt(math.log(n) / n) if n > 1 else 0.1
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(r=radius, output_type="ndarray")
+    return from_edge_list(n, pairs, coords=pts)
+
+
+def rgg(x: int, seed: int = 0) -> Graph:
+    """The paper's ``rggX`` instance: ``2**x`` nodes, default radius."""
+    return random_geometric_graph(2**x, seed=seed)

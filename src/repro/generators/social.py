@@ -1,0 +1,96 @@
+"""Synthetic social networks.
+
+Substitutes for ``coAuthorsDBLP`` and ``citationCiteseer``: heavy-tailed
+degree distributions, high clustering, no useful geometry — the class on
+which multilevel partitioners behave worst (no small cuts exist).  Two
+standard generators are provided: preferential attachment (Barabási–
+Albert) with triad closure for the co-authorship style, and R-MAT for the
+citation style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.build import from_edge_list
+from ..graph.csr import Graph
+
+__all__ = ["preferential_attachment", "rmat_graph"]
+
+
+def preferential_attachment(
+    n: int,
+    m_per_node: int = 4,
+    triad_p: float = 0.5,
+    seed: int = 0,
+) -> Graph:
+    """Barabási–Albert graph with Holme–Kim triad closure.
+
+    Each new node attaches ``m_per_node`` edges; with probability
+    ``triad_p`` an attachment copies a neighbour of the previous target
+    (closing a triangle), which produces the high clustering of
+    co-authorship networks.
+    """
+    if n <= m_per_node:
+        raise ValueError("n must exceed m_per_node")
+    rng = np.random.default_rng(seed)
+    targets_pool: list[int] = list(range(m_per_node))  # repeated-by-degree pool
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    edges = []
+    for v in range(m_per_node, n):
+        chosen: set[int] = set()
+        prev_target: int | None = None
+        guard = 0
+        while len(chosen) < m_per_node and guard < 50 * m_per_node:
+            guard += 1
+            if prev_target is not None and rng.random() < triad_p:
+                # triad closure: pick a neighbour of the previous target
+                nbrs = [x for x in adjacency[prev_target]
+                        if x != v and x not in chosen]
+                if nbrs:
+                    t = nbrs[int(rng.integers(0, len(nbrs)))]
+                    chosen.add(t)
+                    prev_target = t
+                    continue
+            t = targets_pool[int(rng.integers(0, len(targets_pool)))]
+            if t != v and t not in chosen:
+                chosen.add(t)
+                prev_target = t
+        for t in chosen:
+            edges.append((v, t))
+            adjacency[v].append(t)
+            adjacency[t].append(v)
+            targets_pool.append(t)
+        targets_pool.extend([v] * len(chosen))
+    return from_edge_list(n, edges)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> Graph:
+    """R-MAT graph with ``2**scale`` nodes and ``edge_factor·2**scale``
+    edge samples (Graph500 default probabilities).
+
+    Self-loops and duplicates are removed, so the final edge count is
+    somewhat below the sample count — as usual for R-MAT.
+    """
+    if not (0 < a and 0 <= b and 0 <= c and a + b + c < 1):
+        raise ValueError("require a, b, c >= 0 and a + b + c < 1")
+    n = 2**scale
+    n_edges = edge_factor * n
+    rng = np.random.default_rng(seed)
+    src = np.zeros(n_edges, dtype=np.int64)
+    dst = np.zeros(n_edges, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(n_edges)
+        bit_src = (r >= a + b).astype(np.int64)          # quadrants c, d
+        bit_dst = ((r >= a) & (r < a + b) | (r >= a + b + c)).astype(np.int64)
+        src = (src << 1) | bit_src
+        dst = (dst << 1) | bit_dst
+    keep = src != dst
+    return from_edge_list(n, np.stack([src[keep], dst[keep]], axis=1))

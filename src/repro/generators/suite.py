@@ -1,0 +1,148 @@
+"""Named benchmark suites — the analogue of the paper's Table 1.
+
+Two suites mirror the paper's split: ``small`` (the tuning/calibration set,
+analogous to bcsstk29…ferotor plus rgg17/Delaunay17) and ``large`` (the
+evaluation set, analogous to rgg20…citationCiteseer).  The large suite is
+split into the same five groups the paper uses: geometric graphs, FEM
+graphs, street networks, sparse matrices, and social networks.
+
+All instances are generated (deterministically seeded) rather than
+downloaded — see DESIGN.md §2 for the substitution rationale — and are
+scaled down ~two orders of magnitude so the pure-Python pipeline runs in
+seconds.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..graph.csr import Graph
+from .delaunay import delaunay_graph
+from .fem import graded_mesh, grid3d_graph, sphere_mesh, triangulated_grid, washer_mesh
+from .matrixgraph import laplacian9pt_graph, stiffness_graph
+from .rgg import random_geometric_graph
+from .roadnet import road_network
+from .social import preferential_attachment, rmat_graph
+
+__all__ = ["InstanceSpec", "SMALL_SUITE", "LARGE_SUITE", "load", "suite", "instance_table"]
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One benchmark instance: a name, its group, and a builder."""
+
+    name: str
+    group: str  # geometric | fem | road | matrix | social
+    builder: Callable[[], Graph]
+    paper_analogue: str  # which paper instance(s) this stands in for
+    has_coords: bool = True
+
+
+def _specs(entries) -> Dict[str, InstanceSpec]:
+    return {e.name: e for e in entries}
+
+
+SMALL_SUITE: Dict[str, InstanceSpec] = _specs([
+    InstanceSpec("rgg11", "geometric",
+                 lambda: random_geometric_graph(2**11, seed=11),
+                 "rgg17"),
+    InstanceSpec("delaunay11", "geometric",
+                 lambda: delaunay_graph(2**11, seed=11),
+                 "Delaunay17"),
+    InstanceSpec("tri2k", "fem",
+                 lambda: triangulated_grid(45, 45),
+                 "4elt"),
+    InstanceSpec("sphere2k", "fem",
+                 lambda: sphere_mesh(2000, seed=7),
+                 "fesphere"),
+    InstanceSpec("cube1k", "fem",
+                 lambda: grid3d_graph(12, 12, 12),
+                 "brack2 / ferotor"),
+    InstanceSpec("washer2k", "fem",
+                 lambda: washer_mesh(20, 100),
+                 "crack / t60k"),
+    InstanceSpec("wing2k", "fem",
+                 lambda: graded_mesh(2000, seed=3),
+                 "wing / cs4"),
+    InstanceSpec("stiff9pt", "matrix",
+                 lambda: laplacian9pt_graph(45, 45),
+                 "bcsstk29..33"),
+    InstanceSpec("road2k", "road",
+                 lambda: road_network(2000, n_cities=8, seed=5),
+                 "bel"),
+    InstanceSpec("pa1k", "social",
+                 lambda: preferential_attachment(1200, m_per_node=4, seed=9),
+                 "memplus / vibrobox", False),
+])
+
+
+LARGE_SUITE: Dict[str, InstanceSpec] = _specs([
+    # geometric graphs
+    InstanceSpec("rgg13", "geometric",
+                 lambda: random_geometric_graph(2**13, seed=13),
+                 "rgg20"),
+    InstanceSpec("delaunay13", "geometric",
+                 lambda: delaunay_graph(2**13, seed=13),
+                 "Delaunay20"),
+    # FEM graphs
+    InstanceSpec("tooth6k", "fem",
+                 lambda: graded_mesh(6000, seed=21),
+                 "fetooth"),
+    InstanceSpec("cube8k", "fem",
+                 lambda: grid3d_graph(20, 20, 20),
+                 "598a / m14b"),
+    InstanceSpec("ocean8k", "fem",
+                 lambda: washer_mesh(40, 200),
+                 "feocean"),
+    InstanceSpec("tri8k", "fem",
+                 lambda: triangulated_grid(90, 90),
+                 "144 / wave / auto"),
+    # street networks
+    InstanceSpec("road10k", "road",
+                 lambda: road_network(10_000, n_cities=16, seed=31),
+                 "deu"),
+    InstanceSpec("road16k", "road",
+                 lambda: road_network(2**14, n_cities=24, seed=37),
+                 "eur"),
+    # sparse matrices
+    InstanceSpec("shell5k", "matrix",
+                 lambda: stiffness_graph(4000, seed=41),
+                 "af_shell10"),
+    # social networks
+    InstanceSpec("coauth4k", "social",
+                 lambda: preferential_attachment(4000, m_per_node=6, seed=43),
+                 "coAuthorsDBLP", False),
+    InstanceSpec("cite4k", "social",
+                 lambda: rmat_graph(12, edge_factor=16, seed=47),
+                 "citationCiteseer", False),
+])
+
+_SUITES = {"small": SMALL_SUITE, "large": LARGE_SUITE}
+
+
+def suite(name: str) -> Dict[str, InstanceSpec]:
+    """Look up a suite by name ("small" or "large")."""
+    try:
+        return _SUITES[name]
+    except KeyError:
+        raise ValueError(f"unknown suite {name!r}; choose from {sorted(_SUITES)}") from None
+
+
+@functools.lru_cache(maxsize=64)
+def load(name: str) -> Graph:
+    """Build (and cache) a named instance from either suite."""
+    for s in _SUITES.values():
+        if name in s:
+            return s[name].builder()
+    raise ValueError(f"unknown instance {name!r}")
+
+
+def instance_table(suite_name: str) -> List[Tuple[str, str, int, int]]:
+    """Rows ``(name, group, n, m)`` — the Table 1 analogue."""
+    rows = []
+    for spec in suite(suite_name).values():
+        g = load(spec.name)
+        rows.append((spec.name, spec.group, g.n, g.m))
+    return rows

@@ -1,0 +1,232 @@
+"""Builders that construct :class:`~repro.graph.csr.Graph` objects.
+
+All builders normalise their input into the canonical CSR form: undirected,
+no self-loops, no parallel edges (parallel edges are merged by *summing*
+their weights — the same rule the contraction phase uses, paper Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .csr import Graph
+
+__all__ = [
+    "from_edge_list",
+    "from_adjacency",
+    "from_scipy_sparse",
+    "from_networkx",
+    "to_networkx",
+    "to_scipy_sparse",
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid2d_graph",
+]
+
+
+def from_edge_list(
+    n: int,
+    edges: Iterable[Tuple[int, int]],
+    weights: Optional[Sequence[float]] = None,
+    vwgt: Optional[Sequence[float]] = None,
+    coords: Optional[np.ndarray] = None,
+) -> Graph:
+    """Build a graph from an undirected edge list.
+
+    Self-loops are dropped; duplicate/parallel edges (in either direction)
+    are merged by summing their weights.
+    """
+    edges = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+    if weights is None:
+        w = np.ones(len(edges), dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if len(w) != len(edges):
+            raise ValueError("weights must align with edges")
+    if len(edges):
+        if edges.min() < 0 or edges.max() >= n:
+            raise ValueError("edge endpoint out of range")
+        keep = edges[:, 0] != edges[:, 1]
+        edges, w = edges[keep], w[keep]
+    # canonicalise direction, merge duplicates
+    u = np.minimum(edges[:, 0], edges[:, 1]) if len(edges) else np.empty(0, np.int64)
+    v = np.maximum(edges[:, 0], edges[:, 1]) if len(edges) else np.empty(0, np.int64)
+    if len(edges):
+        key = u * n + v
+        order = np.argsort(key, kind="stable")
+        key, u, v, w = key[order], u[order], v[order], w[order]
+        first = np.ones(len(key), dtype=bool)
+        first[1:] = key[1:] != key[:-1]
+        groups = np.cumsum(first) - 1
+        merged_w = np.zeros(first.sum(), dtype=np.float64)
+        np.add.at(merged_w, groups, w)
+        u, v, w = u[first], v[first], merged_w
+    return _assemble(n, u, v, w, vwgt, coords)
+
+
+def _assemble(
+    n: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    vwgt: Optional[Sequence[float]],
+    coords: Optional[np.ndarray],
+) -> Graph:
+    """Assemble CSR arrays from a deduplicated canonical edge list."""
+    src = np.concatenate([u, v])
+    dst = np.concatenate([v, u])
+    ww = np.concatenate([w, w])
+    order = np.lexsort((dst, src))
+    src, dst, ww = src[order], dst[order], ww[order]
+    xadj = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(xadj, src + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    node_w = (
+        np.ones(n, dtype=np.float64)
+        if vwgt is None
+        else np.asarray(vwgt, dtype=np.float64)
+    )
+    return Graph(xadj, dst, ww, node_w, coords=coords)
+
+
+def from_adjacency(
+    adj: Mapping[int, Mapping[int, float]],
+    vwgt: Optional[Sequence[float]] = None,
+    n: Optional[int] = None,
+) -> Graph:
+    """Build from a dict-of-dicts ``{u: {v: weight}}`` (may be one-sided)."""
+    if n is None:
+        nodes = set(adj)
+        for nbrs in adj.values():
+            nodes.update(nbrs)
+        n = (max(nodes) + 1) if nodes else 0
+    edges, weights = [], []
+    for u_node, nbrs in adj.items():
+        for v_node, weight in nbrs.items():
+            edges.append((u_node, v_node))
+            weights.append(weight)
+    # one-sided dicts duplicate weights when symmetric: dedupe by direction
+    seen: Dict[Tuple[int, int], float] = {}
+    for (a, b), weight in zip(edges, weights):
+        key = (min(a, b), max(a, b))
+        if key in seen and not np.isclose(seen[key], weight):
+            raise ValueError(f"conflicting weights for edge {key}")
+        seen[key] = weight
+    us = [k[0] for k in seen]
+    vs = [k[1] for k in seen]
+    return from_edge_list(n, list(zip(us, vs)), list(seen.values()), vwgt)
+
+
+def from_scipy_sparse(
+    mat,
+    vwgt: Optional[Sequence[float]] = None,
+    coords: Optional[np.ndarray] = None,
+) -> Graph:
+    """Build from a (symmetric or to-be-symmetrised) scipy sparse matrix.
+
+    The absolute value of each off-diagonal entry becomes an edge weight;
+    asymmetric inputs are symmetrised with ``max(|A|, |A.T|)`` — the usual
+    convention for turning sparse matrices into partitioning instances.
+    """
+    import scipy.sparse as sp
+
+    a = sp.coo_matrix(abs(mat))
+    at = sp.coo_matrix(abs(mat).T)
+    a = a.maximum(at).tocoo()
+    keep = a.row < a.col
+    return from_edge_list(
+        a.shape[0],
+        np.stack([a.row[keep], a.col[keep]], axis=1),
+        a.data[keep],
+        vwgt,
+        coords,
+    )
+
+
+def from_networkx(g, weight: str = "weight", node_weight: str = "weight") -> Graph:
+    """Build from a networkx graph; node labels must be ``0..n-1``."""
+    n = g.number_of_nodes()
+    if set(g.nodes) != set(range(n)):
+        raise ValueError("networkx graph must be labelled 0..n-1 "
+                         "(use networkx.convert_node_labels_to_integers)")
+    edges, weights = [], []
+    for u, v, data in g.edges(data=True):
+        edges.append((u, v))
+        weights.append(float(data.get(weight, 1.0)))
+    vwgt = [float(g.nodes[v].get(node_weight, 1.0)) for v in range(n)]
+    return from_edge_list(n, edges, weights, vwgt)
+
+
+def to_networkx(g: Graph):
+    """Convert to a networkx graph (for visualisation / cross-checking)."""
+    import networkx as nx
+
+    out = nx.Graph()
+    out.add_nodes_from(
+        (int(v), {"weight": float(g.vwgt[v])}) for v in range(g.n)
+    )
+    out.add_weighted_edges_from((u, v, w) for u, v, w in g.edges())
+    return out
+
+
+def to_scipy_sparse(g: Graph):
+    """Convert to a scipy CSR adjacency matrix (weights as data)."""
+    import scipy.sparse as sp
+
+    return sp.csr_matrix(
+        (g.adjwgt, g.adjncy, g.xadj), shape=(g.n, g.n)
+    )
+
+
+# ----------------------------------------------------------------------
+# small canonical graphs (test fixtures and examples)
+# ----------------------------------------------------------------------
+def empty_graph(n: int = 0) -> Graph:
+    """``n`` isolated nodes, no edges."""
+    return from_edge_list(n, [])
+
+
+def path_graph(n: int) -> Graph:
+    """The path 0—1—…—(n−1)."""
+    return from_edge_list(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    return from_edge_list(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star_graph(n: int) -> Graph:
+    """Star with centre 0 and ``n - 1`` leaves."""
+    return from_edge_list(n, [(0, i) for i in range(1, n)])
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph K_n."""
+    return from_edge_list(
+        n, [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+def grid2d_graph(rows: int, cols: int, with_coords: bool = True) -> Graph:
+    """A rows×cols 4-neighbour grid, with unit weights and grid coords."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    coords = None
+    if with_coords:
+        rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+        coords = np.stack([cc.ravel(), rr.ravel()], axis=1).astype(np.float64)
+    return from_edge_list(rows * cols, edges, coords=coords)

@@ -1,0 +1,297 @@
+"""Static CSR (adjacency-array / forward-star) graph representation.
+
+This is the central data structure of the partitioner.  The paper (Section
+5.2) uses a static adjacency array ("forward-star") representation per PE;
+we use the same layout globally: ``xadj``/``adjncy``/``adjwgt`` arrays in
+the METIS convention, plus a node-weight array ``vwgt`` and optional
+geometric ``coords``.
+
+The structure is immutable by convention: all algorithms that change the
+graph (contraction, subgraph extraction) build a *new* :class:`Graph`.
+Edges are undirected and stored twice (once per endpoint); ``m`` counts
+undirected edges, so ``len(adjncy) == 2 * m``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected weighted graph in CSR form.
+
+    Parameters
+    ----------
+    xadj:
+        ``int64`` array of length ``n + 1``; the adjacency list of node
+        ``v`` occupies ``adjncy[xadj[v]:xadj[v+1]]``.
+    adjncy:
+        ``int64`` array of neighbour ids, length ``2 * m``.
+    adjwgt:
+        ``float64`` edge weights aligned with ``adjncy``.  Both copies of
+        an undirected edge must carry the same weight.
+    vwgt:
+        ``float64`` node weights, length ``n``.
+    coords:
+        Optional ``(n, d)`` float array of geometric coordinates, used by
+        the geometric prepartitioner (paper Section 3.3).
+    validate:
+        When true (default) cheap structural invariants are checked at
+        construction time.  Set to false in hot paths that construct
+        graphs from already-validated arrays.
+    """
+
+    __slots__ = ("xadj", "adjncy", "adjwgt", "vwgt", "coords", "_out_cache")
+
+    def __init__(
+        self,
+        xadj: np.ndarray,
+        adjncy: np.ndarray,
+        adjwgt: np.ndarray,
+        vwgt: np.ndarray,
+        coords: Optional[np.ndarray] = None,
+        validate: bool = True,
+    ) -> None:
+        self.xadj = np.ascontiguousarray(xadj, dtype=np.int64)
+        self.adjncy = np.ascontiguousarray(adjncy, dtype=np.int64)
+        self.adjwgt = np.ascontiguousarray(adjwgt, dtype=np.float64)
+        self.vwgt = np.ascontiguousarray(vwgt, dtype=np.float64)
+        self.coords = None if coords is None else np.asarray(coords, dtype=np.float64)
+        self._out_cache: Optional[np.ndarray] = None
+        if validate:
+            self._check_structure()
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.xadj) - 1
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return len(self.adjncy) // 2
+
+    def degree(self, v: int) -> int:
+        """Number of neighbours of ``v``."""
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all node degrees."""
+        return np.diff(self.xadj)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbour ids of ``v`` (a CSR view; do not mutate)."""
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def incident_weights(self, v: int) -> np.ndarray:
+        """Edge weights aligned with :meth:`neighbors` (a view)."""
+        return self.adjwgt[self.xadj[v] : self.xadj[v + 1]]
+
+    def node_weight(self, v: int) -> float:
+        return float(self.vwgt[v])
+
+    def total_node_weight(self) -> float:
+        """``c(V)`` — the sum of all node weights."""
+        return float(self.vwgt.sum())
+
+    def total_edge_weight(self) -> float:
+        """``ω(E)`` — the sum of all (undirected) edge weights."""
+        return float(self.adjwgt.sum()) / 2.0
+
+    def weighted_degrees(self) -> np.ndarray:
+        """``Out(v) = Σ_{x∈Γ(v)} ω({v,x})`` for all nodes (paper §3.1).
+
+        Cached because edge ratings evaluate it repeatedly.
+        """
+        if self._out_cache is None:
+            self._out_cache = np.bincount(
+                self.directed_sources(), weights=self.adjwgt, minlength=self.n
+            )
+        return self._out_cache
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(np.any(self.neighbors(u) == v))
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}``; raises ``KeyError`` if absent."""
+        nbrs = self.neighbors(u)
+        hits = np.nonzero(nbrs == v)[0]
+        if len(hits) == 0:
+            raise KeyError(f"no edge {{{u}, {v}}}")
+        return float(self.incident_weights(u)[hits[0]])
+
+    def max_node_weight(self) -> float:
+        return float(self.vwgt.max()) if self.n else 0.0
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(u, v, w)`` with ``u < v``."""
+        for u in range(self.n):
+            lo, hi = self.xadj[u], self.xadj[u + 1]
+            for idx in range(lo, hi):
+                v = int(self.adjncy[idx])
+                if u < v:
+                    yield u, v, float(self.adjwgt[idx])
+
+    def edge_array(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised edge list ``(us, vs, ws)`` with ``us < vs``.
+
+        Much faster than :meth:`edges` for whole-graph scans (matching,
+        ratings) — used in all hot paths.
+        """
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
+        keep = src < self.adjncy
+        return src[keep], self.adjncy[keep], self.adjwgt[keep]
+
+    def directed_sources(self) -> np.ndarray:
+        """Source node of every directed arc, aligned with ``adjncy``."""
+        return np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def bfs_levels(self, sources: Sequence[int], max_depth: Optional[int] = None) -> np.ndarray:
+        """Breadth-first levels from ``sources``.
+
+        Returns an ``int64`` array of length ``n`` holding the BFS depth of
+        each node, or ``-1`` for unreached nodes.  ``max_depth`` bounds the
+        search (used by the boundary-band extraction of Section 5.2).
+        """
+        level = np.full(self.n, -1, dtype=np.int64)
+        frontier = np.unique(np.asarray(list(sources), dtype=np.int64))
+        if len(frontier) == 0:
+            return level
+        level[frontier] = 0
+        depth = 0
+        while len(frontier) and (max_depth is None or depth < max_depth):
+            depth += 1
+            # gather all neighbours of the frontier, keep the unvisited
+            starts = self.xadj[frontier]
+            ends = self.xadj[frontier + 1]
+            counts = ends - starts
+            if counts.sum() == 0:
+                break
+            take = np.concatenate(
+                [self.adjncy[s:e] for s, e in zip(starts, ends) if e > s]
+            )
+            nxt = np.unique(take)
+            nxt = nxt[level[nxt] == -1]
+            if len(nxt) == 0:
+                break
+            level[nxt] = depth
+            frontier = nxt
+        return level
+
+    def connected_components(self) -> np.ndarray:
+        """Label nodes by connected component (``int64`` array)."""
+        comp = np.full(self.n, -1, dtype=np.int64)
+        label = 0
+        for start in range(self.n):
+            if comp[start] != -1:
+                continue
+            comp[start] = label
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in self.neighbors(u):
+                    if comp[v] == -1:
+                        comp[v] = label
+                        stack.append(int(v))
+            label += 1
+        return comp
+
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return True
+        return bool((self.bfs_levels([0]) >= 0).all())
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def _check_structure(self) -> None:
+        if len(self.xadj) < 1:
+            raise ValueError("xadj must have length n + 1 >= 1")
+        if self.xadj[0] != 0 or self.xadj[-1] != len(self.adjncy):
+            raise ValueError("xadj must start at 0 and end at len(adjncy)")
+        if np.any(np.diff(self.xadj) < 0):
+            raise ValueError("xadj must be non-decreasing")
+        if len(self.adjwgt) != len(self.adjncy):
+            raise ValueError("adjwgt must align with adjncy")
+        if len(self.vwgt) != self.n:
+            raise ValueError("vwgt must have length n")
+        if len(self.adjncy) and (
+            self.adjncy.min() < 0 or self.adjncy.max() >= self.n
+        ):
+            raise ValueError("adjncy entries out of range")
+        if len(self.adjncy) % 2 != 0:
+            raise ValueError("directed arc count must be even (undirected graph)")
+        if self.coords is not None and len(self.coords) != self.n:
+            raise ValueError("coords must have one row per node")
+        if np.any(self.adjwgt <= 0):
+            raise ValueError("edge weights must be positive (paper: ω: E → R>0)")
+        if np.any(self.vwgt < 0):
+            raise ValueError("node weights must be non-negative (paper: c: V → R≥0)")
+
+    def check_symmetry(self) -> None:
+        """Expensive full check that every arc has a matching reverse arc
+        with equal weight, and that there are no self-loops or parallel
+        edges.  Used by tests and :mod:`repro.graph.validate`.
+        """
+        src = self.directed_sources()
+        if np.any(src == self.adjncy):
+            raise ValueError("self-loop found")
+        order = np.lexsort((self.adjncy, src))
+        fwd = np.stack([src[order], self.adjncy[order]], axis=1)
+        if len(fwd) and np.any((np.diff(fwd[:, 0]) == 0) & (np.diff(fwd[:, 1]) == 0)):
+            raise ValueError("parallel edge found")
+        rorder = np.lexsort((src, self.adjncy))
+        rev = np.stack([self.adjncy[rorder], src[rorder]], axis=1)
+        if not np.array_equal(fwd, rev):
+            raise ValueError("adjacency is not symmetric")
+        if not np.allclose(self.adjwgt[order], self.adjwgt[rorder]):
+            raise ValueError("edge weights are not symmetric")
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        return Graph(
+            self.xadj.copy(),
+            self.adjncy.copy(),
+            self.adjwgt.copy(),
+            self.vwgt.copy(),
+            None if self.coords is None else self.coords.copy(),
+            validate=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n={self.n}, m={self.m}, c(V)={self.total_node_weight():g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        same = (
+            np.array_equal(self.xadj, other.xadj)
+            and np.array_equal(self.adjncy, other.adjncy)
+            and np.allclose(self.adjwgt, other.adjwgt)
+            and np.allclose(self.vwgt, other.vwgt)
+        )
+        if not same:
+            return False
+        if (self.coords is None) != (other.coords is None):
+            return False
+        if self.coords is not None:
+            return bool(np.allclose(self.coords, other.coords))
+        return True
+
+    def __hash__(self) -> int:  # graphs are mutable arrays; identity hash
+        return id(self)

@@ -1,0 +1,182 @@
+"""Distributed graph data structure (paper Section 5.2).
+
+The paper stores, per PE, the block it owns in a *static* adjacency-array
+(forward-star) representation — the rows of its owned nodes, including
+arcs whose targets live on other PEs — plus a *dynamic* overlay: a hash
+table for nodes that migrated to this PE since the last rebuild and a
+second edge array for their incident edges.  Immediately after every
+uncontraction the static part is rebuilt from the current assignment.
+
+:class:`DistributedGraph` reproduces that hybrid.  In this simulation the
+static rows are served from the shared global CSR (each PE reads only the
+rows of nodes it statically owns — the same information the MPI original
+keeps in its local forward-star arrays); the dynamic overlay is a real
+per-PE hash table.  ``rebuild()`` folds the overlay back into static
+ownership, exactly like the per-uncontraction rebuild in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from .csr import Graph
+
+__all__ = ["DistributedGraph", "LocalView"]
+
+
+@dataclass
+class LocalView:
+    """The graph data one PE holds: static rows plus a dynamic overlay.
+
+    ``static_owned`` is the boolean row mask of nodes owned at the last
+    rebuild; adjacency for them is read from the (conceptually local)
+    forward-star rows of ``graph``.  ``migrated_in`` maps global node id →
+    (node weight, {global neighbour: weight}) for nodes received since the
+    rebuild; ``migrated_out`` marks statically-stored nodes that logically
+    left this PE.
+    """
+
+    rank: int
+    graph: Graph
+    static_owned: np.ndarray
+    migrated_in: Dict[int, Tuple[float, Dict[int, float]]] = field(default_factory=dict)
+    migrated_out: Set[int] = field(default_factory=set)
+
+    def owns(self, v: int) -> bool:
+        """Current logical ownership of global node ``v``."""
+        if v in self.migrated_in:
+            return True
+        return bool(self.static_owned[v]) and v not in self.migrated_out
+
+    def owned_nodes(self) -> np.ndarray:
+        """Global ids of all logically owned nodes (sorted)."""
+        static_nodes = set(np.nonzero(self.static_owned)[0].tolist())
+        static_nodes -= self.migrated_out
+        return np.asarray(sorted(static_nodes | set(self.migrated_in)),
+                          dtype=np.int64)
+
+    def _check_held(self, v: int) -> None:
+        if not (self.static_owned[v] and v not in self.migrated_out):
+            raise KeyError(f"node {v} not held by PE {self.rank}")
+
+    def node_weight(self, v: int) -> float:
+        if v in self.migrated_in:
+            return self.migrated_in[v][0]
+        self._check_held(v)
+        return float(self.graph.vwgt[v])
+
+    def neighbors(self, v: int) -> Dict[int, float]:
+        """Full adjacency of a held node in *global* ids (remote targets
+        included — the forward-star row the paper's PE stores)."""
+        if v in self.migrated_in:
+            return dict(self.migrated_in[v][1])
+        self._check_held(v)
+        return {
+            int(u): float(w)
+            for u, w in zip(self.graph.neighbors(v),
+                            self.graph.incident_weights(v))
+        }
+
+    def boundary_nodes(self, owner: np.ndarray) -> np.ndarray:
+        """Owned nodes with at least one neighbour on another PE — the
+        seeds of the Section 5.2 band exchange, computed locally."""
+        out = []
+        for v in self.owned_nodes():
+            nbrs = self.neighbors(int(v))
+            if any(owner[u] != self.rank for u in nbrs):
+                out.append(int(v))
+        return np.asarray(out, dtype=np.int64)
+
+    def weight(self) -> float:
+        """Total node weight currently owned by this PE."""
+        w = sum(payload[0] for payload in self.migrated_in.values())
+        mask = self.static_owned.copy()
+        for v in self.migrated_out:
+            mask[v] = False
+        return float(self.graph.vwgt[mask].sum()) + w
+
+    def receive(self, v: int, vw: float, nbrs: Dict[int, float]) -> None:
+        """Record that global node ``v`` migrated onto this PE."""
+        if self.static_owned[v]:
+            # the node is still stored statically here (it migrated away
+            # earlier and is now coming back): just reactivate it
+            self.migrated_out.discard(v)
+        else:
+            self.migrated_in[v] = (vw, dict(nbrs))
+
+    def release(self, v: int) -> Tuple[float, Dict[int, float]]:
+        """Record that held node ``v`` migrated away; returns its payload
+        (node weight and global adjacency) for transmission."""
+        if v in self.migrated_in:
+            return self.migrated_in.pop(v)
+        self._check_held(v)
+        self.migrated_out.add(v)
+        return float(self.graph.vwgt[v]), self.neighbors_static(v)
+
+    def neighbors_static(self, v: int) -> Dict[int, float]:
+        return {
+            int(u): float(w)
+            for u, w in zip(self.graph.neighbors(v),
+                            self.graph.incident_weights(v))
+        }
+
+
+class DistributedGraph:
+    """A graph distributed over ``p`` virtual PEs by an ownership vector.
+
+    This is the bookkeeping object shared (conceptually) by all PEs; each
+    PE only touches its own :class:`LocalView`, mirroring the fact that in
+    the MPI original no PE holds the whole graph in its dynamic phase.
+    """
+
+    def __init__(self, g: Graph, owner: np.ndarray, p: int) -> None:
+        owner = np.asarray(owner, dtype=np.int64)
+        if owner.shape != (g.n,):
+            raise ValueError("owner vector must have length n")
+        if g.n and (owner.min() < 0 or owner.max() >= p):
+            raise ValueError("owner out of range")
+        self.graph = g
+        self.p = p
+        self.owner = owner.copy()
+        self.views: List[LocalView] = []
+        self._build_views()
+
+    def _build_views(self) -> None:
+        self.views = [
+            LocalView(rank=r, graph=self.graph,
+                      static_owned=(self.owner == r))
+            for r in range(self.p)
+        ]
+
+    def view(self, rank: int) -> LocalView:
+        return self.views[rank]
+
+    def migrate(self, v: int, dst: int) -> None:
+        """Move node ``v`` from its current owner to PE ``dst``."""
+        src = int(self.owner[v])
+        if src == dst:
+            return
+        vw, nbrs = self.views[src].release(int(v))
+        self.views[dst].receive(int(v), vw, nbrs)
+        self.owner[v] = dst
+
+    def rebuild(self) -> None:
+        """Fold all dynamic overlays back into static per-PE storage —
+        the paper performs this after every uncontraction."""
+        self._build_views()
+
+    def check_consistency(self) -> None:
+        """Every node held by exactly its owner; weights conserved."""
+        for v in range(self.graph.n):
+            r = int(self.owner[v])
+            if not self.views[r].owns(v):
+                raise AssertionError(f"owner of {v} is {r} but view does not hold it")
+            for other in range(self.p):
+                if other != r and self.views[other].owns(v):
+                    raise AssertionError(f"node {v} held by both {r} and {other}")
+        total = sum(view.weight() for view in self.views)
+        if not np.isclose(total, self.graph.total_node_weight()):
+            raise AssertionError("node weight not conserved across views")

@@ -1,0 +1,190 @@
+"""Graph file I/O: METIS and DIMACS formats, plus partition vectors.
+
+The METIS format is the lingua franca of the partitioning community (both
+the Walshaw archive and the paper's tool chain use it), so round-tripping
+through it is the interoperability story of this library.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Optional, TextIO, Union
+
+import numpy as np
+
+from .csr import Graph
+from .build import from_edge_list
+
+__all__ = [
+    "write_metis",
+    "read_metis",
+    "write_dimacs",
+    "read_dimacs",
+    "write_partition",
+    "read_partition",
+]
+
+PathLike = Union[str, Path, TextIO]
+
+
+def _open(f: PathLike, mode: str):
+    if hasattr(f, "read") or hasattr(f, "write"):
+        return f, False
+    return open(f, mode), True
+
+
+def write_metis(g: Graph, f: PathLike) -> None:
+    """Write in METIS .graph format.
+
+    The weight-flag field is chosen minimally: ``11`` when both node and
+    edge weights are non-trivial, ``1`` for edge weights only, ``10`` for
+    node weights only, omitted when all weights are 1.  Integral weights
+    are written as integers (METIS requires integer weights).
+    """
+    has_vw = not np.all(g.vwgt == 1.0)
+    has_ew = not np.all(g.adjwgt == 1.0)
+    handle, close = _open(f, "w")
+    try:
+        header = f"{g.n} {g.m}"
+        if has_vw and has_ew:
+            header += " 11"
+        elif has_vw:
+            header += " 10"
+        elif has_ew:
+            header += " 1"
+        handle.write(header + "\n")
+
+        def fmt(x: float) -> str:
+            return str(int(x)) if float(x).is_integer() else repr(float(x))
+
+        for v in range(g.n):
+            parts: List[str] = []
+            if has_vw:
+                parts.append(fmt(g.vwgt[v]))
+            nbrs = g.neighbors(v)
+            wts = g.incident_weights(v)
+            for u, w in zip(nbrs, wts):
+                parts.append(str(int(u) + 1))  # METIS is 1-indexed
+                if has_ew:
+                    parts.append(fmt(w))
+            handle.write(" ".join(parts) + "\n")
+    finally:
+        if close:
+            handle.close()
+
+
+def read_metis(f: PathLike) -> Graph:
+    """Read a METIS .graph file (supports fmt codes 0/1/10/11)."""
+    handle, close = _open(f, "r")
+    try:
+        # blank lines are meaningful after the header (isolated nodes), so
+        # only comment lines are dropped; leading blanks before the header
+        # are tolerated.
+        lines = [ln.rstrip("\n") for ln in handle if not ln.startswith("%")]
+    finally:
+        if close:
+            handle.close()
+    while lines and not lines[0].strip():
+        lines.pop(0)
+    while lines and not lines[-1].strip():
+        lines.pop()
+    if not lines:
+        raise ValueError("empty METIS file")
+    header = lines[0].split()
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    fmt = fmt.zfill(2)
+    has_vw, has_ew = fmt[0] == "1", fmt[1] == "1"
+    ncon = int(header[3]) if len(header) > 3 else 1
+    if ncon != 1:
+        raise ValueError("multi-constraint METIS files are not supported")
+    if len(lines) - 1 < n:
+        # trailing isolated nodes produce trailing blank lines which some
+        # writers (and the stripping above) drop — pad them back
+        lines += [""] * (n - (len(lines) - 1))
+    if len(lines) - 1 != n:
+        raise ValueError(f"expected {n} node lines, found {len(lines) - 1}")
+    edges, weights = [], []
+    vwgt = np.ones(n, dtype=np.float64)
+    for v, line in enumerate(lines[1:]):
+        tok = line.split()
+        idx = 0
+        if has_vw:
+            vwgt[v] = float(tok[0])
+            idx = 1
+        while idx < len(tok):
+            u = int(tok[idx]) - 1
+            idx += 1
+            w = 1.0
+            if has_ew:
+                w = float(tok[idx])
+                idx += 1
+            if v < u:  # each undirected edge appears on both lines
+                edges.append((v, u))
+                weights.append(w)
+    g = from_edge_list(n, edges, weights, vwgt)
+    if g.m != m:
+        raise ValueError(f"header claims {m} edges, file has {g.m}")
+    return g
+
+
+def write_dimacs(g: Graph, f: PathLike, comment: str = "") -> None:
+    """Write in (weighted) DIMACS edge format."""
+    handle, close = _open(f, "w")
+    try:
+        if comment:
+            for ln in comment.splitlines():
+                handle.write(f"c {ln}\n")
+        handle.write(f"p edge {g.n} {g.m}\n")
+        for u, v, w in g.edges():
+            handle.write(f"e {u + 1} {v + 1} {w:g}\n")
+    finally:
+        if close:
+            handle.close()
+
+
+def read_dimacs(f: PathLike) -> Graph:
+    """Read a DIMACS edge-format file (``e u v [w]`` lines, 1-indexed)."""
+    handle, close = _open(f, "r")
+    try:
+        n = None
+        edges, weights = [], []
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            tok = line.split()
+            if tok[0] == "p":
+                n = int(tok[2])
+            elif tok[0] == "e":
+                edges.append((int(tok[1]) - 1, int(tok[2]) - 1))
+                weights.append(float(tok[3]) if len(tok) > 3 else 1.0)
+    finally:
+        if close:
+            handle.close()
+    if n is None:
+        raise ValueError("missing 'p edge' header line")
+    return from_edge_list(n, edges, weights)
+
+
+def write_partition(part: np.ndarray, f: PathLike) -> None:
+    """Write a partition vector, one block id per line (METIS convention)."""
+    handle, close = _open(f, "w")
+    try:
+        for b in np.asarray(part, dtype=np.int64):
+            handle.write(f"{int(b)}\n")
+    finally:
+        if close:
+            handle.close()
+
+
+def read_partition(f: PathLike) -> np.ndarray:
+    """Read a partition vector written by :func:`write_partition`."""
+    handle, close = _open(f, "r")
+    try:
+        vals = [int(ln) for ln in handle if ln.strip()]
+    finally:
+        if close:
+            handle.close()
+    return np.asarray(vals, dtype=np.int64)

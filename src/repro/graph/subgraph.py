@@ -1,0 +1,89 @@
+"""Induced-subgraph extraction and node relabelling.
+
+Pairwise refinement (paper Section 5.2) repeatedly works on the subgraph
+induced by two blocks (or their boundary bands), so extraction is written
+with numpy array passes rather than per-edge Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .csr import Graph
+
+__all__ = ["SubgraphMap", "induced_subgraph", "relabel"]
+
+
+@dataclass(frozen=True)
+class SubgraphMap:
+    """Mapping between a subgraph and its parent graph.
+
+    ``to_parent[i]`` is the parent id of subgraph node ``i``;
+    ``to_sub[v]`` is the subgraph id of parent node ``v`` or ``-1``.
+    """
+
+    to_parent: np.ndarray
+    to_sub: np.ndarray
+
+    def lift(self, sub_nodes: Sequence[int]) -> np.ndarray:
+        """Map subgraph node ids back to parent ids."""
+        return self.to_parent[np.asarray(sub_nodes, dtype=np.int64)]
+
+
+def induced_subgraph(g: Graph, nodes: Sequence[int]) -> Tuple[Graph, SubgraphMap]:
+    """Extract the subgraph induced by ``nodes``.
+
+    Node and edge weights are preserved; coordinates are sliced through.
+    Nodes are renumbered ``0..len(nodes)-1`` in the order given (after
+    deduplication, keeping first occurrence order sorted ascending).
+    """
+    sel = np.unique(np.asarray(list(nodes), dtype=np.int64))
+    if len(sel) and (sel[0] < 0 or sel[-1] >= g.n):
+        raise ValueError("node id out of range")
+    to_sub = np.full(g.n, -1, dtype=np.int64)
+    to_sub[sel] = np.arange(len(sel), dtype=np.int64)
+
+    # directed arcs whose both endpoints are selected
+    src = g.directed_sources()
+    mask = (to_sub[src] >= 0) & (to_sub[g.adjncy] >= 0)
+    s_src = to_sub[src[mask]]
+    s_dst = to_sub[g.adjncy[mask]]
+    s_w = g.adjwgt[mask]
+
+    order = np.lexsort((s_dst, s_src))
+    s_src, s_dst, s_w = s_src[order], s_dst[order], s_w[order]
+    xadj = np.zeros(len(sel) + 1, dtype=np.int64)
+    np.add.at(xadj, s_src + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    coords = None if g.coords is None else g.coords[sel]
+    sub = Graph(xadj, s_dst, s_w, g.vwgt[sel], coords=coords, validate=False)
+    return sub, SubgraphMap(to_parent=sel, to_sub=to_sub)
+
+
+def relabel(g: Graph, perm: Sequence[int]) -> Graph:
+    """Return a copy of ``g`` with node ``v`` renamed to ``perm[v]``.
+
+    ``perm`` must be a permutation of ``0..n-1``.  Useful for testing
+    label-invariance of algorithms.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    if len(perm) != g.n or not np.array_equal(np.sort(perm), np.arange(g.n)):
+        raise ValueError("perm must be a permutation of 0..n-1")
+    inv = np.empty(g.n, dtype=np.int64)
+    inv[perm] = np.arange(g.n)
+    src = perm[g.directed_sources()]
+    dst = perm[g.adjncy]
+    order = np.lexsort((dst, src))
+    xadj = np.zeros(g.n + 1, dtype=np.int64)
+    np.add.at(xadj, src + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    vwgt = np.empty_like(g.vwgt)
+    vwgt[perm] = g.vwgt
+    coords = None
+    if g.coords is not None:
+        coords = np.empty_like(g.coords)
+        coords[perm] = g.coords
+    return Graph(xadj, dst[order], g.adjwgt[order], vwgt, coords=coords, validate=False)

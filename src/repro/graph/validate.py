@@ -1,0 +1,75 @@
+"""Whole-graph and partition validation helpers.
+
+These are the invariants the test suite leans on; they are deliberately
+thorough rather than fast and should not appear in hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .csr import Graph
+
+__all__ = ["validate_graph", "validate_partition", "validate_matching"]
+
+
+def validate_graph(g: Graph) -> None:
+    """Full structural validation: CSR invariants plus symmetry,
+    no self-loops, and no parallel edges.  Raises ``ValueError`` on any
+    violation."""
+    g._check_structure()
+    g.check_symmetry()
+
+
+def validate_partition(
+    g: Graph,
+    part: np.ndarray,
+    k: int,
+    epsilon: Optional[float] = None,
+) -> None:
+    """Check that ``part`` is a valid (and, if ``epsilon`` is given,
+    balanced) k-partition of ``g``.
+
+    The balance constraint is the paper's (Section 2):
+    ``c(V_i) <= L_max := (1 + eps) * c(V)/k + max_v c(v)``.
+    """
+    part = np.asarray(part)
+    if part.shape != (g.n,):
+        raise ValueError(f"partition must have shape ({g.n},), got {part.shape}")
+    if not np.issubdtype(part.dtype, np.integer):
+        raise ValueError("partition vector must be integral")
+    if g.n and (part.min() < 0 or part.max() >= k):
+        raise ValueError("block ids must lie in 0..k-1")
+    if epsilon is not None:
+        block_w = np.zeros(k, dtype=np.float64)
+        np.add.at(block_w, part, g.vwgt)
+        lmax = (1.0 + epsilon) * g.total_node_weight() / k + g.max_node_weight()
+        worst = block_w.max() if k else 0.0
+        if worst > lmax + 1e-9:
+            raise ValueError(
+                f"balance violated: max block weight {worst:g} > L_max {lmax:g}"
+            )
+
+
+def validate_matching(g: Graph, matching: np.ndarray) -> None:
+    """Check that ``matching`` is a valid matching array.
+
+    The matching convention used throughout :mod:`repro.coarsening`:
+    ``matching[v]`` is the partner of ``v``, or ``v`` itself when
+    unmatched.  Validity requires the relation to be a self-inverse
+    involution over existing edges.
+    """
+    matching = np.asarray(matching, dtype=np.int64)
+    if matching.shape != (g.n,):
+        raise ValueError("matching must have one entry per node")
+    if g.n and (matching.min() < 0 or matching.max() >= g.n):
+        raise ValueError("matching partner out of range")
+    if not np.array_equal(matching[matching], np.arange(g.n)):
+        raise ValueError("matching is not an involution")
+    matched = np.nonzero(matching != np.arange(g.n))[0]
+    for v in matched:
+        u = matching[v]
+        if not g.has_edge(int(v), int(u)):
+            raise ValueError(f"matched pair ({v}, {u}) is not an edge")

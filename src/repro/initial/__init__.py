@@ -1,0 +1,26 @@
+"""Initial partitioning (paper Section 4): recursive bisection
+("scotch-like"), spectral bisection, direct k-way growing, and the
+best-of-repeats / all-PEs-with-different-seeds drivers."""
+
+from .growing import grow_bisection
+from .spectral import fiedler_vector, spectral_bisection
+from .recursive import bisect, recursive_bisection
+from .kway import kway_growing, spread_seeds
+from .runner import (
+    INITIAL_PARTITIONERS,
+    initial_partition,
+    initial_partition_spmd,
+)
+
+__all__ = [
+    "grow_bisection",
+    "fiedler_vector",
+    "spectral_bisection",
+    "bisect",
+    "recursive_bisection",
+    "kway_growing",
+    "spread_seeds",
+    "INITIAL_PARTITIONERS",
+    "initial_partition",
+    "initial_partition_spmd",
+]

@@ -1,0 +1,113 @@
+"""Direct k-way initial partitioning by simultaneous region growing.
+
+An alternative to recursive bisection ("pMetis-like" direct k-way): ``k``
+seed nodes are spread by a farthest-first BFS sweep, then all regions grow
+simultaneously, the lightest region always absorbing its best frontier
+node.  A greedy k-way pass and rebalancing polish the result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..core import metrics
+from ..refinement.balance import rebalance
+from ..refinement.kway_greedy import greedy_kway_refinement
+from ..refinement.pq import AddressablePQ
+
+__all__ = ["spread_seeds", "kway_growing"]
+
+
+def spread_seeds(g: Graph, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Pick ``k`` mutually distant seed nodes (farthest-first traversal)."""
+    if g.n == 0:
+        return np.empty(0, dtype=np.int64)
+    seeds = [int(rng.integers(0, g.n))]
+    dist = g.bfs_levels(seeds)
+    for _ in range(1, min(k, g.n)):
+        unreached = dist == -1
+        if unreached.any():
+            cand = np.nonzero(unreached)[0]
+            nxt = int(cand[rng.integers(0, len(cand))])
+        else:
+            nxt = int(np.argmax(dist))
+        seeds.append(nxt)
+        d2 = g.bfs_levels([nxt])
+        merged = np.where((dist == -1) | ((d2 >= 0) & (d2 < dist)), d2, dist)
+        dist = merged
+    while len(seeds) < k:
+        seeds.append(int(rng.integers(0, g.n)))  # k > n: duplicates allowed
+    return np.asarray(seeds, dtype=np.int64)
+
+
+def kway_growing(
+    g: Graph,
+    k: int,
+    epsilon: float = 0.03,
+    seed: int = 0,
+    refine: bool = True,
+) -> np.ndarray:
+    """Direct k-way partition by simultaneous greedy region growing."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = np.random.default_rng(seed)
+    part = np.full(g.n, -1, dtype=np.int64)
+    if g.n == 0:
+        return part
+    if k == 1:
+        return np.zeros(g.n, dtype=np.int64)
+    seeds = spread_seeds(g, k, rng)
+    block_w = np.zeros(k, dtype=np.float64)
+    queues = [AddressablePQ() for _ in range(k)]
+
+    def absorb(v: int, b: int) -> None:
+        part[v] = b
+        block_w[b] += g.vwgt[v]
+        for q in queues:
+            if v in q:
+                q.remove(v)
+        for u, w in zip(g.neighbors(v), g.incident_weights(v)):
+            u = int(u)
+            if part[u] != -1:
+                continue
+            q = queues[b]
+            if u in q:
+                q.update(u, q.priority(u) + float(w))
+            else:
+                q.push(u, float(w), float(rng.random()))
+
+    for b, s in enumerate(seeds[:k]):
+        if part[s] == -1:
+            absorb(int(s), b)
+
+    remaining = int((part == -1).sum())
+    while remaining > 0:
+        # the lightest block with a non-empty frontier grows next
+        order = np.argsort(block_w, kind="stable")
+        grew = False
+        for b in order:
+            b = int(b)
+            while queues[b]:
+                v, _ = queues[b].pop()
+                if part[v] == -1:
+                    absorb(int(v), b)
+                    remaining -= 1
+                    grew = True
+                    break
+            if grew:
+                break
+        if not grew:
+            # disconnected leftovers: hand them to the lightest block
+            rest = np.nonzero(part == -1)[0]
+            v = int(rest[rng.integers(0, len(rest))])
+            absorb(v, int(np.argmin(block_w)))
+            remaining -= 1
+
+    if refine:
+        part = greedy_kway_refinement(g, part, k, epsilon, rng=rng)
+        if not metrics.is_balanced(g, part, k, epsilon):
+            part = rebalance(g, part, k, epsilon, rng=rng)
+    return part

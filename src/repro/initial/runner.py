@@ -1,0 +1,100 @@
+"""Initial-partitioning driver (paper Section 4).
+
+"The graph is then small enough to be partitioned on a single PE. […] We
+use the sequential algorithms and run them simultaneously on all PEs, each
+with a different seed for the random number generator.  Since initial
+partitioning is very fast, it is also repeated several times.  The best
+solution is then broadcast to all PEs."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..core import metrics
+from ..refinement.balance import rebalance
+from .kway import kway_growing
+from .recursive import recursive_bisection
+
+__all__ = ["INITIAL_PARTITIONERS", "initial_partition", "initial_partition_spmd"]
+
+INITIAL_PARTITIONERS = ("recursive_bisection", "spectral_bisection", "kway_growing")
+
+
+def _one_attempt(g: Graph, k: int, epsilon: float, method: str,
+                 seed: int) -> np.ndarray:
+    if method == "recursive_bisection":
+        part = recursive_bisection(g, k, epsilon, seed=seed, method="growing")
+    elif method == "spectral_bisection":
+        part = recursive_bisection(g, k, epsilon, seed=seed, method="spectral")
+    elif method == "kway_growing":
+        part = kway_growing(g, k, epsilon, seed=seed)
+    else:
+        raise ValueError(
+            f"unknown initial partitioner {method!r}; "
+            f"choose from {INITIAL_PARTITIONERS}"
+        )
+    if not metrics.is_balanced(g, part, k, epsilon):
+        part = rebalance(g, part, k, epsilon,
+                         rng=np.random.default_rng(seed))
+    return part
+
+
+def _score(g: Graph, part: np.ndarray, k: int, epsilon: float) -> Tuple[float, float]:
+    """Lexicographic quality: (imbalance penalty, cut) — feasible first."""
+    w = metrics.block_weights(g, part, k)
+    pen = metrics.imbalance_penalty(w, metrics.lmax(g, k, epsilon))
+    return (pen, metrics.cut_value(g, part))
+
+
+def initial_partition(
+    g: Graph,
+    k: int,
+    epsilon: float = 0.03,
+    method: str = "recursive_bisection",
+    repeats: int = 3,
+    seed: int = 0,
+) -> np.ndarray:
+    """Best of ``repeats`` seeded attempts (the sequential analogue of the
+    paper's all-PEs-different-seeds protocol)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best: Optional[np.ndarray] = None
+    best_score = (np.inf, np.inf)
+    for r in range(repeats):
+        part = _one_attempt(g, k, epsilon, method, seed + 7919 * r)
+        score = _score(g, part, k, epsilon)
+        if score < best_score:
+            best, best_score = part, score
+    return best
+
+
+def initial_partition_spmd(
+    comm,
+    g: Graph,
+    k: int,
+    epsilon: float = 0.03,
+    method: str = "recursive_bisection",
+    repeats: int = 3,
+    seed: int = 0,
+) -> np.ndarray:
+    """The paper's protocol verbatim: every PE runs ``repeats`` attempts
+    with PE-specific seeds, the best solution is chosen by an allreduce
+    and broadcast to all PEs."""
+    my_best: Optional[np.ndarray] = None
+    my_score = (np.inf, np.inf)
+    for r in range(repeats):
+        attempt_seed = seed + 7919 * (comm.rank * repeats + r)
+        part = _one_attempt(g, k, epsilon, method, attempt_seed)
+        comm.compute(g.m)
+        score = _score(g, part, k, epsilon)
+        if score < my_score:
+            my_best, my_score = part, score
+    # pick the globally best (ties by rank for determinism)
+    winner_rank = comm.allreduce(
+        (my_score, comm.rank), op=min
+    )[1]
+    return comm.bcast(my_best, root=winner_rank)

@@ -1,0 +1,29 @@
+"""Simulated message-passing cluster: virtual PEs, cost model, and the
+distributed quotient-graph edge coloring."""
+
+from .comm import Clock, Comm, SimCluster, ClusterResult, run_spmd, DeadlockError
+from .costmodel import MachineModel, DEFAULT_MACHINE, payload_nbytes
+from .coloring import (
+    greedy_edge_coloring,
+    distributed_edge_coloring,
+    distributed_edge_coloring_spmd,
+    coloring_to_matchings,
+    verify_edge_coloring,
+)
+
+__all__ = [
+    "Clock",
+    "Comm",
+    "SimCluster",
+    "ClusterResult",
+    "run_spmd",
+    "DeadlockError",
+    "MachineModel",
+    "DEFAULT_MACHINE",
+    "payload_nbytes",
+    "greedy_edge_coloring",
+    "distributed_edge_coloring",
+    "distributed_edge_coloring_spmd",
+    "coloring_to_matchings",
+    "verify_edge_coloring",
+]

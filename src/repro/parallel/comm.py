@@ -1,0 +1,292 @@
+"""Simulated message-passing cluster.
+
+The paper's implementation is C++/MPI on a distributed-memory cluster.
+Python cannot run shared-memory-parallel FM efficiently (the GIL), so this
+module substitutes *virtual PEs*: an SPMD function runs on ``P`` threads,
+each holding a :class:`Comm` handle with an mpi4py-like API
+(``send``/``recv``/``barrier``/``bcast``/``allreduce``/``gather``/
+``allgather``/``alltoall``).  All *algorithmic* behaviour — who sends what
+to whom, in which rounds, with which seeds — is preserved; threads provide
+concurrency semantics while the GIL serialises actual execution.
+
+Every PE carries a :class:`Clock` of *simulated time*, advanced by the
+:class:`~repro.parallel.costmodel.MachineModel` on every message,
+collective, and explicitly-charged compute.  The cluster's makespan (max
+over final clocks) is the quantity plotted in the Figure 3 scalability
+reproduction.
+
+Determinism: per-(src, dst, tag) channels are FIFO, collectives are
+rendezvous-based, and all randomness must come from
+:meth:`Comm.derive_rng`, so a run is a pure function of the master seed.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .costmodel import DEFAULT_MACHINE, MachineModel, payload_nbytes
+
+__all__ = ["Clock", "Comm", "SimCluster", "ClusterResult", "run_spmd"]
+
+#: Default receive timeout.  A deadlocked SPMD program fails loudly in
+#: tests instead of hanging the suite.
+RECV_TIMEOUT_S = 60.0
+
+
+class DeadlockError(RuntimeError):
+    """A blocking receive timed out — the SPMD program is deadlocked."""
+
+
+@dataclass
+class Clock:
+    """Per-PE simulated time."""
+
+    time: float = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.time += max(0.0, dt)
+
+    def sync_to(self, t: float) -> None:
+        """Blocking operations cannot complete before their input arrives."""
+        self.time = max(self.time, t)
+
+
+@dataclass
+class _Message:
+    payload: Any
+    arrival: float  # simulated arrival time at the receiver
+
+
+class _Shared:
+    """State shared by all PEs of one cluster run."""
+
+    def __init__(self, size: int, machine: MachineModel) -> None:
+        self.size = size
+        self.machine = machine
+        self.channels: Dict[Tuple[int, int, int], "queue.Queue[_Message]"] = {}
+        self.channels_lock = threading.Lock()
+        self.slots: List[Any] = [None] * size
+        self.clock_slots = np.zeros(size, dtype=np.float64)
+        self.reduce_out: Any = None
+        # two barriers so consecutive collectives cannot overtake each other
+        self.barrier_a = threading.Barrier(size)
+        self.barrier_b = threading.Barrier(size)
+        self.failure: Optional[BaseException] = None
+
+    def channel(self, src: int, dst: int, tag: int) -> "queue.Queue[_Message]":
+        key = (src, dst, tag)
+        with self.channels_lock:
+            ch = self.channels.get(key)
+            if ch is None:
+                ch = self.channels[key] = queue.Queue()
+            return ch
+
+
+class Comm:
+    """One PE's communicator handle (mpi4py-like API, simulated time)."""
+
+    def __init__(self, rank: int, shared: _Shared) -> None:
+        self.rank = rank
+        self.shared = shared
+        self.clock = Clock()
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.shared.size
+
+    @property
+    def machine(self) -> MachineModel:
+        return self.shared.machine
+
+    def derive_rng(self, seed: int) -> np.random.Generator:
+        """Per-PE RNG: the paper runs identical components "each with a
+        different seed for the random number generator"."""
+        return np.random.default_rng((seed, self.rank))
+
+    def compute(self, work_units: float) -> None:
+        """Charge local compute to the simulated clock."""
+        self.clock.advance(self.machine.compute_time(work_units))
+
+    # -- point to point -------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send (non-blocking buffered, like a small-message MPI_Send)."""
+        if not (0 <= dest < self.size):
+            raise ValueError(f"bad destination {dest}")
+        nbytes = payload_nbytes(obj)
+        arrival = self.clock.time + self.machine.message_time(nbytes)
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        self.shared.channel(self.rank, dest, tag).put(_Message(obj, arrival))
+
+    def recv(self, source: int, tag: int = 0,
+             timeout: float = RECV_TIMEOUT_S) -> Any:
+        """Blocking receive from a specific source PE and tag."""
+        if not (0 <= source < self.size):
+            raise ValueError(f"bad source {source}")
+        ch = self.shared.channel(source, self.rank, tag)
+        try:
+            msg = ch.get(timeout=timeout)
+        except queue.Empty:
+            raise DeadlockError(
+                f"PE {self.rank}: recv(source={source}, tag={tag}) timed out"
+            ) from None
+        self.clock.sync_to(msg.arrival)
+        return msg.payload
+
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
+        """Exchange with a partner PE (both sides call this)."""
+        self.send(obj, peer, tag)
+        return self.recv(peer, tag)
+
+    # -- collectives ------------------------------------------------------
+    def _rendezvous(self, value: Any) -> List[Any]:
+        """All PEs deposit a value, synchronise, and read all values.
+
+        Implements the shared-memory rendezvous under two alternating
+        barriers; also synchronises clocks to ``max + collective_time``.
+        """
+        sh = self.shared
+        sh.slots[self.rank] = value
+        sh.clock_slots[self.rank] = self.clock.time
+        sh.barrier_a.wait(timeout=RECV_TIMEOUT_S)
+        result = list(sh.slots)
+        t = float(sh.clock_slots.max())
+        sh.barrier_b.wait(timeout=RECV_TIMEOUT_S)
+        self.clock.sync_to(t)
+        return result
+
+    def barrier(self) -> None:
+        self._rendezvous(None)
+        self.clock.advance(self.machine.collective_time(self.size, 0))
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        vals = self._rendezvous(obj if self.rank == root else None)
+        out = vals[root]
+        self.clock.advance(
+            self.machine.collective_time(self.size, payload_nbytes(out))
+        )
+        return out
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        vals = self._rendezvous(obj)
+        self.clock.advance(
+            self.machine.collective_time(self.size, payload_nbytes(obj))
+        )
+        return vals if self.rank == root else None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        vals = self._rendezvous(obj)
+        self.clock.advance(
+            self.machine.collective_time(self.size, payload_nbytes(obj))
+        )
+        return vals
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """All-reduce with a binary ``op`` (default: addition)."""
+        vals = self._rendezvous(value)
+        self.clock.advance(
+            self.machine.collective_time(self.size, payload_nbytes(value))
+        )
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = (acc + v) if op is None else op(acc, v)
+        return acc
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        """Personalised all-to-all: ``objs[d]`` goes to PE ``d``."""
+        if len(objs) != self.size:
+            raise ValueError("alltoall needs one payload per PE")
+        vals = self._rendezvous(list(objs))
+        nbytes = max((payload_nbytes(o) for o in objs), default=0)
+        self.clock.advance(
+            self.machine.collective_time(self.size, nbytes) * 2
+        )
+        return [vals[src][self.rank] for src in range(self.size)]
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one SPMD run."""
+
+    results: List[Any]
+    makespan: float            # max over PEs of final simulated time
+    clocks: List[float] = field(default_factory=list)
+    bytes_sent: int = 0
+    messages_sent: int = 0
+
+
+class SimCluster:
+    """Runs SPMD functions on ``p`` virtual PEs.
+
+    >>> cluster = SimCluster(4)
+    >>> def program(comm):
+    ...     return comm.allreduce(comm.rank)
+    >>> cluster.run(program).results
+    [6, 6, 6, 6]
+    """
+
+    def __init__(self, p: int, machine: MachineModel = DEFAULT_MACHINE) -> None:
+        if p < 1:
+            raise ValueError("need at least one PE")
+        self.p = p
+        self.machine = machine
+
+    def run(self, fn: Callable[..., Any], *args, **kwargs) -> ClusterResult:
+        """Execute ``fn(comm, *args, **kwargs)`` on every PE.
+
+        The first PE exception (by rank) is re-raised in the caller after
+        all threads stop.
+        """
+        shared = _Shared(self.p, self.machine)
+        results: List[Any] = [None] * self.p
+        errors: List[Optional[BaseException]] = [None] * self.p
+        comms = [Comm(r, shared) for r in range(self.p)]
+
+        def worker(rank: int) -> None:
+            try:
+                results[rank] = fn(comms[rank], *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors[rank] = exc
+                # release peers stuck in collectives so the run terminates
+                shared.barrier_a.abort()
+                shared.barrier_b.abort()
+
+        if self.p == 1:
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(target=worker, args=(r,), daemon=True)
+                for r in range(self.p)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10 * RECV_TIMEOUT_S)
+        for err in errors:
+            if err is not None and not isinstance(err, threading.BrokenBarrierError):
+                raise err
+        for err in errors:
+            if err is not None:
+                raise err
+        return ClusterResult(
+            results=results,
+            makespan=max(c.clock.time for c in comms),
+            clocks=[c.clock.time for c in comms],
+            bytes_sent=sum(c.bytes_sent for c in comms),
+            messages_sent=sum(c.messages_sent for c in comms),
+        )
+
+
+def run_spmd(p: int, fn: Callable[..., Any], *args,
+             machine: MachineModel = DEFAULT_MACHINE, **kwargs) -> ClusterResult:
+    """Convenience wrapper: ``SimCluster(p).run(fn, *args, **kwargs)``."""
+    return SimCluster(p, machine).run(fn, *args, **kwargs)

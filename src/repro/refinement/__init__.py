@@ -1,0 +1,44 @@
+"""Refinement phase: addressable PQ, gains, 2-way FM with queue-selection
+strategies, boundary bands, pairwise refinement over quotient colorings,
+greedy k-way refinement (baseline), and rebalancing."""
+
+from .pq import AddressablePQ
+from .gain import initial_gains, two_way_boundary, cut_between_sides
+from .fm import FMResult, fm_bipartition_refine, QUEUE_STRATEGIES
+from .band import Band, extract_band
+from .pairwise import (
+    PairResult,
+    refine_pair,
+    pairwise_refinement,
+    pairwise_refinement_spmd,
+)
+from .kway_greedy import greedy_kway_refinement
+from .balance import rebalance
+
+__all__ = [
+    "AddressablePQ",
+    "initial_gains",
+    "two_way_boundary",
+    "cut_between_sides",
+    "FMResult",
+    "fm_bipartition_refine",
+    "QUEUE_STRATEGIES",
+    "Band",
+    "extract_band",
+    "PairResult",
+    "refine_pair",
+    "pairwise_refinement",
+    "pairwise_refinement_spmd",
+    "greedy_kway_refinement",
+    "rebalance",
+]
+
+from .scheduling import SCHEDULES, schedule_rounds, random_local_rounds, coloring_rounds
+
+__all__ += ["SCHEDULES", "schedule_rounds", "random_local_rounds", "coloring_rounds"]
+
+from .maxflow import FlowNetwork, max_flow_min_cut
+from .flow import flow_cut_for_band, flow_refine_pair_sides
+
+__all__ += ["FlowNetwork", "max_flow_min_cut", "flow_cut_for_band",
+            "flow_refine_pair_sides"]

@@ -1,0 +1,258 @@
+"""2-way FM local search (paper Section 5.2; Fiduccia–Mattheyses [10]).
+
+"For each of the two blocks A, B under consideration, a PE keeps a
+priority queue of nodes eligible to move.  The priority is based on the
+gain […].  Each node is moved at most once within a single local search.
+The queues are initialized in random order with the nodes at the partition
+boundary."
+
+Queue-selection strategies (Table 4):
+
+* ``alternating`` — alternate between A and B [10];
+* ``max_load`` — the heavier block gives a node;
+* ``top_gain`` — the queue promising larger gain, *except* that MaxLoad is
+  used when one of the blocks is overloaded (the adopted default);
+* ``top_gain_max_load`` — TopGain with MaxLoad tie-breaking.
+
+"The search is broken when more than α·min{|A|, |B|} nodes have been moved
+without yielding an improvement.  When the search stops, search is rolled
+back to the state with the lexicographically best value of the tuple
+(imbalance, cutValue), where imbalance is
+max(0, max(c(A) − L_max, c(B) − L_max))."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+from .gain import initial_gains, two_way_boundary
+from .pq import AddressablePQ
+
+__all__ = ["FMResult", "fm_bipartition_refine", "QUEUE_STRATEGIES"]
+
+QUEUE_STRATEGIES = ("alternating", "max_load", "top_gain", "top_gain_max_load")
+
+
+@dataclass
+class FMResult:
+    """Outcome of one FM local search between two blocks."""
+
+    side: np.ndarray        # final 0/1 side per node of the search graph
+    gain: float             # total cut reduction kept after rollback
+    moves_applied: int      # moves surviving the rollback
+    moves_tried: int        # all moves attempted before rollback
+    weight_a: float
+    weight_b: float
+
+    @property
+    def improved(self) -> bool:
+        return self.gain > 1e-12
+
+
+def _select_queue(
+    strategy: str,
+    pq: Tuple[AddressablePQ, AddressablePQ],
+    weights: Tuple[float, float],
+    lmax: float,
+    last: int,
+    rng: np.random.Generator,
+) -> Optional[int]:
+    """Pick the side (0 or 1) whose queue gives the next node.
+
+    Returns ``None`` when both queues are empty.  A non-empty fallback is
+    always used when the preferred queue is empty.
+    """
+    e0, e1 = bool(pq[0]), bool(pq[1])
+    if not e0 and not e1:
+        return None
+    if not e0:
+        return 1
+    if not e1:
+        return 0
+
+    heavier = 0 if weights[0] > weights[1] else 1 if weights[1] > weights[0] \
+        else int(rng.integers(0, 2))
+    overloaded = weights[0] > lmax or weights[1] > lmax
+
+    if strategy == "alternating":
+        return 1 - last if last in (0, 1) else int(rng.integers(0, 2))
+    if strategy == "max_load":
+        return heavier
+    g0, g1 = pq[0].peek()[1], pq[1].peek()[1]
+    if strategy == "top_gain":
+        # "TopGain adopts the exception that MaxLoad is used when one of
+        # the blocks is overloaded"
+        if overloaded:
+            return heavier
+        if g0 > g1:
+            return 0
+        if g1 > g0:
+            return 1
+        return int(rng.integers(0, 2))
+    if strategy == "top_gain_max_load":
+        if g0 > g1:
+            return 0
+        if g1 > g0:
+            return 1
+        return heavier
+    raise ValueError(
+        f"unknown queue selection {strategy!r}; choose from {QUEUE_STRATEGIES}"
+    )
+
+
+def fm_bipartition_refine(
+    g: Graph,
+    side: np.ndarray,
+    movable: Optional[np.ndarray] = None,
+    weight_a: Optional[float] = None,
+    weight_b: Optional[float] = None,
+    lmax: Optional[float] = None,
+    alpha: float = 0.05,
+    queue_selection: str = "top_gain",
+    rng: Optional[np.random.Generator] = None,
+    block_sizes: Optional[Tuple[int, int]] = None,
+    lmax_b: Optional[float] = None,
+) -> FMResult:
+    """One FM local search pass between sides 0 and 1 of ``g``.
+
+    Parameters
+    ----------
+    g:
+        The search graph — the two blocks' subgraph, or a boundary band
+        plus its one-hop halo (Section 5.2's band refinement).
+    side:
+        0/1 assignment for every node of ``g`` (halo nodes included).
+    movable:
+        Nodes eligible to move; defaults to all.  Halo nodes of a band
+        must be marked immovable.
+    weight_a, weight_b:
+        *Total* current block weights, including any mass outside ``g``
+        (band mode).  Default: the side weights within ``g``.
+    lmax:
+        Balance limit ``L_max``; default: no limit (both blocks huge).
+    alpha:
+        FM patience: stop after ``α·min(|A|, |B|)`` fruitless moves.
+    block_sizes:
+        Node counts |A|, |B| for the patience bound; defaults to the side
+        counts within ``g`` (in band mode pass the real block sizes).
+    lmax_b:
+        Separate limit for side 1 (recursive bisection splits k unevenly,
+        giving the two sides different targets); defaults to ``lmax``.
+    """
+    if queue_selection not in QUEUE_STRATEGIES:
+        raise ValueError(
+            f"unknown queue selection {queue_selection!r}; "
+            f"choose from {QUEUE_STRATEGIES}"
+        )
+    side = np.asarray(side, dtype=np.int8).copy()
+    if side.shape != (g.n,) or (g.n and not np.isin(side, (0, 1)).all()):
+        raise ValueError("side must be a 0/1 vector of length n")
+    if movable is None:
+        movable = np.ones(g.n, dtype=bool)
+    rng = np.random.default_rng(0) if rng is None else rng
+
+    w = [
+        float(g.vwgt[side == 0].sum()) if weight_a is None else float(weight_a),
+        float(g.vwgt[side == 1].sum()) if weight_b is None else float(weight_b),
+    ]
+    limit_a = float("inf") if lmax is None else float(lmax)
+    limit_b = limit_a if lmax_b is None else float(lmax_b)
+    limits = (limit_a, limit_b)
+    limit = max(limit_a, limit_b)  # queue strategies use the joint limit
+    if block_sizes is None:
+        block_sizes = (int((side == 0).sum()), int((side == 1).sum()))
+    patience = max(1, int(alpha * max(1, min(block_sizes))))
+
+    gains = initial_gains(g, side)
+    boundary = two_way_boundary(g, side)
+    pq = (AddressablePQ(), AddressablePQ())
+    for v in boundary:
+        v = int(v)
+        if movable[v]:
+            # random tiebreak realises the "initialized in random order"
+            pq[side[v]].push(v, float(gains[v]), float(rng.random()))
+
+    locked = np.zeros(g.n, dtype=bool)
+
+    def imbalance() -> float:
+        return max(0.0, w[0] - limits[0], w[1] - limits[1])
+
+    # lexicographic best over (imbalance, cut): cut tracked as -total_gain
+    total_gain = 0.0
+    best_key = (imbalance(), 0.0)
+    best_prefix = 0
+    log: List[int] = []  # moved nodes in order
+    fruitless = 0
+    last_side = -1
+
+    while fruitless <= patience:
+        s = _select_queue("alternating" if queue_selection == "alternating"
+                          else queue_selection, pq, (w[0], w[1]), limit,
+                          last_side, rng)
+        if s is None:
+            break
+        v, gain_v = pq[s].pop()
+        t = 1 - s
+        cv = float(g.vwgt[v])
+        # admissibility: never overload the target unless the move still
+        # strictly improves the balance of an already-overloaded pair
+        if w[t] + cv > limits[t] and not (
+            w[t] + cv - limits[t] < w[s] - limits[s]
+        ):
+            locked[v] = True  # popped nodes are locked (standard FM)
+            continue
+
+        # apply the move
+        side[v] = t
+        w[s] -= cv
+        w[t] += cv
+        locked[v] = True
+        total_gain += gain_v
+        log.append(v)
+        last_side = s
+
+        # update neighbour gains
+        lo, hi = g.xadj[v], g.xadj[v + 1]
+        for u, wuv in zip(g.adjncy[lo:hi], g.adjwgt[lo:hi]):
+            u = int(u)
+            if locked[u] or not movable[u]:
+                continue
+            if side[u] == s:
+                gains[u] += 2.0 * wuv   # edge became external for u
+            else:
+                gains[u] -= 2.0 * wuv   # edge became internal for u
+            q = pq[side[u]]
+            if u in q:
+                q.update(u, float(gains[u]))
+            elif side[u] == s:
+                # u just became a boundary node
+                q.push(u, float(gains[u]), float(rng.random()))
+
+        key = (imbalance(), -total_gain)
+        if key < best_key:
+            best_key = key
+            best_prefix = len(log)
+            fruitless = 0
+        else:
+            fruitless += 1
+
+    # rollback to the lexicographically best prefix
+    for v in log[best_prefix:]:
+        s = int(side[v])
+        side[v] = 1 - s
+        cv = float(g.vwgt[v])
+        w[s] -= cv
+        w[1 - s] += cv
+
+    return FMResult(
+        side=side,
+        gain=-best_key[1],
+        moves_applied=best_prefix,
+        moves_tried=len(log),
+        weight_a=w[0],
+        weight_b=w[1],
+    )

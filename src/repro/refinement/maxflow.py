@@ -1,0 +1,142 @@
+"""Maximum s–t flow / minimum cut (Dinic's algorithm).
+
+Substrate for the flow-based pair refinement the paper proposes as future
+work (Section 8: "Other refinement algorithms, e.g., based on flows or
+diffusion could be tried within our framework of pairwise refinement").
+Implemented from scratch on an adjacency-list residual network; returns
+both the max-flow value and the source-side minimum cut.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FlowNetwork", "max_flow_min_cut"]
+
+
+class FlowNetwork:
+    """A directed flow network with residual bookkeeping.
+
+    Edges are stored as parallel arrays; ``add_edge`` creates the forward
+    arc and its residual reverse arc at odd/even paired indices, the
+    standard Dinic layout.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("network needs at least one node")
+        self.n = n
+        self.head: List[List[int]] = [[] for _ in range(n)]
+        self.to: List[int] = []
+        self.cap: List[float] = []
+
+    def add_edge(self, u: int, v: int, capacity: float,
+                 rev_capacity: float = 0.0) -> None:
+        """Add arc u→v with ``capacity`` (and v→u with ``rev_capacity``,
+        making undirected edges easy: pass the same value twice)."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError("endpoint out of range")
+        if capacity < 0 or rev_capacity < 0:
+            raise ValueError("capacities must be non-negative")
+        self.head[u].append(len(self.to))
+        self.to.append(v)
+        self.cap.append(float(capacity))
+        self.head[v].append(len(self.to))
+        self.to.append(u)
+        self.cap.append(float(rev_capacity))
+
+    # ------------------------------------------------------------------
+    def _bfs_levels(self, s: int, t: int) -> Optional[np.ndarray]:
+        level = np.full(self.n, -1, dtype=np.int64)
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for ei in self.head[u]:
+                v = self.to[ei]
+                if self.cap[ei] > 1e-12 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level if level[t] >= 0 else None
+
+    def _dfs_blocking(self, s: int, t: int, level: np.ndarray) -> float:
+        """Iterative blocking-flow DFS with the current-arc optimisation."""
+        it = [0] * self.n
+        total = 0.0
+        while True:
+            # find one augmenting path
+            path: List[int] = []
+            u = s
+            while u != t:
+                advanced = False
+                while it[u] < len(self.head[u]):
+                    ei = self.head[u][it[u]]
+                    v = self.to[ei]
+                    if self.cap[ei] > 1e-12 and level[v] == level[u] + 1:
+                        path.append(ei)
+                        u = v
+                        advanced = True
+                        break
+                    it[u] += 1
+                if not advanced:
+                    if u == s:
+                        return total  # blocking flow complete
+                    # retreat: dead-end node; pop the arc leading here
+                    level[u] = -1
+                    ei = path.pop()
+                    u = self.to[ei ^ 1]
+                    it[u] += 1
+            bottleneck = min(self.cap[ei] for ei in path)
+            for ei in path:
+                self.cap[ei] -= bottleneck
+                self.cap[ei ^ 1] += bottleneck
+            total += bottleneck
+
+    def max_flow(self, s: int, t: int) -> float:
+        """Run Dinic; mutates the residual capacities."""
+        if s == t:
+            raise ValueError("source equals sink")
+        flow = 0.0
+        while True:
+            level = self._bfs_levels(s, t)
+            if level is None:
+                return flow
+            flow += self._dfs_blocking(s, t, level)
+
+    def min_cut_side(self, s: int) -> np.ndarray:
+        """After :meth:`max_flow`: the source side of the minimum cut
+        (nodes reachable from ``s`` in the residual network)."""
+        side = np.zeros(self.n, dtype=bool)
+        side[s] = True
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for ei in self.head[u]:
+                v = self.to[ei]
+                if self.cap[ei] > 1e-12 and not side[v]:
+                    side[v] = True
+                    queue.append(v)
+        return side
+
+
+def max_flow_min_cut(
+    n: int,
+    edges: Sequence[Tuple[int, int, float]],
+    s: int,
+    t: int,
+    directed: bool = False,
+) -> Tuple[float, np.ndarray]:
+    """Convenience wrapper: returns ``(flow_value, source_side_mask)``.
+
+    ``edges`` are ``(u, v, capacity)``; undirected by default (capacity in
+    both directions), so the cut is a standard undirected min s–t cut.
+    """
+    net = FlowNetwork(n)
+    for u, v, c in edges:
+        net.add_edge(int(u), int(v), float(c),
+                     0.0 if directed else float(c))
+    value = net.max_flow(s, t)
+    return value, net.min_cut_side(s)

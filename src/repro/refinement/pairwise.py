@@ -1,0 +1,348 @@
+"""Pairwise refinement over the quotient graph (paper Section 5).
+
+"At any time, each PE may work on one pair of neighboring blocks
+performing a local search constrained to moving nodes between these two
+blocks. […] We use matchings of Q to define with which neighbor in Q a PE
+is working at a particular point in time.  If {u, v} is in the matching,
+both corresponding PEs will refine the partitions u and v using different
+seeds for their random number generator.  After the local search is
+finished, the better partitioning of the two blocks is adopted. […] A
+local iteration repeats this local search.  A global iteration iterates
+over the colors of an edge coloring.  The loops terminate when either no
+improvement was found (in strong variants: when no improvement was found
+twice in a row) or when a preset maximum number of iterations is
+exceeded."
+
+Two drivers share the :func:`refine_pair` kernel:
+
+* :func:`pairwise_refinement` — deterministic sequential execution;
+* :func:`pairwise_refinement_spmd` — virtual PEs on a simulated cluster
+  (one block per PE, or several when k > P), with real band exchange
+  between partners.
+
+With the distributed coloring selected on the sequential side, both
+drivers produce identical partitions for identical seeds, for any PE
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.quotient import quotient_graph
+from ..core import metrics
+from ..parallel.coloring import (
+    coloring_to_matchings,
+    distributed_edge_coloring_spmd,
+    greedy_edge_coloring,
+)
+from .band import extract_band
+from .fm import fm_bipartition_refine
+
+__all__ = ["PairResult", "refine_pair", "pairwise_refinement",
+           "pairwise_refinement_spmd"]
+
+
+@dataclass
+class PairResult:
+    """Outcome of refining one block pair."""
+
+    gain: float
+    imbalance_delta: float
+    changed: List[Tuple[int, int]]  # (node, new block)
+    band_nodes: int
+    boundary: int
+
+
+def refine_pair(
+    g: Graph,
+    part: np.ndarray,
+    block_w: np.ndarray,
+    a: int,
+    b: int,
+    lmax: float,
+    depth: int,
+    alpha: float,
+    queue_selection: str,
+    seed_a: int,
+    seed_b: int,
+    block_sizes: Tuple[int, int],
+    algorithm: str = "fm",
+) -> PairResult:
+    """Refine the pair (a, b): extract the band, run the local searches,
+    and adopt the best result.  ``part`` and ``block_w`` are updated in
+    place.
+
+    ``algorithm`` selects the pair-local search: ``"fm"`` (the paper's
+    two seeded FM runs), ``"flow"`` (the Section 8 min-cut-through-the-
+    band refiner), or ``"fm_flow"`` (all three candidates compete).
+    """
+    if algorithm not in ("fm", "flow", "fm_flow"):
+        raise ValueError(f"unknown pair refinement algorithm {algorithm!r}")
+    band, _ = extract_band(g, part, a, b, depth)
+    if band.graph.n == 0 or band.graph.m == 0 or not band.movable.any():
+        return PairResult(0.0, 0.0, [], 0, band.n_boundary)
+
+    wa, wb = float(block_w[a]), float(block_w[b])
+    before_imb = max(0.0, max(wa, wb) - lmax)
+
+    candidates = []
+    if algorithm in ("fm", "fm_flow"):
+        for seed in (seed_a, seed_b):
+            res = fm_bipartition_refine(
+                band.graph,
+                band.side,
+                movable=band.movable,
+                weight_a=wa,
+                weight_b=wb,
+                lmax=lmax,
+                alpha=alpha,
+                queue_selection=queue_selection,
+                rng=np.random.default_rng(seed),
+                block_sizes=block_sizes,
+            )
+            after_imb = max(0.0, max(res.weight_a, res.weight_b) - lmax)
+            candidates.append(((after_imb, -res.gain), res.side))
+    if algorithm in ("flow", "fm_flow"):
+        from .flow import flow_cut_for_band
+        from .gain import cut_between_sides
+
+        flow_res = flow_cut_for_band(band)
+        if flow_res is not None:
+            value, flow_side = flow_res
+            cut_before = cut_between_sides(band.graph, band.side)
+            moved_mask = band.movable & (flow_side != band.side)
+            delta = g.vwgt[band.smap.to_parent[moved_mask]]
+            to_b = flow_side[moved_mask] == 1
+            fwa = wa - float(delta[to_b].sum()) + float(delta[~to_b].sum())
+            fwb = wb + float(delta[to_b].sum()) - float(delta[~to_b].sum())
+            after_imb = max(0.0, max(fwa, fwb) - lmax)
+            candidates.append(((after_imb, value - cut_before), flow_side))
+    if not candidates:
+        return PairResult(0.0, 0.0, [], band.graph.n, band.n_boundary)
+    key, winner_side = min(candidates, key=lambda kr: tuple(kr[0]))
+    if key >= (before_imb, 0.0):
+        return PairResult(0.0, 0.0, [], band.graph.n, band.n_boundary)
+
+    changed: List[Tuple[int, int]] = []
+    flipped = np.nonzero(band.movable & (winner_side != band.side))[0]
+    for i in flipped:
+        v = int(band.smap.to_parent[i])
+        new_block = b if winner_side[i] == 1 else a
+        changed.append((v, new_block))
+        block_w[part[v]] -= g.vwgt[v]
+        block_w[new_block] += g.vwgt[v]
+        part[v] = new_block
+    return PairResult(
+        gain=-key[1],
+        imbalance_delta=key[0] - before_imb,
+        changed=changed,
+        band_nodes=band.graph.n,
+        boundary=band.n_boundary,
+    )
+
+
+def _pair_seed(seed: int, git: int, lit: int, a: int, b: int, who: int) -> int:
+    """Canonical per-search seed so the sequential and SPMD drivers make
+    identical random decisions."""
+    return hash((seed, git, lit, a, b, who)) & 0x7FFFFFFF
+
+
+def pairwise_refinement(
+    g: Graph,
+    part: np.ndarray,
+    k: int,
+    epsilon: float = 0.03,
+    bfs_depth: int = 5,
+    alpha: float = 0.05,
+    queue_selection: str = "top_gain",
+    local_iterations: int = 3,
+    max_global_iterations: int = 15,
+    stop_rule: str = "no_change",
+    seed: int = 0,
+    coloring: str = "greedy",
+    matching_selection: str = "edge_coloring",
+    pair_algorithm: str = "fm",
+) -> np.ndarray:
+    """Sequential driver: iterate over the rounds of a pair schedule of
+    Q, refining every pair.  Returns the refined partition vector.
+
+    ``matching_selection`` picks the Section 5.1 strategy:
+    ``"edge_coloring"`` (the adopted default) or ``"random_local"``.
+    For the coloring strategy, ``coloring="greedy"`` uses the fast
+    sequential coloring while ``coloring="distributed"`` runs the
+    distributed algorithm (on a simulated cluster), which makes this
+    driver bit-identical to :func:`pairwise_refinement_spmd` for the same
+    seed.
+    """
+    if coloring not in ("greedy", "distributed"):
+        raise ValueError(f"unknown coloring mode {coloring!r}")
+    from .scheduling import SCHEDULES, random_local_rounds
+
+    if matching_selection not in SCHEDULES:
+        raise ValueError(
+            f"unknown matching selection {matching_selection!r}; "
+            f"choose from {SCHEDULES}"
+        )
+    part = np.asarray(part, dtype=np.int64).copy()
+    lmax = metrics.lmax(g, k, epsilon)
+    block_w = metrics.block_weights(g, part, k)
+
+    no_change_streak = 0
+    for git in range(max_global_iterations):
+        q = quotient_graph(g, part, k)
+        if q.m == 0:
+            break
+        if matching_selection == "random_local":
+            rounds = random_local_rounds(q, seed=seed + git)
+        elif coloring == "distributed":
+            from ..parallel.coloring import distributed_edge_coloring
+
+            colors = distributed_edge_coloring(q, seed=seed + git)
+            rounds = coloring_to_matchings(colors)
+        else:
+            rounds = coloring_to_matchings(
+                greedy_edge_coloring(q, seed=seed + git)
+            )
+        total_gain = 0.0
+        total_moved = 0
+        for matching in rounds:
+            for a, b in matching:
+                sizes = (int((part == a).sum()), int((part == b).sum()))
+                for lit in range(local_iterations):
+                    pr = refine_pair(
+                        g, part, block_w, a, b, lmax, bfs_depth, alpha,
+                        queue_selection,
+                        _pair_seed(seed, git, lit, a, b, 0),
+                        _pair_seed(seed, git, lit, a, b, 1),
+                        sizes,
+                        algorithm=pair_algorithm,
+                    )
+                    total_gain += pr.gain
+                    total_moved += len(pr.changed)
+                    if not pr.changed:
+                        break
+        if stop_rule == "always":
+            break
+        if total_gain <= 1e-12 and total_moved == 0:
+            no_change_streak += 1
+            needed = 2 if stop_rule == "twice_no_change" else 1
+            if no_change_streak >= needed:
+                break
+        else:
+            no_change_streak = 0
+    return part
+
+
+def pairwise_refinement_spmd(
+    comm,
+    g: Graph,
+    part_in: np.ndarray,
+    epsilon: float = 0.03,
+    bfs_depth: int = 5,
+    alpha: float = 0.05,
+    queue_selection: str = "top_gain",
+    local_iterations: int = 3,
+    max_global_iterations: int = 15,
+    stop_rule: str = "no_change",
+    seed: int = 0,
+    k: Optional[int] = None,
+    pair_algorithm: str = "fm",
+) -> np.ndarray:
+    """SPMD driver: PE ``comm.rank`` is responsible for blocks
+    ``rank, rank + P, …`` (one block per PE when ``comm.size == k``, the
+    paper's setting; several per PE for the k > P generalisation of
+    Section 8).
+
+    Per color class, the owners of a matched block pair exchange their
+    boundary bands (charged to the simulated clock), both run FM with the
+    pair's two seeds, and the better result is adopted — the paper's
+    protocol.  After each color, the node moves are shared so every PE
+    holds a consistent partition.  Returns the refined partition
+    (identical on every PE, and identical to :func:`pairwise_refinement`
+    with ``coloring="distributed"`` for the same seed, for *any* PE
+    count).
+    """
+    k = comm.size if k is None else int(k)
+    if comm.size > k:
+        raise ValueError("more PEs than blocks (k < P is future work)")
+    p = comm.size
+    part = np.asarray(part_in, dtype=np.int64).copy()
+    lmax = metrics.lmax(g, k, epsilon)
+    block_w = metrics.block_weights(g, part, k)
+
+    def owner(block: int) -> int:
+        return block % p
+
+    no_change_streak = 0
+    for git in range(max_global_iterations):
+        q = quotient_graph(g, part, k)
+        if q.m == 0:
+            break
+        my_colors = distributed_edge_coloring_spmd(comm, q, seed=seed + git)
+        # PEs need the global color count to iterate the same classes
+        n_colors = comm.allreduce(
+            max(my_colors.values()) + 1 if my_colors else 0, op=max
+        )
+        total_gain = 0.0
+        total_moved = 0
+        for color in range(n_colors):
+            # pairs of this color with an endpoint block owned here,
+            # processed in ascending order on every involved PE (buffered
+            # sends make the interleaved exchanges deadlock-free)
+            mine = sorted(e for e, c in my_colors.items() if c == color)
+            updates: List[Tuple[int, int]] = []
+            for a, b in mine:
+                partner = owner(b) if owner(a) == comm.rank else owner(a)
+                sizes = (int((part == a).sum()), int((part == b).sum()))
+                for lit in range(local_iterations):
+                    # exchange boundary bands (the communication the cost
+                    # model must see — Figure 2's boundary exchange)
+                    band, _ = extract_band(g, part, a, b, bfs_depth)
+                    payload = (
+                        band.graph.xadj, band.graph.adjncy,
+                        band.graph.adjwgt, band.smap.to_parent,
+                    )
+                    if partner != comm.rank:
+                        comm.sendrecv(payload, partner, tag=100 + lit)
+                    comm.compute(band.graph.m)
+                    # both owners perform both seeded searches and adopt
+                    # the same better result (deterministic agreement)
+                    pr = refine_pair(
+                        g, part, block_w, a, b, lmax, bfs_depth, alpha,
+                        queue_selection,
+                        _pair_seed(seed, git, lit, a, b, 0),
+                        _pair_seed(seed, git, lit, a, b, 1),
+                        sizes,
+                        algorithm=pair_algorithm,
+                    )
+                    if comm.rank == owner(a):  # count each pair once
+                        updates.extend(pr.changed)
+                        total_gain += pr.gain
+                    if not pr.changed:
+                        break
+            # share moves of this color class with all PEs
+            all_updates = comm.allgather(updates)
+            for lst in all_updates:
+                for v, nb in lst:
+                    if part[v] != nb:
+                        block_w[part[v]] -= g.vwgt[v]
+                        block_w[nb] += g.vwgt[v]
+                        part[v] = nb
+            total_moved += sum(len(lst) for lst in all_updates)
+        if stop_rule == "always":
+            break
+        round_gain = comm.allreduce(total_gain)
+        round_moved = comm.allreduce(total_moved)
+        if round_gain <= 1e-12 and round_moved == 0:
+            no_change_streak += 1
+            needed = 2 if stop_rule == "twice_no_change" else 1
+            if no_change_streak >= needed:
+                break
+        else:
+            no_change_streak = 0
+    return part

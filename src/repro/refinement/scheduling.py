@@ -1,0 +1,74 @@
+"""Pair-scheduling strategies for pairwise refinement (paper Section 5.1).
+
+"We have implemented two strategies.  One finds edges of Q not yet used
+for local search in a randomized local way.  The other steps through the
+colors of an edge coloring of the quotient graph Q. […] We only describe
+the latter one here since it performs slightly better in our experiments."
+
+This module provides both: the edge-coloring schedule (via
+:mod:`repro.parallel.coloring`) and the randomized-local schedule — per
+round, a random maximal matching of the not-yet-used quotient edges, so
+every edge of Q is still used exactly once per global iteration but
+without the global structure (or quality) of a proper coloring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..parallel.coloring import coloring_to_matchings, greedy_edge_coloring
+
+__all__ = ["SCHEDULES", "schedule_rounds", "random_local_rounds",
+           "coloring_rounds"]
+
+Edge = Tuple[int, int]
+
+SCHEDULES = ("edge_coloring", "random_local")
+
+
+def coloring_rounds(q: Graph, seed: int = 0) -> List[List[Edge]]:
+    """The default schedule: the color classes of a greedy edge coloring."""
+    return coloring_to_matchings(greedy_edge_coloring(q, seed=seed))
+
+
+def random_local_rounds(q: Graph, seed: int = 0) -> List[List[Edge]]:
+    """The paper's first strategy: repeatedly draw a random maximal
+    matching among the unused quotient edges until every edge is used.
+
+    Each PE grabs a random free neighbour; without the coloring's global
+    coordination the number of rounds is typically larger and the pairing
+    pattern less balanced — which is why the paper prefers the coloring.
+    """
+    rng = np.random.default_rng(seed)
+    us, vs, _ = q.edge_array()
+    unused = list(zip(us.tolist(), vs.tolist()))
+    rounds: List[List[Edge]] = []
+    while unused:
+        order = rng.permutation(len(unused))
+        taken_blocks = set()
+        this_round: List[Edge] = []
+        rest: List[Edge] = []
+        for idx in order:
+            a, b = unused[idx]
+            if a in taken_blocks or b in taken_blocks:
+                rest.append((a, b))
+            else:
+                taken_blocks.update((a, b))
+                this_round.append((a, b))
+        rounds.append(sorted(this_round))
+        unused = rest
+    return rounds
+
+
+def schedule_rounds(q: Graph, strategy: str, seed: int = 0) -> List[List[Edge]]:
+    """Dispatch on the matching-selection strategy name."""
+    if strategy == "edge_coloring":
+        return coloring_rounds(q, seed)
+    if strategy == "random_local":
+        return random_local_rounds(q, seed)
+    raise ValueError(
+        f"unknown matching selection {strategy!r}; choose from {SCHEDULES}"
+    )

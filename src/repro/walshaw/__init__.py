@@ -1,0 +1,22 @@
+"""The Walshaw-benchmark protocol (paper Section 6.3): best-known-cuts
+archive and the strengthened three-ratings strategy."""
+
+from .archive import Archive, ArchiveEntry
+from .evolution import combine, evolve
+from .runner import (
+    RATING_MARKS,
+    WALSHAW_RATINGS,
+    WalshawResult,
+    walshaw_best,
+)
+
+__all__ = [
+    "Archive",
+    "combine",
+    "evolve",
+    "ArchiveEntry",
+    "RATING_MARKS",
+    "WALSHAW_RATINGS",
+    "WalshawResult",
+    "walshaw_best",
+]

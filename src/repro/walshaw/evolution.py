@@ -1,0 +1,155 @@
+"""Evolutionary combination of partitions (paper Section 8 outlook).
+
+"Perhaps this could be changed by combining KaPPa with evolutionary
+techniques such as [24].  For large k we expect evolutionary methods to be
+superior to plain restarts that then have trouble exploring a sufficient
+part of the solution space."
+
+This module implements the classic combine operator the follow-on work
+(Soper et al. [24], later KaFFPaE) is built on: to cross two parent
+partitions, rerun the multilevel scheme while **forbidding the contraction
+of any edge cut by either parent**.  Every coarse node then lies entirely
+inside one block of each parent, so the better parent projects losslessly
+onto the coarsest graph and refinement starts from it; with the final
+elitism guard the offspring is never worse than its better parent, but
+can inherit complementary cut structure from both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..coarsening.contract import contract_matching
+from ..coarsening.hierarchy import Hierarchy, contraction_threshold
+from ..coarsening.matching.registry import MATCHERS
+from ..coarsening.ratings import rate_edges
+from ..core import metrics
+from ..core.config import WALSHAW, KappaConfig
+from ..core.partitioner import KappaPartitioner
+from ..refinement.pairwise import pairwise_refinement
+
+__all__ = ["combine", "evolve"]
+
+
+def combine(
+    g: Graph,
+    part1: np.ndarray,
+    part2: np.ndarray,
+    k: int,
+    epsilon: float = 0.03,
+    config: Optional[KappaConfig] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Cross two partitions: multilevel run that never contracts an edge
+    cut by either parent; the better parent seeds the coarsest level."""
+    cfg = WALSHAW if config is None else config
+    part1 = np.asarray(part1, dtype=np.int64)
+    part2 = np.asarray(part2, dtype=np.int64)
+
+    # signature per node, updated as the hierarchy is built
+    signatures: List[np.ndarray] = [
+        np.stack([part1, part2], axis=1)
+    ]
+
+    def forbidden(level: int, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        sig = signatures[level]
+        return (sig[us] != sig[vs]).any(axis=1)
+
+    # build hierarchy, maintaining signatures level by level
+    hierarchy = Hierarchy(graphs=[g])
+    threshold = contraction_threshold(g.n, k, cfg.contraction_alpha,
+                                      cfg.contraction_min_nodes)
+    current = g
+    for level in range(cfg.max_levels):
+        if current.n <= threshold or current.m == 0:
+            break
+        us, vs, ws, scores = rate_edges(current, cfg.rating)
+        allowed = ~forbidden(level, us, vs)
+        if not allowed.any():
+            break
+        rng = np.random.default_rng((seed, level))
+        matcher = MATCHERS[cfg.matching]
+        m = matcher(current, scores[allowed], us[allowed], vs[allowed], rng)
+        coarse, cmap = contract_matching(current, m)
+        if coarse.n > 0.97 * current.n:
+            break
+        sig = signatures[level]
+        coarse_sig = np.zeros((coarse.n, 2), dtype=np.int64)
+        coarse_sig[cmap] = sig  # all constituents share the signature
+        signatures.append(coarse_sig)
+        hierarchy.graphs.append(coarse)
+        hierarchy.maps.append(cmap)
+        current = coarse
+
+    # the better feasible parent, projected to the coarsest level: valid
+    # because no contracted edge crossed either parent's cut
+    def score(p):
+        w = metrics.block_weights(g, p, k)
+        return (metrics.imbalance_penalty(w, metrics.lmax(g, k, epsilon)),
+                metrics.cut_value(g, p))
+
+    better = part1 if score(part1) <= score(part2) else part2
+    coarse_part = signatures[-1][:, 0 if better is part1 else 1]
+
+    part = coarse_part
+    for level in range(hierarchy.depth - 1, 0, -1):
+        part = hierarchy.project(part, level)
+        part = pairwise_refinement(
+            hierarchy.graphs[level - 1], part, k,
+            epsilon=epsilon,
+            bfs_depth=cfg.bfs_band_depth,
+            alpha=cfg.fm_alpha,
+            queue_selection=cfg.queue_selection,
+            local_iterations=cfg.local_iterations,
+            max_global_iterations=cfg.max_global_iterations,
+            stop_rule=cfg.stop_rule,
+            seed=seed + level,
+        )
+    if hierarchy.depth == 1:
+        part = pairwise_refinement(g, part.copy(), k, epsilon=epsilon,
+                                   seed=seed)
+    # elitism guard: the L_max slack term (+max c(v)) shrinks while
+    # uncoarsening, so a coarse-level gain can be traded back for balance
+    # at finer levels — keep the better parent if that happened
+    return part if score(part) <= score(better) else better.copy()
+
+
+def evolve(
+    g: Graph,
+    k: int,
+    epsilon: float = 0.03,
+    population: int = 4,
+    generations: int = 4,
+    config: Optional[KappaConfig] = None,
+    seed: int = 0,
+) -> Tuple[np.ndarray, float]:
+    """A small steady-state evolutionary loop over the combine operator.
+
+    Returns ``(best_partition, best_cut)``.  Initial individuals are
+    independent KaPPa runs; each generation crosses two random parents and
+    replaces the worst individual when the offspring improves on it.
+    """
+    cfg = WALSHAW if config is None else config
+    rng = np.random.default_rng(seed)
+    solver = KappaPartitioner(cfg.derive(epsilon=epsilon))
+    pool: List[Tuple[float, np.ndarray]] = []
+    for i in range(population):
+        res = solver.partition(g, k, seed=seed + 7919 * i)
+        pool.append((res.cut, res.partition.part))
+    pool.sort(key=lambda t: t[0])
+
+    for gen in range(generations):
+        i, j = rng.choice(population, size=2, replace=False)
+        child = combine(g, pool[i][1], pool[j][1], k, epsilon, cfg,
+                        seed=seed + 1000 + gen)
+        child_cut = metrics.cut_value(g, child)
+        if metrics.is_balanced(g, child, k, epsilon) and \
+                child_cut < pool[-1][0]:
+            pool[-1] = (child_cut, child)
+            pool.sort(key=lambda t: t[0])
+    return pool[0][1], pool[0][0]
+

@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    batched_kway_round,
+    metis_like_partition,
+    parmetis_like_partition,
+    scotch_like_partition,
+)
+from repro.core import FAST, STRONG, metrics, partition_graph
+from repro.generators import delaunay_graph, random_geometric_graph
+from repro.graph import validate_partition
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return delaunay_graph(900, seed=11)
+
+
+class TestMetisLike:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_feasible(self, mesh, k):
+        res = metis_like_partition(mesh, k, seed=1)
+        validate_partition(mesh, res.partition.part, k, epsilon=0.03)
+
+    def test_deterministic(self, mesh):
+        a = metis_like_partition(mesh, 4, seed=2)
+        b = metis_like_partition(mesh, 4, seed=2)
+        assert np.array_equal(a.partition.part, b.partition.part)
+
+    def test_invalid_k(self, mesh):
+        with pytest.raises(ValueError):
+            metis_like_partition(mesh, 0)
+
+    def test_reasonable_quality(self, mesh):
+        res = metis_like_partition(mesh, 4, seed=1)
+        naive = np.minimum(np.arange(mesh.n) * 4 // mesh.n, 3)
+        assert res.cut < metrics.cut_value(mesh, naive)
+
+
+class TestScotchLike:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8])
+    def test_feasible(self, mesh, k):
+        res = scotch_like_partition(mesh, k, seed=1)
+        validate_partition(mesh, res.partition.part, k, epsilon=0.03)
+
+    def test_all_blocks_used(self, mesh):
+        res = scotch_like_partition(mesh, 8, seed=1)
+        assert set(np.unique(res.partition.part)) == set(range(8))
+
+    def test_invalid_k(self, mesh):
+        with pytest.raises(ValueError):
+            scotch_like_partition(mesh, 0)
+
+
+class TestParmetisLike:
+    def test_runs_and_reports_sim_time(self, mesh):
+        res = parmetis_like_partition(mesh, 4, seed=1)
+        validate_partition(mesh, res.partition.part, 4)  # structure only
+        assert res.sim_time_s is not None and res.sim_time_s > 0
+
+    def test_balance_can_exceed_constraint(self, mesh):
+        # parMetis ships slightly infeasible partitions (Tables 16-20):
+        # we only require the overshoot stays within the modelled slack
+        res = parmetis_like_partition(mesh, 8, seed=1)
+        lmax = metrics.lmax(mesh, 8, 0.03)
+        assert res.partition.block_weights.max() <= 1.06 * lmax
+
+    def test_sim_time_u_shape(self, mesh):
+        """The Figure 3 mechanism: more PEs help until the O(P) all-to-all
+        startup dominates, then simulated time grows again."""
+        times = {
+            p: parmetis_like_partition(mesh, 8, seed=1, n_pes=p).sim_time_s
+            for p in (1, 8, 1024)
+        }
+        assert times[8] < times[1]          # parallelism helps at first
+        assert times[1024] > times[8]       # then overhead dominates
+
+    def test_batched_round_moves_stale(self):
+        g = delaunay_graph(300, seed=3)
+        rng = np.random.default_rng(0)
+        part = rng.integers(0, 3, g.n)
+        cut0 = metrics.cut_value(g, part)
+        batched_kway_round(g, part, 3, metrics.lmax(g, 3, 0.03),
+                           np.random.default_rng(1))
+        # stale gains usually still help from a random start
+        assert metrics.cut_value(g, part) < cut0
+
+    def test_invalid_k(self, mesh):
+        with pytest.raises(ValueError):
+            parmetis_like_partition(mesh, 0)
+
+
+class TestComparisonShape:
+    """The paper's headline comparison (Table 4 right): KaPPa wins on cut,
+    the Metis family wins on speed, parMetis violates balance."""
+
+    def test_quality_ordering(self):
+        g = delaunay_graph(1500, seed=13)
+        k = 8
+        kappa = partition_graph(g, k, config=STRONG, seed=1).cut
+        metis = metis_like_partition(g, k, seed=1).cut
+        parmetis = parmetis_like_partition(g, k, seed=1).cut
+        assert kappa < metis
+        assert kappa < parmetis
+
+    def test_metis_faster_than_kappa(self):
+        g = delaunay_graph(1500, seed=13)
+        kappa = partition_graph(g, 8, config=STRONG, seed=1)
+        metis = metis_like_partition(g, 8, seed=1)
+        assert metis.time_s < kappa.time_s

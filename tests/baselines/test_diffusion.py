@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.baselines import diffusion_partition
+from repro.core import metrics
+from repro.generators import delaunay_graph, random_geometric_graph
+from repro.graph import grid2d_graph, validate_partition
+
+
+class TestDiffusionPartition:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_feasible(self, k):
+        g = delaunay_graph(600, seed=3)
+        res = diffusion_partition(g, k, seed=1)
+        validate_partition(g, res.partition.part, k, epsilon=0.03)
+
+    def test_deterministic(self):
+        g = delaunay_graph(400, seed=4)
+        a = diffusion_partition(g, 4, seed=7)
+        b = diffusion_partition(g, 4, seed=7)
+        assert np.array_equal(a.partition.part, b.partition.part)
+
+    def test_k1(self):
+        g = grid2d_graph(5, 5)
+        res = diffusion_partition(g, 1)
+        assert res.cut == 0.0
+
+    def test_invalid_k(self):
+        g = grid2d_graph(3, 3)
+        with pytest.raises(ValueError):
+            diffusion_partition(g, 0)
+
+    def test_blocks_are_contiguous_on_meshes(self):
+        """Diffusion's selling point: smooth, connected block shapes."""
+        from repro.graph import induced_subgraph
+
+        g = grid2d_graph(12, 12)
+        res = diffusion_partition(g, 4, seed=2)
+        part = res.partition.part
+        connected = 0
+        for b in range(4):
+            nodes = np.nonzero(part == b)[0]
+            if len(nodes) == 0:
+                continue
+            sub, _ = induced_subgraph(g, nodes)
+            if sub.is_connected():
+                connected += 1
+        assert connected >= 3  # at most one fragmented block
+
+    def test_quality_better_than_random(self):
+        g = random_geometric_graph(800, seed=5)
+        res = diffusion_partition(g, 4, seed=1)
+        rand = np.random.default_rng(0).integers(0, 4, g.n)
+        assert res.cut < 0.6 * metrics.cut_value(g, rand)
+
+    def test_all_blocks_populated(self):
+        g = delaunay_graph(500, seed=6)
+        res = diffusion_partition(g, 6, seed=3)
+        assert len(np.unique(res.partition.part)) == 6

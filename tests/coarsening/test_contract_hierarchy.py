@@ -1,0 +1,149 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coarsening import (
+    coarsen,
+    contract_matching,
+    contraction_threshold,
+    dispatch,
+    project_partition,
+)
+from repro.core import metrics
+from repro.generators import random_geometric_graph
+from repro.graph import from_edge_list, path_graph, validate_graph
+from tests.conftest import random_graphs
+
+
+class TestContract:
+    def test_contract_single_pair(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)], weights=[2.0, 3.0])
+        m = np.array([1, 0, 2])
+        coarse, cmap = contract_matching(g, m)
+        assert coarse.n == 2
+        assert coarse.m == 1
+        # node {0,1} has weight 2, edge to node {2} keeps weight 3
+        assert np.allclose(sorted(coarse.vwgt), [1.0, 2.0])
+        assert coarse.total_edge_weight() == 3.0
+        assert cmap[0] == cmap[1] != cmap[2]
+
+    def test_parallel_edges_merged(self):
+        # triangle: contracting (0,1) merges the two edges to 2
+        g = from_edge_list(3, [(0, 1), (1, 2), (0, 2)], weights=[1.0, 4.0, 6.0])
+        coarse, cmap = contract_matching(g, np.array([1, 0, 2]))
+        assert coarse.n == 2 and coarse.m == 1
+        assert coarse.total_edge_weight() == 10.0
+
+    def test_empty_matching_is_isomorphic(self, grid8):
+        coarse, cmap = contract_matching(grid8, np.arange(grid8.n))
+        assert coarse.n == grid8.n and coarse.m == grid8.m
+        assert np.array_equal(cmap, np.arange(grid8.n))
+
+    def test_coords_weighted_centroid(self):
+        g = from_edge_list(
+            2, [(0, 1)], vwgt=[1.0, 3.0],
+            coords=np.array([[0.0, 0.0], [4.0, 0.0]]),
+        )
+        coarse, _ = contract_matching(g, np.array([1, 0]))
+        assert np.allclose(coarse.coords[0], [3.0, 0.0])
+
+    def test_wrong_matching_length(self, triangle):
+        with pytest.raises(ValueError):
+            contract_matching(triangle, np.array([0, 1]))
+
+    def test_project_partition(self):
+        cmap = np.array([0, 0, 1, 1, 2])
+        cpart = np.array([7, 8, 9])
+        assert project_partition(cpart, cmap).tolist() == [7, 7, 8, 8, 9]
+
+    @given(random_graphs(max_n=18), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_contraction_conserves_weights(self, g, seed):
+        m = dispatch(g, rng=np.random.default_rng(seed))
+        coarse, cmap = contract_matching(g, m)
+        validate_graph(coarse)
+        assert np.isclose(coarse.total_node_weight(), g.total_node_weight())
+        # cut edges can merge but never gain weight; matched weight is lost
+        assert coarse.total_edge_weight() <= g.total_edge_weight() + 1e-9
+
+    @given(random_graphs(max_n=18), st.integers(0, 2**31 - 1),
+           st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_projected_cut_equals_coarse_cut(self, g, seed, k):
+        """The fundamental multilevel invariant: a coarse partition and its
+        projection have the same cut."""
+        rng = np.random.default_rng(seed)
+        m = dispatch(g, rng=rng)
+        coarse, cmap = contract_matching(g, m)
+        cpart = rng.integers(0, k, size=coarse.n)
+        fine_part = project_partition(cpart, cmap)
+        assert np.isclose(
+            metrics.cut_value(coarse, cpart), metrics.cut_value(g, fine_part)
+        )
+
+
+class TestThreshold:
+    def test_formula(self):
+        # max(20*k, n/(60*k))
+        assert contraction_threshold(60_000, 2, 60.0) == max(40, 500)
+        assert contraction_threshold(1000, 8, 60.0) == 160
+
+    def test_alpha_scaling(self):
+        assert contraction_threshold(120_000, 2, 30.0) == 2000
+
+
+class TestCoarsen:
+    def test_sizes_decrease(self):
+        g = random_geometric_graph(400, seed=1)
+        h = coarsen(g, k=2, seed=0)
+        sizes = [gr.n for gr in h.graphs]
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+        h.check_conservation()
+
+    def test_respects_threshold(self):
+        g = random_geometric_graph(600, seed=2)
+        h = coarsen(g, k=2, seed=0)
+        thr = contraction_threshold(600, 2, 60.0)
+        # stops at the first level at-or-below threshold
+        assert h.coarsest.n <= thr or h.depth == 1
+
+    def test_project_to_finest_preserves_cut(self):
+        g = random_geometric_graph(300, seed=3)
+        h = coarsen(g, k=4, seed=0)
+        rng = np.random.default_rng(0)
+        cpart = rng.integers(0, 4, size=h.coarsest.n)
+        fine = h.project_to_finest(cpart)
+        assert np.isclose(
+            metrics.cut_value(h.coarsest, cpart), metrics.cut_value(g, fine)
+        )
+
+    def test_project_level_validation(self):
+        g = random_geometric_graph(300, seed=3)
+        h = coarsen(g, k=4, seed=0)
+        with pytest.raises(ValueError):
+            h.project(np.zeros(h.coarsest.n, dtype=int), 0)
+
+    def test_parallel_coarsening_valid(self):
+        g = random_geometric_graph(400, seed=5)
+        h = coarsen(g, k=4, seed=0, n_pes=4)
+        h.check_conservation()
+        assert h.depth > 1
+
+    def test_max_levels_cap(self):
+        g = random_geometric_graph(400, seed=6)
+        h = coarsen(g, k=2, seed=0, max_levels=2)
+        assert h.depth <= 3
+
+    def test_stops_on_no_progress(self):
+        # a star cannot be matched down: only one pair per level
+        from repro.graph import star_graph
+
+        g = star_graph(50)
+        h = coarsen(g, k=2, seed=0, min_shrink=0.05)
+        assert h.depth < 20  # gave up rather than looping 25 times
+
+    def test_path_graph_coarsens_fully(self):
+        g = path_graph(200)
+        h = coarsen(g, k=2, seed=0)
+        assert h.coarsest.n <= contraction_threshold(200, 2, 60.0)

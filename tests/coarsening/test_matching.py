@@ -1,0 +1,182 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coarsening import (
+    dispatch,
+    gpa_matching,
+    greedy_matching,
+    matching_weight,
+    max_weight_path_matching,
+    rate_edges,
+    shem_matching,
+)
+from repro.graph import from_edge_list, path_graph, validate_matching
+from tests.conftest import random_graphs
+
+ALGS = ["shem", "greedy", "gpa"]
+
+
+def brute_force_max_matching(g):
+    """Exhaustive maximum-weight matching for tiny graphs."""
+    edges = list(g.edges())
+
+    def best(i, used):
+        if i == len(edges):
+            return 0.0
+        u, v, w = edges[i]
+        score = best(i + 1, used)
+        if u not in used and v not in used:
+            score = max(score, w + best(i + 1, used | {u, v}))
+        return score
+
+    return best(0, frozenset())
+
+
+class TestPathDP:
+    def test_empty(self):
+        assert max_weight_path_matching([]) == (0.0, [])
+
+    def test_single(self):
+        assert max_weight_path_matching([5.0]) == (5.0, [0])
+
+    def test_alternation(self):
+        total, sel = max_weight_path_matching([1.0, 10.0, 1.0])
+        assert total == 10.0 and sel == [1]
+
+    def test_take_both_ends(self):
+        total, sel = max_weight_path_matching([5.0, 1.0, 5.0])
+        assert total == 10.0 and sel == [0, 2]
+
+    def test_longer_path(self):
+        total, sel = max_weight_path_matching([3.0, 4.0, 3.0, 4.0, 3.0])
+        assert total == 9.0  # edges 0, 2, 4
+        assert sel == [0, 2, 4]
+
+    def test_no_adjacent_selected(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            w = rng.random(rng.integers(1, 12)).tolist()
+            total, sel = max_weight_path_matching(w)
+            assert all(b - a >= 2 for a, b in zip(sel, sel[1:]))
+            assert np.isclose(total, sum(w[i] for i in sel))
+
+
+class TestAlgorithmsBasics:
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_valid_on_grid(self, grid8, alg):
+        m = dispatch(grid8, algorithm=alg)
+        validate_matching(grid8, m)
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_empty_graph(self, alg):
+        g = path_graph(1)
+        m = dispatch(g, algorithm=alg)
+        assert m.tolist() == [0]
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_single_edge(self, alg):
+        g = path_graph(2)
+        m = dispatch(g, algorithm=alg)
+        assert m.tolist() == [1, 0]
+
+    def test_unknown_algorithm(self, grid8):
+        with pytest.raises(ValueError):
+            dispatch(grid8, algorithm="hungarian")
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_deterministic_given_rng_seed(self, grid8, alg):
+        m1 = dispatch(grid8, algorithm=alg, rng=np.random.default_rng(5))
+        m2 = dispatch(grid8, algorithm=alg, rng=np.random.default_rng(5))
+        assert np.array_equal(m1, m2)
+
+    def test_greedy_picks_heaviest_first(self, weighted_path):
+        us, vs, ws, r = rate_edges(weighted_path, "weight")
+        m = greedy_matching(weighted_path, r, us, vs)
+        # weights 5,1,5: greedy takes both weight-5 edges
+        assert m.tolist() == [1, 0, 3, 2]
+
+    def test_gpa_beats_greedy_worst_case(self):
+        # path with weights (1, 1+eps, 1): greedy takes the middle edge
+        # (weight 1.01), GPA's DP takes both outer edges (weight 2).
+        g = from_edge_list(4, [(0, 1), (1, 2), (2, 3)],
+                           weights=[1.0, 1.01, 1.0])
+        us, vs, ws, r = rate_edges(g, "weight")
+        mg = greedy_matching(g, r, us, vs)
+        mp = gpa_matching(g, r, us, vs)
+        assert matching_weight(mg, us, vs, r) == 1.01
+        assert matching_weight(mp, us, vs, r) == 2.0
+
+
+class TestHalfApproximation:
+    @given(random_graphs(max_n=8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_and_gpa_half_approx(self, g, seed):
+        if g.m == 0:
+            return
+        opt = brute_force_max_matching(g)
+        us, vs, ws, r = rate_edges(g, "weight")
+        rng = np.random.default_rng(seed)
+        for fn in (greedy_matching, gpa_matching):
+            m = fn(g, r, us, vs, rng)
+            validate_matching(g, m)
+            assert matching_weight(m, us, vs, r) >= 0.5 * opt - 1e-9
+
+    @given(random_graphs(max_n=8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_gpa_at_least_as_good_as_its_paths(self, g, seed):
+        # sanity: GPA's matching weight never negative and valid
+        us, vs, ws, r = rate_edges(g, "weight")
+        m = gpa_matching(g, r, us, vs, np.random.default_rng(seed))
+        validate_matching(g, m)
+
+
+class TestMaximality:
+    @pytest.mark.parametrize("alg", ALGS)
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_style_maximality(self, alg, data):
+        # SHEM and Greedy produce maximal matchings: no edge has two
+        # unmatched endpoints. (GPA can leave such edges only if they
+        # were unusable in path growing; skip it.)
+        if alg == "gpa":
+            return
+        g = data.draw(random_graphs(max_n=14))
+        m = dispatch(g, algorithm=alg)
+        us, vs, _ = g.edge_array()
+        both_free = (m[us] == us) & (m[vs] == vs)
+        assert not both_free.any()
+
+
+class TestSHEM:
+    def test_low_degree_node_scanned_first(self):
+        # degrees: 1 and 2 have degree 1, 0 has degree 2 -> node 1 is
+        # scanned first and grabs its only edge even though (0,2) is heavier
+        g = from_edge_list(3, [(0, 1), (0, 2)], weights=[1.0, 9.0])
+        us, vs, ws, r = rate_edges(g, "weight")
+        m = shem_matching(g, r, us, vs)
+        assert m[0] == 1 and m[1] == 0 and m[2] == 2
+
+    def test_scanned_node_picks_heaviest_incident(self):
+        # node 0 (unique lowest degree after leaves tie... use a square):
+        # star-of-2 from center 3 with different weights
+        g = from_edge_list(
+            4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)],
+            weights=[1.0, 1.0, 1.0, 2.0, 9.0],
+        )
+        us, vs, ws, r = rate_edges(g, "weight")
+        m = shem_matching(g, r, us, vs)
+        # node 0 and 3 have degree 2; node 3 prefers its weight-9 edge to 2
+        assert m[3] == 2 or m[3] == 1
+        assert m[int(m[3])] == 3
+
+    def test_scans_low_degree_first(self):
+        # node 3 (degree 1) must get its only edge even though node 0
+        # would otherwise grab it
+        g = from_edge_list(4, [(0, 1), (0, 2), (0, 3)], weights=[5.0, 4.0, 3.0])
+        us, vs, ws, r = rate_edges(g, "weight")
+        m = shem_matching(g, r, us, vs)
+        validate_matching(g, m)
+        # the three leaves have degree 1; one of them is matched to 0
+        assert m[0] != 0

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.coarsening import (
+    numbering_prepartition,
+    prepartition,
+    recursive_coordinate_bisection,
+)
+from repro.generators import random_geometric_graph
+from repro.graph import from_edge_list, grid2d_graph
+
+
+class TestRCB:
+    def test_two_way_split_by_x(self):
+        coords = np.array([[0.0, 0], [1, 0], [2, 0], [3, 0]])
+        owner = recursive_coordinate_bisection(coords, 2)
+        assert owner.tolist() == [0, 0, 1, 1]
+
+    def test_four_way_quadrants(self):
+        g = grid2d_graph(4, 4)
+        owner = recursive_coordinate_bisection(g.coords, 4)
+        counts = np.bincount(owner, minlength=4)
+        assert counts.tolist() == [4, 4, 4, 4]
+        # nodes in the same quadrant share an owner
+        assert owner[0] == owner[1] == owner[4] == owner[5]
+
+    def test_non_power_of_two(self):
+        coords = np.random.default_rng(0).random((100, 2))
+        owner = recursive_coordinate_bisection(coords, 3)
+        counts = np.bincount(owner, minlength=3)
+        assert counts.min() >= 25  # roughly balanced thirds
+
+    def test_weighted_split(self):
+        coords = np.array([[0.0, 0], [1, 0], [2, 0]])
+        w = np.array([2.0, 1.0, 1.0])
+        owner = recursive_coordinate_bisection(coords, 2, w)
+        assert owner.tolist() == [0, 1, 1]
+
+    def test_p_one(self):
+        coords = np.random.default_rng(0).random((10, 2))
+        assert np.all(recursive_coordinate_bisection(coords, 1) == 0)
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            recursive_coordinate_bisection(np.zeros((3, 2)), 0)
+
+
+class TestNumbering:
+    def test_even_chunks(self):
+        owner = numbering_prepartition(8, 4)
+        assert owner.tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_uneven(self):
+        owner = numbering_prepartition(5, 2)
+        assert sorted(np.bincount(owner, minlength=2)) == [2, 3]
+
+    def test_weighted(self):
+        owner = numbering_prepartition(3, 2, np.array([10.0, 1.0, 1.0]))
+        assert owner[0] == 0 and owner[2] == 1
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            numbering_prepartition(5, 0)
+
+
+class TestDispatcher:
+    def test_auto_uses_coords(self):
+        g = random_geometric_graph(100, seed=1)
+        owner = prepartition(g, 2, "auto")
+        geo = recursive_coordinate_bisection(g.coords, 2, g.vwgt)
+        assert np.array_equal(owner, geo)
+
+    def test_auto_falls_back_to_numbering(self):
+        g = from_edge_list(6, [(0, 1), (2, 3), (4, 5)])
+        owner = prepartition(g, 3, "auto")
+        assert np.array_equal(owner, numbering_prepartition(6, 3, g.vwgt))
+
+    def test_geometric_requires_coords(self):
+        g = from_edge_list(4, [(0, 1)])
+        with pytest.raises(ValueError):
+            prepartition(g, 2, "geometric")
+
+    def test_unknown_mode(self, grid8):
+        with pytest.raises(ValueError):
+            prepartition(grid8, 2, "magic")

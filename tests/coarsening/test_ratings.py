@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.coarsening import RATINGS, rate_edges, rating_function
+from repro.graph import from_edge_list
+from tests.conftest import random_graphs
+
+
+@pytest.fixture
+def wgraph():
+    # two nodes of weight 2 and 3 joined by weight-6 edge, plus a pendant
+    return from_edge_list(
+        3, [(0, 1), (1, 2)], weights=[6.0, 2.0], vwgt=[2.0, 3.0, 1.0]
+    )
+
+
+class TestRatingFormulas:
+    def test_weight(self, wgraph):
+        us, vs, ws, r = rate_edges(wgraph, "weight")
+        assert np.allclose(r, ws)
+
+    def test_expansion(self, wgraph):
+        _, _, _, r = rate_edges(wgraph, "expansion")
+        # edge (0,1): 6/(2+3); edge (1,2): 2/(3+1)
+        assert np.allclose(sorted(r), sorted([6 / 5, 2 / 4]))
+
+    def test_expansion_star(self, wgraph):
+        _, _, _, r = rate_edges(wgraph, "expansion_star")
+        assert np.allclose(sorted(r), sorted([6 / 6, 2 / 3]))
+
+    def test_expansion_star2(self, wgraph):
+        _, _, _, r = rate_edges(wgraph, "expansion_star2")
+        assert np.allclose(sorted(r), sorted([36 / 6, 4 / 3]))
+
+    def test_inner_outer(self, wgraph):
+        _, _, _, r = rate_edges(wgraph, "inner_outer")
+        # Out(0)=6, Out(1)=8, Out(2)=2
+        # edge (0,1): 6/(6+8-12)=3 ; edge (1,2): 2/(8+2-4)=1/3
+        assert np.allclose(sorted(r), sorted([3.0, 1 / 3]))
+
+    def test_inner_outer_isolated_component_edge(self):
+        g = from_edge_list(2, [(0, 1)], weights=[4.0])
+        _, _, _, r = rate_edges(g, "inner_outer")
+        assert np.isinf(r[0])  # no outer edges at all: best contraction
+
+    def test_unknown_rating(self, wgraph):
+        with pytest.raises(ValueError):
+            rate_edges(wgraph, "nope")
+        with pytest.raises(ValueError):
+            rating_function("nope")
+
+    def test_all_ratings_registered(self):
+        assert set(RATINGS) == {
+            "weight",
+            "expansion",
+            "expansion_star",
+            "expansion_star2",
+            "inner_outer",
+        }
+
+
+class TestRatingProperties:
+    @given(random_graphs(max_n=16))
+    @settings(max_examples=25, deadline=None)
+    def test_positive_finite_or_inf(self, g):
+        for name in RATINGS:
+            _, _, _, r = rate_edges(g, name)
+            assert np.all(r > 0)
+            assert not np.any(np.isnan(r))
+
+    @given(random_graphs(max_n=16))
+    @settings(max_examples=25, deadline=None)
+    def test_unit_weights_degenerate_to_weight_scaling(self, g):
+        # with unit node weights, expansion* ratings are monotone in ω
+        if g.m == 0:
+            return
+        from repro.graph import Graph
+
+        g1 = Graph(g.xadj, g.adjncy, g.adjwgt, np.ones(g.n), validate=False)
+        _, _, ws, r1 = rate_edges(g1, "expansion_star")
+        assert np.allclose(r1, ws)
+        _, _, ws2, r2 = rate_edges(g1, "expansion_star2")
+        assert np.allclose(r2, ws2**2)

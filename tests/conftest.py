@@ -1,0 +1,68 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph import Graph, from_edge_list, grid2d_graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return from_edge_list(3, [(0, 1), (1, 2), (0, 2)])
+
+@pytest.fixture
+def two_triangles() -> Graph:
+    """Two triangles joined by a single bridge edge — the canonical
+    bisection instance (optimal cut = 1 between {0,1,2} and {3,4,5})."""
+    return from_edge_list(
+        6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    )
+
+@pytest.fixture
+def grid8() -> Graph:
+    return grid2d_graph(8, 8)
+
+@pytest.fixture
+def weighted_path() -> Graph:
+    return from_edge_list(4, [(0, 1), (1, 2), (2, 3)], weights=[5.0, 1.0, 5.0])
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def random_graphs(draw, max_n: int = 24, weighted: bool = True,
+                  connected: bool = False):
+    """Random small graphs for property-based tests.
+
+    When ``connected``, a random spanning tree is always included.
+    """
+    n = draw(st.integers(min_value=1 if connected else 0, max_value=max_n))
+    if n <= 1:
+        return from_edge_list(n, [])
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    density = draw(st.floats(min_value=0.0, max_value=0.5))
+    edges = set()
+    if connected:
+        order = rng.permutation(n)
+        for i in range(1, n):
+            j = int(rng.integers(0, i))
+            a, b = int(order[i]), int(order[j])
+            edges.add((min(a, b), max(a, b)))
+    n_extra = int(density * n * (n - 1) / 2)
+    for _ in range(n_extra):
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            edges.add((min(int(a), int(b)), max(int(a), int(b))))
+    edges = sorted(edges)
+    if weighted:
+        weights = rng.integers(1, 10, size=len(edges)).astype(float)
+        vwgt = rng.integers(1, 5, size=n).astype(float)
+    else:
+        weights = None
+        vwgt = None
+    return from_edge_list(n, edges, weights, vwgt)

@@ -1,0 +1,149 @@
+import numpy as np
+import pytest
+
+from repro.cli import main, build_parser
+from repro.generators import delaunay_graph
+from repro.graph import read_partition, write_metis, write_dimacs
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = delaunay_graph(300, seed=1)
+    path = tmp_path / "g.graph"
+    write_metis(g, path)
+    return str(path)
+
+
+class TestPartitionCommand:
+    def test_basic(self, graph_file, tmp_path, capsys):
+        out = str(tmp_path / "g.part")
+        rc = main(["partition", graph_file, "-k", "4",
+                   "--preset", "minimal", "-o", out])
+        assert rc == 0
+        part = read_partition(out)
+        assert len(part) == 300
+        assert set(np.unique(part)) <= set(range(4))
+        text = capsys.readouterr().out
+        assert "cut:" in text and "feasible" in text
+
+    def test_default_output_name(self, graph_file, capsys):
+        rc = main(["partition", graph_file, "-k", "2",
+                   "--preset", "minimal"])
+        assert rc == 0
+        part = read_partition(graph_file + ".part.2")
+        assert len(part) == 300
+
+    @pytest.mark.parametrize("tool", ["metis_like", "scotch_like",
+                                      "parmetis_like"])
+    def test_baseline_tools(self, graph_file, tmp_path, tool):
+        out = str(tmp_path / "g.part")
+        rc = main(["partition", graph_file, "-k", "2", "--tool", tool,
+                   "-o", out])
+        assert rc == 0
+        assert len(read_partition(out)) == 300
+
+    def test_cluster_execution(self, graph_file, tmp_path, capsys):
+        out = str(tmp_path / "g.part")
+        rc = main(["partition", graph_file, "-k", "2",
+                   "--preset", "minimal", "--execution", "cluster",
+                   "-o", out])
+        assert rc == 0
+        assert "simulated parallel time" in capsys.readouterr().out
+
+    def test_dimacs_input(self, tmp_path):
+        g = delaunay_graph(200, seed=2)
+        path = tmp_path / "g.dimacs"
+        write_dimacs(g, path)
+        rc = main(["partition", str(path), "-k", "2", "--preset",
+                   "minimal", "--format", "dimacs",
+                   "-o", str(tmp_path / "out")])
+        assert rc == 0
+
+
+class TestEvaluateCommand:
+    def test_roundtrip(self, graph_file, tmp_path, capsys):
+        out = str(tmp_path / "g.part")
+        main(["partition", graph_file, "-k", "3", "--preset", "minimal",
+              "-o", out])
+        capsys.readouterr()
+        rc = main(["evaluate", graph_file, out, "-k", "3"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "cut:" in text and "block weights:" in text
+
+    def test_infers_k(self, graph_file, tmp_path, capsys):
+        out = str(tmp_path / "g.part")
+        main(["partition", graph_file, "-k", "4", "--preset", "minimal",
+              "-o", out])
+        capsys.readouterr()
+        rc = main(["evaluate", graph_file, out])
+        assert rc == 0
+        assert "k: 4" in capsys.readouterr().out
+
+    def test_length_mismatch(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "bad.part"
+        bad.write_text("0\n1\n")
+        rc = main(["evaluate", graph_file, str(bad)])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("family", ["rgg", "delaunay", "grid",
+                                        "grid3d", "road", "social", "rmat"])
+    def test_families(self, tmp_path, family, capsys):
+        out = str(tmp_path / "g.graph")
+        params = []
+        if family in ("rgg", "delaunay", "road", "social"):
+            params = ["--param", "n=300"]
+        elif family == "grid":
+            params = ["--param", "rows=10", "--param", "cols=10"]
+        elif family == "grid3d":
+            params = ["--param", "nx=5", "--param", "ny=5", "--param", "nz=5"]
+        elif family == "rmat":
+            params = ["--param", "scale=8"]
+        rc = main(["generate", family, *params, "-o", out])
+        assert rc == 0
+        from repro.graph import read_metis
+
+        g = read_metis(out)
+        assert g.n > 0
+
+    def test_bad_param_format(self, tmp_path, capsys):
+        rc = main(["generate", "rgg", "--param", "oops",
+                   "-o", str(tmp_path / "x")])
+        assert rc == 1
+
+    def test_unknown_param(self, tmp_path, capsys):
+        rc = main(["generate", "rgg", "--param", "bogus=3",
+                   "-o", str(tmp_path / "x")])
+        assert rc == 1
+
+    def test_dimacs_output(self, tmp_path):
+        out = str(tmp_path / "g.dimacs")
+        rc = main(["generate", "grid", "--param", "rows=5",
+                   "--param", "cols=5", "--format", "dimacs", "-o", out])
+        assert rc == 0
+        from repro.graph import read_dimacs
+
+        assert read_dimacs(out).n == 25
+
+
+class TestInfoCommand:
+    def test_stats(self, graph_file, capsys):
+        rc = main(["info", graph_file])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "nodes: 300" in text
+        assert "connected components: 1" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_tool_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "g", "-k", "2",
+                                       "--tool", "patoh"])

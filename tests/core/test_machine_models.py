@@ -1,0 +1,52 @@
+"""Machine-model contract: the cost model prices communication but never
+influences algorithmic decisions."""
+
+import numpy as np
+import pytest
+
+from repro.core import MINIMAL, KappaPartitioner
+from repro.generators import delaunay_graph
+from repro.parallel import MachineModel
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return delaunay_graph(300, seed=41)
+
+
+class TestMachineModelInvariance:
+    def test_partition_independent_of_network_speed(self, mesh):
+        fast_net = MachineModel()  # the paper's InfiniBand
+        slow_net = MachineModel(latency_s=1e-4, byte_time_s=1e-8)
+        a = KappaPartitioner(MINIMAL, machine=fast_net).partition(
+            mesh, 4, seed=0, execution="cluster")
+        b = KappaPartitioner(MINIMAL, machine=slow_net).partition(
+            mesh, 4, seed=0, execution="cluster")
+        assert np.array_equal(a.partition.part, b.partition.part)
+        assert a.stats["messages_sent"] == b.stats["messages_sent"]
+        assert a.stats["bytes_sent"] == b.stats["bytes_sent"]
+
+    def test_slower_network_longer_sim_time(self, mesh):
+        fast_net = MachineModel()
+        slow_net = MachineModel(latency_s=1e-3, byte_time_s=1e-7)
+        a = KappaPartitioner(MINIMAL, machine=fast_net).partition(
+            mesh, 4, seed=0, execution="cluster")
+        b = KappaPartitioner(MINIMAL, machine=slow_net).partition(
+            mesh, 4, seed=0, execution="cluster")
+        assert b.sim_time_s > a.sim_time_s
+
+    def test_slower_compute_longer_sim_time(self, mesh):
+        base = MachineModel()
+        slow_cpu = MachineModel(work_unit_s=base.work_unit_s * 100)
+        a = KappaPartitioner(MINIMAL, machine=base).partition(
+            mesh, 2, seed=0, execution="cluster")
+        b = KappaPartitioner(MINIMAL, machine=slow_cpu).partition(
+            mesh, 2, seed=0, execution="cluster")
+        assert b.sim_time_s > a.sim_time_s
+        assert np.array_equal(a.partition.part, b.partition.part)
+
+    def test_sequential_path_ignores_machine(self, mesh):
+        slow = MachineModel(latency_s=1.0)
+        res = KappaPartitioner(MINIMAL, machine=slow).partition(
+            mesh, 4, seed=0)
+        assert res.sim_time_s is None

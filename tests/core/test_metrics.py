@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics
+from repro.graph import from_edge_list, grid2d_graph
+from tests.conftest import random_graphs
+
+
+class TestCutValue:
+    def test_bridge_cut(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        assert metrics.cut_value(two_triangles, part) == 1.0
+
+    def test_all_same_block(self, two_triangles):
+        assert metrics.cut_value(two_triangles, np.zeros(6, dtype=int)) == 0.0
+
+    def test_weighted_cut(self, weighted_path):
+        part = np.array([0, 0, 1, 1])
+        assert metrics.cut_value(weighted_path, part) == 1.0
+        part = np.array([0, 1, 1, 1])
+        assert metrics.cut_value(weighted_path, part) == 5.0
+
+    def test_every_node_own_block(self, triangle):
+        assert metrics.cut_value(triangle, np.arange(3)) == 3.0
+
+
+class TestBlockWeights:
+    def test_counts(self, two_triangles):
+        w = metrics.block_weights(two_triangles, np.array([0, 0, 0, 1, 1, 1]), 2)
+        assert np.allclose(w, [3, 3])
+
+    def test_empty_block(self, triangle):
+        w = metrics.block_weights(triangle, np.zeros(3, dtype=int), 3)
+        assert np.allclose(w, [3, 0, 0])
+
+    def test_weighted_nodes(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)], vwgt=[2.0, 3.0, 5.0])
+        w = metrics.block_weights(g, np.array([0, 1, 0]), 2)
+        assert np.allclose(w, [7, 3])
+
+
+class TestBalanceAndLmax:
+    def test_lmax_formula(self, two_triangles):
+        # (1 + 0.03) * 6/2 + 1 = 4.09
+        assert np.isclose(metrics.lmax(two_triangles, 2, 0.03), 4.09)
+
+    def test_balance_perfect(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        assert metrics.balance(two_triangles, part, 2) == 1.0
+
+    def test_balance_skewed(self, two_triangles):
+        part = np.array([0, 0, 0, 0, 1, 1])
+        assert np.isclose(metrics.balance(two_triangles, part, 2), 4 / 3)
+
+    def test_is_balanced(self, two_triangles):
+        assert metrics.is_balanced(two_triangles, np.array([0, 0, 0, 1, 1, 1]), 2, 0.0)
+        assert not metrics.is_balanced(
+            two_triangles, np.array([0, 0, 0, 0, 0, 1]), 2, 0.03
+        )
+
+    def test_imbalance_penalty(self):
+        assert metrics.imbalance_penalty(np.array([3.0, 5.0]), 4.0) == 1.0
+        assert metrics.imbalance_penalty(np.array([3.0, 4.0]), 4.0) == 0.0
+
+
+class TestBoundary:
+    def test_bridge_endpoints(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        assert metrics.boundary_nodes(two_triangles, part).tolist() == [2, 3]
+
+    def test_no_boundary(self, two_triangles):
+        part = np.zeros(6, dtype=int)
+        assert len(metrics.boundary_nodes(two_triangles, part)) == 0
+
+    def test_external_degree(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        assert metrics.external_degree(two_triangles, part, 2) == 1.0
+        assert metrics.external_degree(two_triangles, part, 0) == 0.0
+
+    def test_cut_edges(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        us, vs, ws = metrics.cut_edges(two_triangles, part)
+        assert us.tolist() == [2] and vs.tolist() == [3] and ws.tolist() == [1.0]
+
+
+class TestMetricProperties:
+    @given(random_graphs(max_n=20), st.integers(2, 4), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_cut_nonnegative_and_bounded(self, g, k, seed):
+        rng = np.random.default_rng(seed)
+        part = rng.integers(0, k, size=g.n)
+        cut = metrics.cut_value(g, part)
+        assert 0.0 <= cut <= g.total_edge_weight() + 1e-9
+
+    @given(random_graphs(max_n=20), st.integers(2, 4), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_block_weights_sum(self, g, k, seed):
+        rng = np.random.default_rng(seed)
+        part = rng.integers(0, k, size=g.n)
+        assert np.isclose(
+            metrics.block_weights(g, part, k).sum(), g.total_node_weight()
+        )
+
+    @given(random_graphs(max_n=20), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_cut_equals_sum_of_external_degrees_halved(self, g, seed):
+        rng = np.random.default_rng(seed)
+        part = rng.integers(0, 3, size=g.n)
+        total_ext = sum(metrics.external_degree(g, part, v) for v in range(g.n))
+        assert np.isclose(metrics.cut_value(g, part), total_ext / 2.0)

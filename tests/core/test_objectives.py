@@ -1,0 +1,126 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics
+from repro.core.objectives import (
+    block_comm_volumes,
+    block_neighbor_counts,
+    boundary_fraction,
+    communication_volume,
+    evaluate_objectives,
+    max_block_comm_volume,
+    max_block_degree,
+)
+from repro.experiments.objectives_exp import spearman
+from repro.graph import from_edge_list, grid2d_graph
+from tests.conftest import random_graphs
+
+
+class TestCommunicationVolume:
+    def test_bridge(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        # nodes 2 and 3 each see one foreign block -> volume 2
+        assert communication_volume(two_triangles, part) == 2.0
+
+    def test_no_cut(self, two_triangles):
+        assert communication_volume(two_triangles, np.zeros(6, dtype=int)) == 0.0
+
+    def test_counts_distinct_blocks_once(self):
+        # star center with leaves in blocks {1, 2, 1}: the center pays
+        # once per *distinct* foreign block (2, not 3 — leaves 1 and 3
+        # share a block); each leaf pays 1 for seeing block 0
+        g = from_edge_list(4, [(0, 1), (0, 2), (0, 3)])
+        part = np.array([0, 1, 2, 1])
+        assert communication_volume(g, part) == 2.0 + 3 * 1.0
+
+    def test_node_weights_counted(self):
+        g = from_edge_list(2, [(0, 1)], vwgt=[5.0, 1.0])
+        part = np.array([0, 1])
+        assert communication_volume(g, part) == 6.0
+
+    def test_volume_le_weighted_boundary_times_k(self, grid8):
+        rng = np.random.default_rng(1)
+        part = rng.integers(0, 4, grid8.n)
+        vol = communication_volume(grid8, part)
+        nb = len(metrics.boundary_nodes(grid8, part))
+        assert nb <= vol <= 3 * nb  # each boundary node pays 1..k-1
+
+
+class TestPerBlock:
+    def test_block_volumes_sum(self, grid8):
+        rng = np.random.default_rng(2)
+        part = rng.integers(0, 4, grid8.n)
+        per = block_comm_volumes(grid8, part, 4)
+        assert np.isclose(per.sum(), communication_volume(grid8, part))
+        assert max_block_comm_volume(grid8, part, 4) == per.max()
+
+    def test_neighbor_counts(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        assert block_neighbor_counts(two_triangles, part, 2).tolist() == [1, 1]
+        assert max_block_degree(two_triangles, part, 2) == 1
+
+    def test_max_degree_grid_quadrants(self):
+        g = grid2d_graph(4, 4)
+        part = np.array([(r // 2) * 2 + (c // 2)
+                         for r in range(4) for c in range(4)])
+        assert max_block_degree(g, part, 4) == 2  # quadrants: 2 neighbours
+
+
+class TestBoundaryFraction:
+    def test_values(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        assert boundary_fraction(two_triangles, part) == 2 / 6
+
+    def test_empty_graph(self):
+        from repro.graph import empty_graph
+
+        assert boundary_fraction(empty_graph(0), np.zeros(0, dtype=int)) == 0.0
+
+
+class TestReport:
+    def test_evaluate_objectives(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        rep = evaluate_objectives(two_triangles, part, 2)
+        assert rep.cut == 1.0
+        assert rep.comm_volume == 2.0
+        assert rep.max_block_degree == 1
+        d = rep.as_dict()
+        assert set(d) == {"cut", "comm_volume", "max_block_comm",
+                          "max_block_degree", "boundary_fraction", "balance"}
+
+    @given(random_graphs(max_n=20), st.integers(2, 4),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_objectives_consistent(self, g, k, seed):
+        rng = np.random.default_rng(seed)
+        part = rng.integers(0, k, g.n)
+        rep = evaluate_objectives(g, part, k)
+        assert rep.comm_volume >= 0
+        assert rep.max_block_comm <= rep.comm_volume + 1e-9
+        assert 0 <= rep.boundary_fraction <= 1
+        assert rep.max_block_degree <= k - 1
+        # zero cut <=> zero everything
+        if rep.cut == 0:
+            assert rep.comm_volume == 0
+            assert rep.boundary_fraction == 0
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman([1, 2, 3], [10, 20, 30]) == 1.0
+        assert spearman([1, 2, 3], [30, 20, 10]) == -1.0
+
+    def test_constant_series(self):
+        assert spearman([1, 1, 1], [1, 2, 3]) == 1.0
+
+    def test_against_scipy(self):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(3)
+        x = rng.random(30)
+        y = x + rng.normal(scale=0.2, size=30)
+        ours = spearman(x, y)
+        ref = spearmanr(x, y).statistic
+        assert np.isclose(ours, ref)

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.core import FAST, MINIMAL, metrics, partition_graph, repartition
+from repro.generators import delaunay_graph
+from repro.graph import Graph, from_edge_list
+
+
+def perturb_weights(g, seed=0, frac=0.1):
+    """Simulate adaptive refinement: some node weights grow."""
+    rng = np.random.default_rng(seed)
+    vwgt = g.vwgt.copy()
+    hot = rng.choice(g.n, size=max(1, int(frac * g.n)), replace=False)
+    vwgt[hot] *= 3.0
+    return Graph(g.xadj, g.adjncy, g.adjwgt, vwgt, coords=g.coords,
+                 validate=False)
+
+
+class TestRepartition:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        g = delaunay_graph(800, seed=11)
+        base = partition_graph(g, 4, config=FAST, seed=0)
+        g2 = perturb_weights(g, seed=1)
+        return g, g2, base
+
+    def test_restores_feasibility(self, scenario):
+        g, g2, base = scenario
+        res = repartition(g2, base.partition.part, 4, config=FAST, seed=0)
+        assert metrics.is_balanced(g2, res.partition.part, 4, 0.03)
+
+    def test_migrates_little(self, scenario):
+        g, g2, base = scenario
+        res = repartition(g2, base.partition.part, 4, config=FAST, seed=0)
+        # from-scratch partitioning of g2 would place nodes arbitrarily
+        fresh = partition_graph(g2, 4, config=FAST, seed=1)
+        fresh_moved = (fresh.partition.part != base.partition.part).mean()
+        assert res.migration_fraction < 0.5 * max(fresh_moved, 0.2)
+
+    def test_quality_comparable_to_fresh(self, scenario):
+        g, g2, base = scenario
+        res = repartition(g2, base.partition.part, 4, config=FAST, seed=0)
+        fresh = partition_graph(g2, 4, config=FAST, seed=0)
+        assert res.cut <= 1.5 * fresh.cut
+
+    def test_noop_when_still_feasible(self):
+        g = delaunay_graph(400, seed=12)
+        base = partition_graph(g, 4, config=FAST, seed=0)
+        res = repartition(g, base.partition.part, 4, config=MINIMAL, seed=0)
+        # unchanged graph: nothing (or almost nothing) migrates
+        assert res.migration_fraction < 0.05
+        assert res.cut <= base.cut + 1e-9
+
+    def test_out_of_range_ids_repaired(self):
+        g = delaunay_graph(200, seed=13)
+        part = np.random.default_rng(0).integers(0, 4, g.n)
+        part[:5] = 99
+        res = repartition(g, part, 4, config=MINIMAL, seed=0)
+        assert res.partition.part.max() < 4
+        assert metrics.is_balanced(g, res.partition.part, 4, 0.03)
+
+    def test_wrong_length_rejected(self):
+        g = delaunay_graph(100, seed=13)
+        with pytest.raises(ValueError):
+            repartition(g, np.zeros(5, dtype=np.int64), 2)
+
+    def test_migration_accounting(self):
+        g = delaunay_graph(300, seed=14)
+        base = partition_graph(g, 3, config=MINIMAL, seed=0)
+        g2 = perturb_weights(g, seed=2, frac=0.3)
+        res = repartition(g2, base.partition.part, 3, config=MINIMAL, seed=0)
+        moved = res.partition.part != base.partition.part
+        assert res.migrated_nodes == int(moved.sum())
+        assert np.isclose(res.migrated_weight, g2.vwgt[moved].sum())

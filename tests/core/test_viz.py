@@ -1,0 +1,64 @@
+import io
+
+import numpy as np
+import pytest
+
+from repro.generators import delaunay_graph
+from repro.graph import from_edge_list, grid2d_graph
+from repro.viz import BLOCK_COLORS, partition_svg, write_partition_svg
+
+
+class TestPartitionSVG:
+    def test_basic_structure(self):
+        g = grid2d_graph(4, 4)
+        part = (np.arange(16) % 4 >= 2).astype(np.int64)
+        svg = partition_svg(g, part)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<circle") == 16
+        assert svg.count("<line") == g.m
+        assert "cut=" in svg
+
+    def test_cut_edges_black(self):
+        g = grid2d_graph(2, 2)
+        part = np.array([0, 1, 0, 1])
+        svg = partition_svg(g, part)
+        # vertical edges are intra-block, horizontal ones cut
+        assert svg.count('stroke="black"') == 2
+
+    def test_no_partition(self):
+        g = grid2d_graph(3, 3)
+        svg = partition_svg(g)
+        assert "cut=" not in svg
+        assert svg.count("<circle") == 9
+
+    def test_requires_coords(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            partition_svg(g)
+
+    def test_partition_length_checked(self):
+        g = grid2d_graph(3, 3)
+        with pytest.raises(ValueError):
+            partition_svg(g, np.array([0, 1]))
+
+    def test_edge_sampling_cap(self):
+        g = delaunay_graph(500, seed=1)
+        svg = partition_svg(g, np.zeros(g.n, dtype=np.int64), max_edges=100)
+        assert svg.count("<line") == 100
+
+    def test_color_cycle(self):
+        g = grid2d_graph(5, 5)
+        part = np.arange(25, dtype=np.int64)  # k = 25 > len(BLOCK_COLORS)
+        svg = partition_svg(g, part)
+        assert BLOCK_COLORS[0] in svg
+
+    def test_write_to_file_and_handle(self, tmp_path):
+        g = grid2d_graph(3, 3)
+        part = np.zeros(9, dtype=np.int64)
+        p = tmp_path / "x.svg"
+        write_partition_svg(g, part, p)
+        assert p.read_text().startswith("<svg")
+        buf = io.StringIO()
+        write_partition_svg(g, part, buf)
+        assert buf.getvalue().startswith("<svg")

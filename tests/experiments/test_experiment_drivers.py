@@ -1,0 +1,108 @@
+"""Smoke tests for every experiment driver at reduced scale.
+
+Claims are only asserted where they are scale-independent; otherwise the
+structural contract (rows, headers, text rendering) is what's tested —
+full-scale claim checking happens in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    detailed,
+    figure2,
+    figure3,
+    flow_exp,
+    objectives_exp,
+    repartition_exp,
+    scheduling_exp,
+    table2,
+    table3,
+    table4,
+    table5,
+    walshaw_exp,
+)
+
+SMALL = ("tri2k", "road2k")
+
+
+class TestDriversRun:
+    def test_table3_ratings_structure(self):
+        r = table3.run_ratings(ks=(4,), repetitions=1, seed=0)
+        assert len(r.rows) == 5  # five ratings
+        assert "weight" in {row[0] for row in r.rows}
+        assert r.to_text()
+
+    def test_table3_matchings_structure(self):
+        r = table3.run_matchings(ks=(4,), repetitions=1, seed=0)
+        assert {row[0] for row in r.rows} == {"gpa", "shem", "greedy"}
+
+    def test_table4_queues_structure(self):
+        r = table4.run_queues(ks=(4,), repetitions=1, seed=0)
+        assert len(r.rows) == 4
+
+    def test_table4_tools_subset(self):
+        r = table4.run_tools(ks=(4,), repetitions=1, seed=0,
+                             instances=SMALL)
+        assert len(r.rows) == 6  # six tools
+
+    def test_table5_subset(self):
+        r = table5.run(k=4, repetitions=1, seed=0,
+                       instances=("rgg11", "road2k"))
+        assert len(r.rows) == 12  # 6 tools x 2 instances
+
+    def test_detailed_subsets(self):
+        r = detailed.run_kappa_detailed(ks=(4,), repetitions=1, seed=0,
+                                        instances=SMALL)
+        assert len(r.rows) == 6  # 3 configs x 1 k x 2 instances
+        r2 = detailed.run_baseline_detailed(ks=(8,), repetitions=1, seed=0,
+                                            instances=SMALL)
+        assert len(r2.rows) == 4
+
+    def test_figure2_small(self):
+        r = figure2.run(instance="tri2k", k=4, depths=(1, 3), seed=0)
+        assert len(r.rows) == 2
+        assert r.claims["band size grows monotonically with BFS depth"]
+
+    def test_walshaw_small(self):
+        r = walshaw_exp.run(instances=("tri2k",), ks=(2,),
+                            epsilons=(0.03,), repeats_per_rating=1, seed=0)
+        totals = [row for row in r.rows if row[0] == "TOTAL"]
+        assert len(totals) == 1
+
+    def test_scheduling_small(self):
+        r = scheduling_exp.run(ks=(4,), repetitions=1, seed=0,
+                               instances=SMALL)
+        assert {row[0] for row in r.rows} == {"edge_coloring",
+                                              "random_local"}
+
+    def test_ablation_single_knob(self):
+        r = ablation.run(ks=(4,), repetitions=1, seed=0,
+                         knobs=("bfs_band_depth",), instances=SMALL)
+        assert len(r.rows) == 3  # the three swept values
+
+    def test_flow_small(self):
+        r = flow_exp.run(ks=(4,), repetitions=1, seed=0, instances=SMALL)
+        assert {row[0] for row in r.rows} == {"fm", "flow", "fm_flow"}
+
+    def test_repartition_small(self):
+        r = repartition_exp.run(instances=("tri2k",), k=4, seed=0)
+        assert len(r.rows) == 2
+        assert r.claims["repartitioning restores feasibility on every "
+                        "instance"]
+
+    def test_objectives_small(self):
+        r = objectives_exp.run(instances=("tri2k",), k=4, seed=0)
+        assert len(r.rows) == 1
+
+    def test_figure3_model_only(self):
+        r = figure3.run(instances=("tri2k",), cluster_ps=(2,),
+                        model_ps=(4, 64), seed=0)
+        series = {row[1] for row in r.rows}
+        assert "kappa_minimal (cluster)" in series
+        assert "parmetis_like (model)" in series
+
+    def test_table2_structure(self):
+        r = table2.run(ks=(4,), repetitions=1, seed=0)
+        names = {row[1] for row in r.rows}
+        assert names == {"minimal", "fast", "strong"}

@@ -1,0 +1,96 @@
+"""Tests for the experiment harness (fast, reduced-size runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    TOOLS,
+    geo,
+    records_for_suite,
+    run_repeated,
+    run_tool,
+    table1,
+    figure1,
+    figure3,
+)
+from repro.core import RunRecord
+from repro.generators import delaunay_graph, load
+
+
+class TestCommon:
+    def test_all_tools_run(self):
+        g = delaunay_graph(300, seed=1)
+        for tool in TOOLS:
+            res = run_tool(tool, g, 2, seed=0)
+            assert res.cut >= 0
+            assert res.partition.k == 2
+
+    def test_unknown_tool(self):
+        g = delaunay_graph(100, seed=1)
+        with pytest.raises(ValueError):
+            run_tool("patoh", g, 2)
+
+    def test_run_repeated_seeds_differ(self):
+        g = delaunay_graph(300, seed=2)
+        recs = run_repeated("kappa_minimal", g, "d300", 2, repetitions=3,
+                            seed=5)
+        assert len(recs) == 3
+        assert {r.seed for r in recs} == {5, 6, 7}
+        assert all(r.instance == "d300" and r.k == 2 for r in recs)
+
+    def test_geo_aggregate(self):
+        recs = [
+            RunRecord("a", "g", 2, 0.03, cut=10, balance=1, time_s=1),
+            RunRecord("a", "g", 2, 0.03, cut=1000, balance=1, time_s=1),
+        ]
+        assert np.isclose(geo(recs, "cut"), 100.0)
+
+    def test_records_for_suite_subset(self):
+        recs = records_for_suite("kappa_minimal", "small", ks=(2,),
+                                 repetitions=1, instances=("tri2k",))
+        assert len(recs) == 1
+        assert recs[0].instance == "tri2k"
+
+
+class TestExperimentResult:
+    def test_to_text_contains_claims(self):
+        r = ExperimentResult(
+            name="X", headers=["a"], rows=[["1"]],
+            claims={"works": True, "fails": False},
+        )
+        text = r.to_text()
+        assert "[ok] works" in text
+        assert "[FAIL] fails" in text
+        assert not r.all_claims_hold
+
+    def test_notes_rendered(self):
+        r = ExperimentResult(name="X", headers=["a"], rows=[["1"]],
+                             notes="hello")
+        assert "hello" in r.to_text()
+
+
+class TestTable1:
+    def test_runs_and_claims_hold(self):
+        r = table1.run()
+        assert r.all_claims_hold
+        assert len(r.rows) == 21  # 10 small + 11 large
+
+
+class TestFigure1:
+    def test_runs_and_claims_hold(self):
+        r = figure1.run(instance="tri2k", k=4, seed=0)
+        assert r.all_claims_hold
+
+
+class TestFigure3Model:
+    def test_model_decreases_with_p_initially(self):
+        g = load("delaunay11")
+        t4 = figure3.kappa_scalability_model(g, 4)
+        t16 = figure3.kappa_scalability_model(g, 16)
+        assert t16 < t4
+
+    def test_model_positive(self):
+        g = load("tri2k")
+        for p in (2, 64, 1024):
+            assert figure3.kappa_scalability_model(g, p) > 0

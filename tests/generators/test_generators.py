@@ -1,0 +1,189 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    delaunay_graph,
+    graded_mesh,
+    grid3d_graph,
+    laplacian2d_graph,
+    laplacian9pt_graph,
+    preferential_attachment,
+    random_geometric_graph,
+    rmat_graph,
+    road_network,
+    sphere_mesh,
+    stiffness_graph,
+    triangulated_grid,
+    washer_mesh,
+)
+from repro.graph import validate_graph
+
+
+class TestRGG:
+    def test_size_and_coords(self):
+        g = random_geometric_graph(256, seed=1)
+        assert g.n == 256
+        assert g.coords.shape == (256, 2)
+        validate_graph(g)
+
+    def test_default_radius_rule(self):
+        # edges only between points closer than 0.55*sqrt(ln n / n)
+        g = random_geometric_graph(300, seed=2)
+        r = 0.55 * math.sqrt(math.log(300) / 300)
+        for u, v, _ in g.edges():
+            assert np.linalg.norm(g.coords[u] - g.coords[v]) <= r + 1e-12
+
+    def test_explicit_radius(self):
+        g_small = random_geometric_graph(200, radius=0.05, seed=3)
+        g_big = random_geometric_graph(200, radius=0.2, seed=3)
+        assert g_big.m > g_small.m
+
+    def test_deterministic(self):
+        assert random_geometric_graph(128, seed=5) == random_geometric_graph(128, seed=5)
+
+    def test_seed_changes_graph(self):
+        assert random_geometric_graph(128, seed=5) != random_geometric_graph(128, seed=6)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            random_geometric_graph(0)
+
+
+class TestDelaunay:
+    def test_planar_edge_bound(self):
+        g = delaunay_graph(500, seed=1)
+        assert g.n == 500
+        assert g.m <= 3 * g.n - 6  # planarity
+        validate_graph(g)
+
+    def test_connected(self):
+        assert delaunay_graph(400, seed=2).is_connected()
+
+    def test_deterministic(self):
+        assert delaunay_graph(128, seed=4) == delaunay_graph(128, seed=4)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            delaunay_graph(2)
+
+
+class TestFEM:
+    def test_triangulated_grid(self):
+        g = triangulated_grid(5, 7)
+        assert g.n == 35
+        # (cols-1)*rows horizontal + (rows-1)*cols vertical + (rows-1)(cols-1) diag
+        assert g.m == 6 * 5 + 4 * 7 + 4 * 6
+        validate_graph(g)
+
+    def test_grid3d(self):
+        g = grid3d_graph(3, 4, 5)
+        assert g.n == 60
+        assert g.m == 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4
+        assert g.is_connected()
+
+    def test_sphere_mesh(self):
+        g = sphere_mesh(300, seed=1)
+        assert g.n == 300
+        assert g.is_connected()
+        # Euler: a triangulated sphere has m = 3n - 6
+        assert g.m == 3 * g.n - 6
+        validate_graph(g)
+
+    def test_sphere_too_small(self):
+        with pytest.raises(ValueError):
+            sphere_mesh(3)
+
+    def test_graded_mesh(self):
+        g = graded_mesh(400, seed=2)
+        assert g.n == 400 and g.is_connected()
+        validate_graph(g)
+
+    def test_washer(self):
+        g = washer_mesh(4, 10)
+        assert g.n == 40
+        assert g.is_connected()
+        validate_graph(g)
+
+    def test_washer_validation(self):
+        with pytest.raises(ValueError):
+            washer_mesh(1, 10)
+        with pytest.raises(ValueError):
+            washer_mesh(3, 2)
+
+
+class TestRoad:
+    def test_basic(self):
+        g = road_network(600, n_cities=5, seed=1)
+        assert g.n == 600
+        assert g.is_connected()  # MST backbone guarantees it
+        validate_graph(g)
+
+    def test_low_degree(self):
+        g = road_network(800, n_cities=6, seed=2)
+        # road networks have low average degree (< 4 per the real data)
+        assert g.degrees().mean() < 7
+
+    def test_deterministic(self):
+        assert road_network(300, seed=3) == road_network(300, seed=3)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            road_network(4, n_cities=8)
+
+
+class TestSocial:
+    def test_pa_sizes(self):
+        g = preferential_attachment(300, m_per_node=3, seed=1)
+        assert g.n == 300
+        assert g.m <= 3 * (300 - 3)
+        validate_graph(g)
+
+    def test_pa_heavy_tail(self):
+        g = preferential_attachment(800, m_per_node=3, seed=2)
+        deg = g.degrees()
+        # hubs: max degree far above the median
+        assert deg.max() > 6 * np.median(deg)
+
+    def test_pa_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(3, m_per_node=3)
+
+    def test_rmat(self):
+        g = rmat_graph(8, edge_factor=8, seed=3)
+        assert g.n == 256
+        assert g.m > 0
+        validate_graph(g)
+
+    def test_rmat_skew(self):
+        g = rmat_graph(10, edge_factor=8, seed=4)
+        deg = g.degrees()
+        assert deg.max() > 5 * max(1.0, np.median(deg))
+
+    def test_rmat_validation(self):
+        with pytest.raises(ValueError):
+            rmat_graph(4, a=0.9, b=0.1, c=0.1)
+
+
+class TestMatrixGraphs:
+    def test_laplacian5pt_is_grid(self):
+        g = laplacian2d_graph(4, 5)
+        assert g.n == 20
+        assert g.m == 3 * 5 + 4 * 4
+        assert np.all(g.adjwgt == 1.0)
+
+    def test_laplacian9pt_denser(self):
+        g5 = laplacian2d_graph(6, 6)
+        g9 = laplacian9pt_graph(6, 6)
+        assert g9.m > g5.m
+        validate_graph(g9)
+
+    def test_stiffness_connected(self):
+        g = stiffness_graph(200, seed=1)
+        assert g.is_connected()
+        validate_graph(g)
+
+    def test_stiffness_validation(self):
+        with pytest.raises(ValueError):
+            stiffness_graph(0)

@@ -1,0 +1,49 @@
+import pytest
+
+from repro.generators import (
+    LARGE_SUITE,
+    SMALL_SUITE,
+    instance_table,
+    load,
+    suite,
+)
+
+
+class TestSuites:
+    def test_suite_lookup(self):
+        assert suite("small") is SMALL_SUITE
+        assert suite("large") is LARGE_SUITE
+        with pytest.raises(ValueError):
+            suite("huge")
+
+    def test_small_suite_loads(self):
+        for name in SMALL_SUITE:
+            g = load(name)
+            assert g.n > 500  # non-trivial sizes
+
+    def test_groups_cover_paper_classes(self):
+        groups = {s.group for s in LARGE_SUITE.values()}
+        assert groups == {"geometric", "fem", "road", "matrix", "social"}
+
+    def test_coords_flags(self):
+        for spec in list(SMALL_SUITE.values()) + list(LARGE_SUITE.values()):
+            g = load(spec.name)
+            assert (g.coords is not None) == spec.has_coords
+
+    def test_load_cached(self):
+        assert load("tri2k") is load("tri2k")
+
+    def test_load_unknown(self):
+        with pytest.raises(ValueError):
+            load("nosuchgraph")
+
+    def test_paper_analogues_documented(self):
+        for spec in LARGE_SUITE.values():
+            assert spec.paper_analogue  # every instance names its stand-in
+
+    def test_instance_table(self):
+        rows = instance_table("small")
+        assert len(rows) == len(SMALL_SUITE)
+        for name, group, n, m in rows:
+            assert n > 0 and m > 0
+            assert SMALL_SUITE[name].group == group

@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import (
+    from_edge_list,
+    from_adjacency,
+    from_scipy_sparse,
+    from_networkx,
+    to_networkx,
+    to_scipy_sparse,
+    complete_graph,
+    grid2d_graph,
+)
+from tests.conftest import random_graphs
+
+
+class TestFromEdgeList:
+    def test_self_loops_dropped(self):
+        g = from_edge_list(3, [(0, 0), (0, 1), (1, 1)])
+        assert g.m == 1
+
+    def test_parallel_edges_merged_by_sum(self):
+        g = from_edge_list(2, [(0, 1), (1, 0), (0, 1)], weights=[1.0, 2.0, 4.0])
+        assert g.m == 1
+        assert g.edge_weight(0, 1) == 7.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_list(2, [(0, 2)])
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(ValueError):
+            from_edge_list(2, [(0, 1)], weights=[1.0, 2.0])
+
+    def test_coords_passed_through(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0]])
+        g = from_edge_list(2, [(0, 1)], coords=coords)
+        assert np.array_equal(g.coords, coords)
+
+    def test_isolated_nodes_allowed(self):
+        g = from_edge_list(5, [(0, 1)])
+        assert g.n == 5
+        assert g.degree(4) == 0
+
+
+class TestFromAdjacency:
+    def test_one_sided(self):
+        g = from_adjacency({0: {1: 2.0}, 1: {2: 3.0}})
+        assert g.m == 2
+        assert g.edge_weight(1, 2) == 3.0
+
+    def test_two_sided_consistent(self):
+        g = from_adjacency({0: {1: 2.0}, 1: {0: 2.0}})
+        assert g.m == 1
+
+    def test_two_sided_conflicting(self):
+        with pytest.raises(ValueError):
+            from_adjacency({0: {1: 2.0}, 1: {0: 3.0}})
+
+
+class TestScipyRoundtrip:
+    def test_roundtrip(self, grid8):
+        mat = to_scipy_sparse(grid8)
+        g2 = from_scipy_sparse(mat)
+        assert g2.n == grid8.n and g2.m == grid8.m
+        us, vs, ws = grid8.edge_array()
+        us2, vs2, ws2 = g2.edge_array()
+        assert np.array_equal(us, us2) and np.array_equal(vs, vs2)
+        assert np.allclose(ws, ws2)
+
+    def test_asymmetric_symmetrised(self):
+        import scipy.sparse as sp
+
+        mat = sp.csr_matrix(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        g = from_scipy_sparse(mat)
+        assert g.m == 1 and g.edge_weight(0, 1) == 2.0
+
+    def test_negative_entries_become_abs(self):
+        import scipy.sparse as sp
+
+        mat = sp.csr_matrix(np.array([[0.0, -3.0], [-3.0, 0.0]]))
+        g = from_scipy_sparse(mat)
+        assert g.edge_weight(0, 1) == 3.0
+
+
+class TestNetworkxRoundtrip:
+    def test_roundtrip(self, two_triangles):
+        nxg = to_networkx(two_triangles)
+        g2 = from_networkx(nxg)
+        assert g2 == two_triangles
+
+    def test_bad_labels_rejected(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            from_networkx(g)
+
+    def test_node_weights_carried(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node(0, weight=3.0)
+        g.add_node(1)
+        g.add_edge(0, 1, weight=2.0)
+        out = from_networkx(g)
+        assert out.node_weight(0) == 3.0
+        assert out.edge_weight(0, 1) == 2.0
+
+
+class TestGenHelpers:
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10
+
+    def test_grid_structure(self):
+        g = grid2d_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.coords is not None
+        corner_degrees = sorted(g.degree(v) for v in [0, 3, 8, 11])
+        assert corner_degrees == [2, 2, 2, 2]
+
+
+class TestRandomRoundtrip:
+    @given(random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_networkx_roundtrip_random(self, g):
+        assert from_networkx(to_networkx(g)) == g

@@ -1,0 +1,199 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import Graph, from_edge_list, path_graph, cycle_graph, star_graph
+from tests.conftest import random_graphs
+
+
+class TestBasics:
+    def test_counts(self, triangle):
+        assert triangle.n == 3
+        assert triangle.m == 3
+
+    def test_degrees(self, triangle):
+        assert [triangle.degree(v) for v in range(3)] == [2, 2, 2]
+        assert np.array_equal(triangle.degrees(), [2, 2, 2])
+
+    def test_neighbors_sorted(self, two_triangles):
+        assert sorted(two_triangles.neighbors(2).tolist()) == [0, 1, 3]
+
+    def test_node_weights_default_unit(self, triangle):
+        assert triangle.total_node_weight() == 3.0
+        assert triangle.node_weight(0) == 1.0
+
+    def test_total_edge_weight(self, weighted_path):
+        assert weighted_path.total_edge_weight() == 11.0
+
+    def test_weighted_degrees(self, weighted_path):
+        assert np.allclose(weighted_path.weighted_degrees(), [5, 6, 6, 5])
+
+    def test_weighted_degrees_isolated_node(self):
+        g = from_edge_list(3, [(0, 1)], weights=[2.0])
+        assert np.allclose(g.weighted_degrees(), [2.0, 2.0, 0.0])
+
+    def test_has_edge(self, two_triangles):
+        assert two_triangles.has_edge(2, 3)
+        assert not two_triangles.has_edge(0, 5)
+
+    def test_edge_weight_lookup(self, weighted_path):
+        assert weighted_path.edge_weight(0, 1) == 5.0
+        assert weighted_path.edge_weight(2, 1) == 1.0
+        with pytest.raises(KeyError):
+            weighted_path.edge_weight(0, 3)
+
+    def test_max_node_weight(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)], vwgt=[1.0, 7.0, 2.0])
+        assert g.max_node_weight() == 7.0
+
+    def test_empty_graph(self):
+        g = from_edge_list(0, [])
+        assert g.n == 0 and g.m == 0
+        assert g.is_connected()
+
+    def test_repr(self, triangle):
+        assert "n=3" in repr(triangle)
+
+
+class TestEdgeIteration:
+    def test_edges_each_once(self, two_triangles):
+        es = sorted((u, v) for u, v, _ in two_triangles.edges())
+        assert es == [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 5)]
+
+    def test_edge_array_matches_edges(self, grid8):
+        us, vs, ws = grid8.edge_array()
+        from_iter = sorted((u, v, w) for u, v, w in grid8.edges())
+        from_arr = sorted(zip(us.tolist(), vs.tolist(), ws.tolist()))
+        assert from_iter == from_arr
+
+    def test_directed_sources(self, triangle):
+        src = triangle.directed_sources()
+        assert len(src) == 2 * triangle.m
+        assert np.array_equal(np.sort(np.unique(src)), [0, 1, 2])
+
+
+class TestBFS:
+    def test_levels_path(self):
+        g = path_graph(5)
+        lv = g.bfs_levels([0])
+        assert lv.tolist() == [0, 1, 2, 3, 4]
+
+    def test_levels_bounded(self):
+        g = path_graph(6)
+        lv = g.bfs_levels([0], max_depth=2)
+        assert lv.tolist() == [0, 1, 2, -1, -1, -1]
+
+    def test_levels_multi_source(self):
+        g = path_graph(5)
+        lv = g.bfs_levels([0, 4])
+        assert lv.tolist() == [0, 1, 2, 1, 0]
+
+    def test_levels_no_sources(self):
+        g = path_graph(3)
+        assert g.bfs_levels([]).tolist() == [-1, -1, -1]
+
+    def test_disconnected_unreached(self):
+        g = from_edge_list(4, [(0, 1), (2, 3)])
+        lv = g.bfs_levels([0])
+        assert lv[0] == 0 and lv[1] == 1 and lv[2] == -1 and lv[3] == -1
+
+    def test_connected_components(self):
+        g = from_edge_list(5, [(0, 1), (2, 3)])
+        comp = g.connected_components()
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert len({comp[0], comp[2], comp[4]}) == 3
+
+    def test_is_connected(self, two_triangles):
+        assert two_triangles.is_connected()
+        assert not from_edge_list(3, [(0, 1)]).is_connected()
+
+
+class TestValidation:
+    def test_bad_xadj_start(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([1, 2]), np.array([0, 1]), np.ones(2), np.ones(1))
+
+    def test_xadj_end_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 1]), np.array([0, 0]), np.ones(2), np.ones(1))
+
+    def test_adjncy_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 2]), np.array([0, 5]), np.ones(2), np.ones(1))
+
+    def test_negative_edge_weight_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_list(2, [(0, 1)], weights=[-1.0])
+
+    def test_negative_node_weight_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_list(2, [(0, 1)], vwgt=[1.0, -2.0])
+
+    def test_symmetry_check_passes(self, grid8):
+        grid8.check_symmetry()
+
+    def test_symmetry_check_catches_asymmetry(self):
+        g = Graph(
+            np.array([0, 1, 2, 2]),
+            np.array([1, 2]),
+            np.ones(2),
+            np.ones(3),
+            validate=False,
+        )
+        with pytest.raises(ValueError):
+            g.check_symmetry()
+
+
+class TestCanonicalGraphs:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.n == 4 and g.m == 3
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.m == 5
+        assert all(g.degree(v) == 2 for v in range(5))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+
+class TestEqualityAndCopy:
+    def test_copy_equal_independent(self, grid8):
+        c = grid8.copy()
+        assert c == grid8
+        c.adjwgt[0] = 99.0
+        assert c != grid8
+
+    def test_eq_other_type(self, triangle):
+        assert (triangle == 3) is False or (triangle == 3) is NotImplemented or not (triangle == 3)
+
+
+class TestProperties:
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_invariant(self, g):
+        g.check_symmetry()
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_handshake_lemma(self, g):
+        assert int(g.degrees().sum()) == 2 * g.m
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_degree_sums_to_twice_edge_weight(self, g):
+        assert np.isclose(g.weighted_degrees().sum(), 2 * g.total_edge_weight())
+
+    @given(random_graphs(connected=True))
+    @settings(max_examples=30, deadline=None)
+    def test_bfs_reaches_everything_when_connected(self, g):
+        assert g.is_connected()
+        assert (g.bfs_levels([0]) >= 0).all()

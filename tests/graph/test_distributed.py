@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DistributedGraph, from_edge_list, grid2d_graph
+from tests.conftest import random_graphs
+
+
+@pytest.fixture
+def dist2(two_triangles):
+    owner = np.array([0, 0, 0, 1, 1, 1])
+    return DistributedGraph(two_triangles, owner, 2)
+
+
+class TestConstruction:
+    def test_views_partition_nodes(self, dist2):
+        assert dist2.view(0).owned_nodes().tolist() == [0, 1, 2]
+        assert dist2.view(1).owned_nodes().tolist() == [3, 4, 5]
+
+    def test_static_rows_cover_owned_nodes(self, dist2):
+        assert dist2.view(0).static_owned.sum() == 3
+        assert dist2.view(1).static_owned.sum() == 3
+
+    def test_bad_owner_length(self, two_triangles):
+        with pytest.raises(ValueError):
+            DistributedGraph(two_triangles, np.array([0, 1]), 2)
+
+    def test_bad_owner_value(self, two_triangles):
+        with pytest.raises(ValueError):
+            DistributedGraph(two_triangles, np.full(6, 7), 2)
+
+    def test_consistency_on_build(self, dist2):
+        dist2.check_consistency()
+
+
+class TestLocalViewQueries:
+    def test_neighbors_include_remote_targets(self, dist2):
+        # the forward-star row stores remote targets too (paper §5.2):
+        # boundary detection needs the bridge arc to PE 1's node 3
+        nbrs = dist2.view(0).neighbors(2)
+        assert nbrs == {0: 1.0, 1: 1.0, 3: 1.0}
+
+    def test_boundary_nodes_found_locally(self, dist2):
+        assert dist2.view(0).boundary_nodes(dist2.owner).tolist() == [2]
+        assert dist2.view(1).boundary_nodes(dist2.owner).tolist() == [3]
+
+    def test_node_weight(self, dist2):
+        assert dist2.view(1).node_weight(4) == 1.0
+
+    def test_missing_node_raises(self, dist2):
+        with pytest.raises(KeyError):
+            dist2.view(0).node_weight(4)
+        with pytest.raises(KeyError):
+            dist2.view(0).neighbors(5)
+
+    def test_weight_sums(self, dist2):
+        assert dist2.view(0).weight() == 3.0
+
+
+class TestMigration:
+    def test_migrate_moves_ownership(self, dist2):
+        dist2.migrate(2, 1)
+        assert dist2.owner[2] == 1
+        assert dist2.view(1).owns(2)
+        assert not dist2.view(0).owns(2)
+        dist2.check_consistency()
+
+    def test_migrated_adjacency_preserved(self, dist2):
+        before = dist2.view(0).neighbors(2)
+        dist2.migrate(2, 1)
+        assert dist2.view(1).neighbors(2) == before
+
+    def test_migrate_back(self, dist2):
+        dist2.migrate(2, 1)
+        dist2.migrate(2, 0)
+        assert dist2.view(0).owns(2)
+        dist2.check_consistency()
+
+    def test_migrate_noop(self, dist2):
+        dist2.migrate(0, 0)
+        dist2.check_consistency()
+
+    def test_weight_conserved_under_migration(self, dist2):
+        dist2.migrate(2, 1)
+        assert dist2.view(0).weight() == 2.0
+        assert dist2.view(1).weight() == 4.0
+
+    def test_rebuild_folds_overlay(self, dist2):
+        dist2.migrate(2, 1)
+        dist2.rebuild()
+        view1 = dist2.view(1)
+        assert not view1.migrated_in  # overlay folded into static
+        assert not view1.migrated_out
+        assert view1.owns(2)
+        assert view1.static_owned.sum() == 4
+        dist2.check_consistency()
+
+    def test_release_unowned_raises(self, dist2):
+        with pytest.raises(KeyError):
+            dist2.view(1).release(0)
+
+
+class TestDistributedProperties:
+    @given(random_graphs(max_n=16, connected=True),
+           st.integers(1, 4), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_migrations_stay_consistent(self, g, p, seed):
+        rng = np.random.default_rng(seed)
+        owner = rng.integers(0, p, size=g.n)
+        dg = DistributedGraph(g, owner, p)
+        for _ in range(min(10, g.n)):
+            v = int(rng.integers(0, g.n))
+            dst = int(rng.integers(0, p))
+            dg.migrate(v, dst)
+        dg.check_consistency()
+        dg.rebuild()
+        dg.check_consistency()

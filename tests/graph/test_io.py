@@ -1,0 +1,114 @@
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import (
+    read_dimacs,
+    read_metis,
+    read_partition,
+    write_dimacs,
+    write_metis,
+    write_partition,
+    from_edge_list,
+)
+from tests.conftest import random_graphs
+
+
+def strip_coords(g):
+    from repro.graph import Graph
+
+    return Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt, validate=False)
+
+
+def roundtrip_metis(g):
+    buf = io.StringIO()
+    write_metis(g, buf)
+    buf.seek(0)
+    return read_metis(buf)
+
+
+def roundtrip_dimacs(g):
+    buf = io.StringIO()
+    write_dimacs(g, buf)
+    buf.seek(0)
+    return read_dimacs(buf)
+
+
+class TestMetis:
+    def test_unweighted_roundtrip(self, grid8):
+        assert roundtrip_metis(grid8) == strip_coords(grid8)
+
+    def test_weighted_roundtrip(self):
+        g = from_edge_list(
+            4, [(0, 1), (1, 2), (2, 3)], weights=[2.0, 3.0, 4.0], vwgt=[1, 2, 3, 4]
+        )
+        assert roundtrip_metis(g) == g
+
+    def test_edge_weights_only(self, weighted_path):
+        assert roundtrip_metis(weighted_path) == weighted_path
+
+    def test_header_flags(self, grid8):
+        buf = io.StringIO()
+        write_metis(grid8, buf)
+        header = buf.getvalue().splitlines()[0]
+        assert header == f"{grid8.n} {grid8.m}"
+
+    def test_comment_lines_skipped(self):
+        text = "% a comment\n3 2\n2\n1 3\n2\n"
+        g = read_metis(io.StringIO(text))
+        assert g.n == 3 and g.m == 2
+
+    def test_edge_count_mismatch_rejected(self):
+        text = "3 5\n2\n1 3\n2\n"
+        with pytest.raises(ValueError):
+            read_metis(io.StringIO(text))
+
+    def test_file_paths(self, tmp_path, two_triangles):
+        p = tmp_path / "g.graph"
+        write_metis(two_triangles, p)
+        assert read_metis(p) == two_triangles
+
+    def test_multiconstraint_rejected(self):
+        text = "2 1 11 2\n1 1 2 5\n1 1 1 5\n"
+        with pytest.raises(ValueError):
+            read_metis(io.StringIO(text))
+
+
+class TestDimacs:
+    def test_roundtrip(self, two_triangles):
+        assert roundtrip_dimacs(two_triangles) == two_triangles
+
+    def test_comment_included(self, triangle):
+        buf = io.StringIO()
+        write_dimacs(triangle, buf, comment="hello\nworld")
+        assert buf.getvalue().startswith("c hello\nc world\n")
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_dimacs(io.StringIO("e 1 2\n"))
+
+    def test_default_weight_one(self):
+        g = read_dimacs(io.StringIO("p edge 2 1\ne 1 2\n"))
+        assert g.edge_weight(0, 1) == 1.0
+
+
+class TestPartitionIO:
+    def test_roundtrip(self, tmp_path):
+        part = np.array([0, 1, 1, 0, 2], dtype=np.int64)
+        p = tmp_path / "part.txt"
+        write_partition(part, p)
+        assert np.array_equal(read_partition(p), part)
+
+
+class TestPropertyRoundtrip:
+    @given(random_graphs(max_n=16))
+    @settings(max_examples=20, deadline=None)
+    def test_metis_roundtrip_random(self, g):
+        assert roundtrip_metis(g) == g
+
+    @given(random_graphs(max_n=16, weighted=False))
+    @settings(max_examples=20, deadline=None)
+    def test_dimacs_roundtrip_random(self, g):
+        assert roundtrip_dimacs(g) == g

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import quotient_graph, block_neighbors, cut_between, from_edge_list, grid2d_graph
+from tests.conftest import random_graphs
+
+
+class TestQuotient:
+    def test_two_blocks_one_bridge(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        q = quotient_graph(two_triangles, part, 2)
+        assert q.n == 2 and q.m == 1
+        assert q.edge_weight(0, 1) == 1.0  # bridge weight
+
+    def test_block_weights(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        q = quotient_graph(two_triangles, part, 2)
+        assert np.allclose(q.vwgt, [3.0, 3.0])
+
+    def test_grid_four_blocks(self):
+        g = grid2d_graph(4, 4)
+        part = np.zeros(16, dtype=np.int64)
+        for v in range(16):
+            r, c = divmod(v, 4)
+            part[v] = (r // 2) * 2 + (c // 2)
+        q = quotient_graph(g, part, 4)
+        # quadrants form a 2x2 block grid: 4 quotient edges
+        assert q.n == 4 and q.m == 4
+        assert not q.has_edge(0, 3)  # diagonal quadrants don't touch
+
+    def test_quotient_edge_weight_is_cut(self):
+        g = from_edge_list(4, [(0, 2), (0, 3), (1, 2)], weights=[2.0, 3.0, 4.0])
+        part = np.array([0, 0, 1, 1])
+        q = quotient_graph(g, part, 2)
+        assert q.edge_weight(0, 1) == 9.0
+
+    def test_empty_blocks_allowed(self, triangle):
+        part = np.array([0, 0, 0])
+        q = quotient_graph(triangle, part, 3)
+        assert q.n == 3 and q.m == 0
+        assert q.vwgt.tolist() == [3.0, 0.0, 0.0]
+
+    def test_invalid_block_id(self, triangle):
+        with pytest.raises(ValueError):
+            quotient_graph(triangle, np.array([0, 0, 5]), 2)
+
+    def test_wrong_length(self, triangle):
+        with pytest.raises(ValueError):
+            quotient_graph(triangle, np.array([0, 0]), 2)
+
+
+class TestHelpers:
+    def test_block_neighbors(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        nbrs = block_neighbors(two_triangles, part, 2)
+        assert nbrs == [[1], [0]]
+
+    def test_cut_between_symmetric(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        assert cut_between(two_triangles, part, 0, 1) == 1.0
+        assert cut_between(two_triangles, part, 1, 0) == 1.0
+
+    def test_cut_between_non_adjacent(self, two_triangles):
+        part = np.array([0, 0, 1, 1, 2, 2])
+        assert cut_between(two_triangles, part, 0, 2) == 0.0
+
+
+class TestQuotientProperties:
+    @given(random_graphs(max_n=20), st.integers(2, 5), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_total_quotient_weight_is_total_cut(self, g, k, seed):
+        rng = np.random.default_rng(seed)
+        part = rng.integers(0, k, size=g.n)
+        q = quotient_graph(g, part, k)
+        src = g.directed_sources()
+        cut = float(g.adjwgt[(part[src] != part[g.adjncy])].sum()) / 2.0
+        assert np.isclose(q.total_edge_weight(), cut)
+
+    @given(random_graphs(max_n=20), st.integers(2, 5), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_block_weights_conserve_node_weight(self, g, k, seed):
+        rng = np.random.default_rng(seed)
+        part = rng.integers(0, k, size=g.n)
+        q = quotient_graph(g, part, k)
+        assert np.isclose(q.total_node_weight(), g.total_node_weight())

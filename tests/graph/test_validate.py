@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.graph import (
+    validate_graph,
+    validate_matching,
+    validate_partition,
+    from_edge_list,
+    grid2d_graph,
+)
+
+
+class TestValidateGraph:
+    def test_good(self, grid8):
+        validate_graph(grid8)
+
+
+class TestValidatePartition:
+    def test_good(self, two_triangles):
+        validate_partition(two_triangles, np.array([0, 0, 0, 1, 1, 1]), 2)
+
+    def test_balance_ok(self, two_triangles):
+        validate_partition(
+            two_triangles, np.array([0, 0, 0, 1, 1, 1]), 2, epsilon=0.0
+        )
+
+    def test_balance_violated(self, two_triangles):
+        # 5-vs-1 split: block weight 5 > Lmax = 1.03*3 + 1 = 4.09
+        with pytest.raises(ValueError, match="balance"):
+            validate_partition(
+                two_triangles, np.array([0, 0, 0, 0, 0, 1]), 2, epsilon=0.03
+            )
+
+    def test_lmax_includes_max_node_weight(self):
+        # one huge node: Lmax slack must admit it in a singleton block
+        g = from_edge_list(3, [(0, 1), (1, 2)], vwgt=[10.0, 1.0, 1.0])
+        validate_partition(g, np.array([0, 1, 1]), 2, epsilon=0.0)
+
+    def test_wrong_shape(self, triangle):
+        with pytest.raises(ValueError):
+            validate_partition(triangle, np.array([0, 1]), 2)
+
+    def test_float_vector_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            validate_partition(triangle, np.array([0.0, 1.0, 0.0]), 2)
+
+    def test_out_of_range_block(self, triangle):
+        with pytest.raises(ValueError):
+            validate_partition(triangle, np.array([0, 1, 2]), 2)
+
+
+class TestValidateMatching:
+    def test_good(self, two_triangles):
+        m = np.array([1, 0, 3, 2, 5, 4])
+        validate_matching(two_triangles, m)
+
+    def test_empty_matching(self, triangle):
+        validate_matching(triangle, np.arange(3))
+
+    def test_not_involution(self, triangle):
+        with pytest.raises(ValueError, match="involution"):
+            validate_matching(triangle, np.array([1, 2, 0]))
+
+    def test_non_edge_pair(self):
+        g = from_edge_list(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="not an edge"):
+            validate_matching(g, np.array([2, 3, 0, 1]))
+
+    def test_wrong_length(self, triangle):
+        with pytest.raises(ValueError):
+            validate_matching(triangle, np.array([0, 1]))
+
+    def test_out_of_range(self, triangle):
+        with pytest.raises(ValueError):
+            validate_matching(triangle, np.array([0, 1, 9]))

@@ -1,0 +1,116 @@
+"""Stress and concurrency-pattern tests for the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import MachineModel, SimCluster
+
+
+class TestCommunicationPatterns:
+    def test_ring_exchange(self):
+        """Each PE sends to its right neighbour, receives from its left."""
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(comm.rank, right)
+            return comm.recv(left)
+
+        res = SimCluster(6).run(prog)
+        assert res.results == [5, 0, 1, 2, 3, 4]
+
+    def test_butterfly_allreduce_by_hand(self):
+        """A hand-written hypercube allreduce over point-to-point."""
+        def prog(comm):
+            val = comm.rank + 1
+            dim = 0
+            while (1 << dim) < comm.size:
+                peer = comm.rank ^ (1 << dim)
+                other = comm.sendrecv(val, peer, tag=dim)
+                val += other
+                dim += 1
+            return val
+
+        res = SimCluster(8).run(prog)
+        assert res.results == [36] * 8
+
+    def test_master_worker(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for w in range(1, comm.size):
+                    comm.send(("work", w * 10), w)
+                return sorted(comm.recv(w, tag=1) for w in range(1, comm.size))
+            cmd, payload = comm.recv(0)
+            comm.send(payload * 2, 0, tag=1)
+            return None
+
+        res = SimCluster(4).run(prog)
+        assert res.results[0] == [20, 40, 60]
+
+    def test_many_small_messages(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(200):
+                    comm.send(i, 1)
+                return None
+            return sum(comm.recv(0) for _ in range(200))
+
+        res = SimCluster(2).run(prog)
+        assert res.results[1] == sum(range(200))
+        assert res.messages_sent == 200
+
+    def test_interleaved_tags_and_collectives(self):
+        def prog(comm):
+            peer = 1 - comm.rank
+            comm.send(comm.rank, peer, tag=5)
+            total = comm.allreduce(1)
+            got = comm.recv(peer, tag=5)
+            comm.barrier()
+            return (total, got)
+
+        res = SimCluster(2).run(prog)
+        assert res.results == [(2, 1), (2, 0)]
+
+    def test_sixteen_pes(self):
+        res = SimCluster(16).run(lambda c: c.allreduce(c.rank))
+        assert res.results[0] == sum(range(16))
+
+
+class TestClockSemantics:
+    def test_clock_monotone_through_mixed_ops(self):
+        m = MachineModel(latency_s=1.0, byte_time_s=0.0, work_unit_s=1.0)
+
+        def prog(comm):
+            stamps = [comm.clock.time]
+            comm.compute(10)
+            stamps.append(comm.clock.time)
+            comm.barrier()
+            stamps.append(comm.clock.time)
+            x = comm.allreduce(comm.rank)
+            stamps.append(comm.clock.time)
+            return stamps
+
+        res = SimCluster(4, machine=m).run(prog)
+        for stamps in res.results:
+            assert stamps == sorted(stamps)
+
+    def test_makespan_at_least_critical_path(self):
+        m = MachineModel(latency_s=1.0, byte_time_s=0.0, work_unit_s=1.0)
+
+        def prog(comm):
+            # a chain 0 -> 1 -> 2 with 10 units of work at each hop
+            if comm.rank > 0:
+                comm.recv(comm.rank - 1)
+            comm.compute(10)
+            if comm.rank < comm.size - 1:
+                comm.send("go", comm.rank + 1)
+
+        res = SimCluster(3, machine=m).run(prog)
+        # critical path: 3 * 10 compute + 2 latencies
+        assert res.makespan >= 32.0 - 1e-9
+
+    def test_collective_cost_grows_with_p(self):
+        def timed(p):
+            res = SimCluster(p).run(lambda c: c.barrier())
+            return res.makespan
+
+        assert timed(16) > timed(2)

@@ -1,0 +1,158 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics
+from repro.generators import delaunay_graph, random_geometric_graph
+from repro.graph import from_edge_list, grid2d_graph
+from repro.parallel import SimCluster
+from repro.refinement import (
+    extract_band,
+    pairwise_refinement,
+    pairwise_refinement_spmd,
+    refine_pair,
+)
+
+
+class TestBand:
+    def _grid_with_split(self):
+        g = grid2d_graph(6, 6)
+        part = (np.arange(36) % 6 >= 3).astype(np.int64)  # left/right halves
+        return g, part
+
+    def test_depth1_is_boundary_only(self):
+        g, part = self._grid_with_split()
+        band, _ = extract_band(g, part, 0, 1, depth=1)
+        # boundary columns 2 and 3 movable; columns 1 and 4 as halo
+        assert int(band.movable.sum()) == 12
+        assert band.graph.n == 24
+        assert band.n_boundary == 12
+
+    def test_deeper_band_grows(self):
+        g, part = self._grid_with_split()
+        b1, _ = extract_band(g, part, 0, 1, depth=1)
+        b2, _ = extract_band(g, part, 0, 1, depth=2)
+        assert int(b2.movable.sum()) > int(b1.movable.sum())
+
+    def test_halo_immovable_and_correct_side(self):
+        g, part = self._grid_with_split()
+        band, _ = extract_band(g, part, 0, 1, depth=1)
+        for i in range(band.graph.n):
+            parent = int(band.smap.to_parent[i])
+            assert band.side[i] == part[parent]
+
+    def test_non_adjacent_pair_empty(self):
+        g = grid2d_graph(4, 4)
+        part = np.zeros(16, dtype=np.int64)
+        part[np.arange(16) % 4 == 1] = 1
+        part[np.arange(16) % 4 == 2] = 2
+        part[np.arange(16) % 4 == 3] = 3
+        band, _ = extract_band(g, part, 0, 3, depth=2)
+        assert band.graph.n == 0 or band.n_boundary == 0
+
+    def test_third_block_nodes_excluded(self):
+        g = grid2d_graph(3, 6)
+        part = np.repeat([0, 1, 2], 6)[np.argsort(np.argsort(np.arange(18)))]
+        part = np.array([0] * 6 + [1] * 6 + [2] * 6)
+        band, _ = extract_band(g, part, 0, 1, depth=5)
+        parents = band.smap.to_parent
+        assert not np.any(part[parents] == 2)
+
+
+class TestRefinePair:
+    def test_improves_pair(self):
+        g = grid2d_graph(6, 6)
+        rng = np.random.default_rng(0)
+        part = rng.integers(0, 2, 36)
+        block_w = metrics.block_weights(g, part, 2)
+        cut0 = metrics.cut_value(g, part)
+        pr = refine_pair(
+            g, part, block_w, 0, 1, lmax=metrics.lmax(g, 2, 0.03),
+            depth=5, alpha=0.5, queue_selection="top_gain",
+            seed_a=1, seed_b=2, block_sizes=(18, 18),
+        )
+        assert pr.gain > 0
+        assert metrics.cut_value(g, part) == cut0 - pr.gain
+        assert np.allclose(block_w, metrics.block_weights(g, part, 2))
+
+    def test_no_change_returns_empty(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        block_w = metrics.block_weights(two_triangles, part, 2)
+        pr = refine_pair(
+            two_triangles, part, block_w, 0, 1,
+            lmax=metrics.lmax(two_triangles, 2, 0.03),
+            depth=3, alpha=1.0, queue_selection="top_gain",
+            seed_a=1, seed_b=2, block_sizes=(3, 3),
+        )
+        assert pr.changed == [] and pr.gain == 0.0
+
+
+class TestPairwiseRefinement:
+    def test_reduces_cut_random_partition(self):
+        g = random_geometric_graph(500, seed=1)
+        rng = np.random.default_rng(2)
+        part0 = rng.integers(0, 4, g.n)
+        part1 = pairwise_refinement(g, part0, 4, seed=5)
+        assert metrics.cut_value(g, part1) < metrics.cut_value(g, part0)
+
+    def test_keeps_or_restores_balance(self):
+        g = delaunay_graph(400, seed=2)
+        rng = np.random.default_rng(3)
+        part0 = rng.integers(0, 4, g.n)  # random: roughly balanced
+        part1 = pairwise_refinement(g, part0, 4, epsilon=0.10, seed=5)
+        assert metrics.is_balanced(g, part1, 4, 0.10)
+
+    def test_deterministic(self):
+        g = delaunay_graph(300, seed=4)
+        part0 = np.random.default_rng(1).integers(0, 3, g.n)
+        a = pairwise_refinement(g, part0, 3, seed=9)
+        b = pairwise_refinement(g, part0, 3, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_stop_rule_always_single_iteration(self):
+        g = delaunay_graph(300, seed=4)
+        part0 = np.random.default_rng(1).integers(0, 3, g.n)
+        quick = pairwise_refinement(g, part0, 3, seed=9, stop_rule="always")
+        full = pairwise_refinement(g, part0, 3, seed=9,
+                                   max_global_iterations=15)
+        assert metrics.cut_value(g, full) <= metrics.cut_value(g, quick)
+
+    def test_invalid_coloring_mode(self, two_triangles):
+        with pytest.raises(ValueError):
+            pairwise_refinement(
+                two_triangles, np.array([0, 0, 0, 1, 1, 1]), 2,
+                coloring="rainbow",
+            )
+
+    def test_k1_noop(self, two_triangles):
+        part = np.zeros(6, dtype=np.int64)
+        out = pairwise_refinement(two_triangles, part, 1, seed=0)
+        assert np.array_equal(out, part)
+
+
+class TestSPMDEquivalence:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_spmd_matches_sequential(self, k):
+        g = random_geometric_graph(300, seed=6)
+        part0 = np.random.default_rng(4).integers(0, k, g.n)
+        seq = pairwise_refinement(
+            g, part0, k, seed=11, coloring="distributed",
+            max_global_iterations=3,
+        )
+        res = SimCluster(k).run(
+            pairwise_refinement_spmd, g, part0, seed=11,
+            max_global_iterations=3,
+        )
+        for r in range(k):
+            assert np.array_equal(res.results[r], seq)
+
+    def test_spmd_charges_simulated_time(self):
+        g = random_geometric_graph(300, seed=6)
+        part0 = np.random.default_rng(4).integers(0, 2, g.n)
+        res = SimCluster(2).run(
+            pairwise_refinement_spmd, g, part0, seed=1,
+            max_global_iterations=2,
+        )
+        assert res.makespan > 0
+        assert res.bytes_sent > 0  # band exchange really communicated

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics
+from repro.generators import delaunay_graph
+from repro.graph import from_edge_list, grid2d_graph
+from repro.refinement import greedy_kway_refinement, rebalance
+from tests.conftest import random_graphs
+
+
+class TestGreedyKway:
+    def test_reduces_cut(self):
+        g = delaunay_graph(400, seed=1)
+        rng = np.random.default_rng(2)
+        part0 = rng.integers(0, 4, g.n)
+        part1 = greedy_kway_refinement(g, part0, 4, rng=np.random.default_rng(3))
+        assert metrics.cut_value(g, part1) < metrics.cut_value(g, part0)
+
+    def test_respects_lmax(self):
+        g = delaunay_graph(400, seed=1)
+        rng = np.random.default_rng(2)
+        part0 = rng.integers(0, 4, g.n)
+        part1 = greedy_kway_refinement(g, part0, 4, epsilon=0.03,
+                                       rng=np.random.default_rng(3))
+        # greedy never moves into an overloaded block
+        assert metrics.balance(g, part1, 4) <= metrics.balance(g, part0, 4) + 0.05
+        assert metrics.is_balanced(g, part1, 4, 0.03) or \
+            not metrics.is_balanced(g, part0, 4, 0.03)
+
+    def test_optimal_stays(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        out = greedy_kway_refinement(two_triangles, part, 2)
+        assert metrics.cut_value(two_triangles, out) == 1.0
+
+    @given(random_graphs(max_n=24, connected=True),
+           st.integers(2, 4), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_never_worsens_cut(self, g, k, seed):
+        rng = np.random.default_rng(seed)
+        part0 = rng.integers(0, k, g.n)
+        part1 = greedy_kway_refinement(g, part0, k, epsilon=0.5,
+                                       rng=np.random.default_rng(seed + 1))
+        assert metrics.cut_value(g, part1) <= metrics.cut_value(g, part0) + 1e-9
+
+
+class TestRebalance:
+    def test_fixes_overload(self):
+        g = grid2d_graph(6, 6)
+        part = np.zeros(36, dtype=np.int64)
+        part[:4] = 1  # block 0 holds 32 of 36 nodes
+        assert not metrics.is_balanced(g, part, 2, 0.03)
+        fixed = rebalance(g, part, 2, 0.03)
+        assert metrics.is_balanced(g, fixed, 2, 0.03)
+
+    def test_noop_when_feasible(self):
+        g = grid2d_graph(4, 4)
+        part = (np.arange(16) % 4 >= 2).astype(np.int64)
+        fixed = rebalance(g, part, 2, 0.03)
+        assert np.array_equal(fixed, part)
+
+    def test_many_blocks(self):
+        g = delaunay_graph(300, seed=3)
+        part = np.zeros(g.n, dtype=np.int64)  # everything in block 0
+        fixed = rebalance(g, part, 6, 0.05)
+        assert metrics.is_balanced(g, fixed, 6, 0.05)
+
+    def test_weighted_nodes(self):
+        g = from_edge_list(
+            5, [(0, 1), (1, 2), (2, 3), (3, 4)],
+            vwgt=[4.0, 1.0, 1.0, 1.0, 1.0],
+        )
+        part = np.zeros(5, dtype=np.int64)
+        fixed = rebalance(g, part, 2, 0.0)
+        assert metrics.is_balanced(g, fixed, 2, 0.0)
+
+    @given(random_graphs(max_n=24, connected=True),
+           st.integers(2, 4), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_overloads_repaired(self, g, k, seed):
+        part = np.zeros(g.n, dtype=np.int64)
+        fixed = rebalance(g, part, k, 0.20,
+                          rng=np.random.default_rng(seed))
+        # rebalance is best-effort; for connected unit-ish graphs with
+        # generous epsilon it must fully succeed
+        assert metrics.is_balanced(g, fixed, k, 0.20)

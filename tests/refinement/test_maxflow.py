@@ -1,0 +1,121 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.refinement import FlowNetwork, max_flow_min_cut
+
+
+class TestFlowNetwork:
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 5.0)
+        assert net.max_flow(0, 1) == 5.0
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 5.0)
+        net.add_edge(1, 2, 3.0)
+        assert net.max_flow(0, 2) == 3.0
+
+    def test_parallel_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 2.0)
+        net.add_edge(1, 3, 2.0)
+        net.add_edge(0, 2, 3.0)
+        net.add_edge(2, 3, 3.0)
+        assert net.max_flow(0, 3) == 5.0
+
+    def test_classic_crossing_network(self):
+        # the textbook example where augmenting must use the cross edge
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(0, 2, 10.0)
+        net.add_edge(1, 2, 1.0)
+        net.add_edge(1, 3, 10.0)
+        net.add_edge(2, 3, 10.0)
+        assert net.max_flow(0, 3) == 20.0
+
+    def test_disconnected(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 5.0)
+        net.add_edge(2, 3, 5.0)
+        assert net.max_flow(0, 3) == 0.0
+
+    def test_source_equals_sink(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.max_flow(0, 0)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(0)
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 5, 1.0)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1.0)
+
+    def test_min_cut_side(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 1.0)  # bottleneck
+        net.add_edge(2, 3, 10.0)
+        net.max_flow(0, 3)
+        side = net.min_cut_side(0)
+        assert side.tolist() == [True, True, False, False]
+
+
+class TestMaxFlowMinCut:
+    def test_undirected_path(self):
+        value, side = max_flow_min_cut(
+            3, [(0, 1, 4.0), (1, 2, 2.0)], 0, 2
+        )
+        assert value == 2.0
+        assert side[0] and side[1] and not side[2]
+
+    def test_directed(self):
+        value, _ = max_flow_min_cut(
+            2, [(0, 1, 3.0)], 1, 0, directed=True
+        )
+        assert value == 0.0  # no reverse capacity
+
+    def test_cut_separates(self):
+        rng = np.random.default_rng(2)
+        n = 12
+        edges = []
+        for _ in range(30):
+            a, b = rng.integers(0, n, 2)
+            if a != b:
+                edges.append((int(a), int(b), float(rng.integers(1, 9))))
+        value, side = max_flow_min_cut(n, edges, 0, n - 1)
+        assert side[0] and not side[n - 1]
+        # cut weight across the side equals the flow value
+        cut = sum(w for u, v, w in edges if side[u] != side[v])
+        assert np.isclose(cut, value)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_against_networkx(self, seed):
+        import networkx as nx
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 10))
+        edges = {}
+        for _ in range(int(rng.integers(n, 3 * n))):
+            a, b = rng.integers(0, n, 2)
+            if a != b:
+                key = (min(int(a), int(b)), max(int(a), int(b)))
+                edges[key] = float(rng.integers(1, 10))
+        edge_list = [(u, v, w) for (u, v), w in edges.items()]
+        value, side = max_flow_min_cut(n, edge_list, 0, n - 1)
+
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(n))
+        for u, v, w in edge_list:
+            nxg.add_edge(u, v, capacity=w)
+        ref = nx.maximum_flow_value(nxg, 0, n - 1)
+        assert np.isclose(value, ref)
+        # min-cut certificate: crossing weight equals the flow value
+        cut = sum(w for u, v, w in edge_list if side[u] != side[v])
+        assert np.isclose(cut, value)

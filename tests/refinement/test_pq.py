@@ -1,0 +1,116 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.refinement import AddressablePQ
+
+
+class TestBasics:
+    def test_push_pop_max(self):
+        pq = AddressablePQ()
+        pq.push(1, 5.0)
+        pq.push(2, 9.0)
+        pq.push(3, 1.0)
+        assert pq.pop() == (2, 9.0)
+        assert pq.pop() == (1, 5.0)
+        assert pq.pop() == (3, 1.0)
+
+    def test_len_contains_bool(self):
+        pq = AddressablePQ()
+        assert not pq and len(pq) == 0
+        pq.push(7, 1.0)
+        assert pq and len(pq) == 1 and 7 in pq and 8 not in pq
+
+    def test_peek_does_not_remove(self):
+        pq = AddressablePQ()
+        pq.push(4, 2.0)
+        assert pq.peek() == (4, 2.0)
+        assert len(pq) == 1
+
+    def test_duplicate_push_rejected(self):
+        pq = AddressablePQ()
+        pq.push(1, 1.0)
+        with pytest.raises(KeyError):
+            pq.push(1, 2.0)
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            AddressablePQ().pop()
+        with pytest.raises(IndexError):
+            AddressablePQ().peek()
+
+    def test_update_up_and_down(self):
+        pq = AddressablePQ()
+        pq.push(1, 1.0)
+        pq.push(2, 2.0)
+        pq.update(1, 10.0)
+        assert pq.peek()[0] == 1
+        pq.update(1, 0.5)
+        assert pq.peek()[0] == 2
+
+    def test_push_or_update(self):
+        pq = AddressablePQ()
+        pq.push_or_update(1, 1.0)
+        pq.push_or_update(1, 5.0)
+        assert pq.pop() == (1, 5.0)
+
+    def test_remove_middle(self):
+        pq = AddressablePQ()
+        for i, p in enumerate([5.0, 3.0, 8.0, 1.0]):
+            pq.push(i, p)
+        pq.remove(0)
+        order = [pq.pop()[0] for _ in range(3)]
+        assert order == [2, 1, 3]
+
+    def test_priority_lookup(self):
+        pq = AddressablePQ()
+        pq.push(3, 7.5)
+        assert pq.priority(3) == 7.5
+
+    def test_tiebreak_order(self):
+        pq = AddressablePQ()
+        pq.push(1, 5.0, tiebreak=0.1)
+        pq.push(2, 5.0, tiebreak=0.9)
+        assert pq.pop()[0] == 2  # larger tiebreak wins among equal priority
+
+
+class TestHeapProperty:
+    @given(st.lists(st.tuples(st.integers(0, 200), st.floats(-100, 100)),
+                    max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_pops_sorted_descending(self, items):
+        pq = AddressablePQ()
+        latest = {}
+        for item, p in items:
+            pq.push_or_update(item, p)
+            latest[item] = p
+        out = []
+        while pq:
+            item, p = pq.pop()
+            assert latest[item] == p
+            out.append(p)
+        assert out == sorted(out, reverse=True)
+        assert len(out) == len(latest)
+
+    @given(st.lists(st.tuples(st.sampled_from("pur"), st.integers(0, 30),
+                              st.floats(-50, 50)), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_random_operation_sequences(self, ops):
+        pq = AddressablePQ()
+        model = {}
+        for op, item, p in ops:
+            if op == "p" and item not in model:
+                pq.push(item, p)
+                model[item] = p
+            elif op == "u" and item in model:
+                pq.update(item, p)
+                model[item] = p
+            elif op == "r" and item in model:
+                pq.remove(item)
+                del model[item]
+        assert len(pq) == len(model)
+        while pq:
+            item, p = pq.pop()
+            assert model.pop(item) == p
+        assert not model

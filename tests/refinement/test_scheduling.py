@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import complete_graph, cycle_graph, path_graph
+from repro.refinement import (
+    SCHEDULES,
+    coloring_rounds,
+    random_local_rounds,
+    schedule_rounds,
+)
+from tests.conftest import random_graphs
+
+
+def assert_valid_schedule(q, rounds):
+    """Every round is a matching; the union covers each edge once."""
+    seen = set()
+    for rnd in rounds:
+        blocks = set()
+        for a, b in rnd:
+            assert a not in blocks and b not in blocks
+            blocks.update((a, b))
+            assert (a, b) not in seen
+            seen.add((a, b))
+    us, vs, _ = q.edge_array()
+    assert seen == {(int(u), int(v)) for u, v in zip(us, vs)}
+
+
+class TestRandomLocal:
+    def test_complete_graph(self):
+        q = complete_graph(6)
+        assert_valid_schedule(q, random_local_rounds(q, seed=1))
+
+    def test_cycle(self):
+        q = cycle_graph(7)
+        assert_valid_schedule(q, random_local_rounds(q, seed=2))
+
+    def test_empty(self):
+        assert random_local_rounds(path_graph(1)) == []
+
+    def test_deterministic(self):
+        q = complete_graph(5)
+        assert random_local_rounds(q, seed=5) == random_local_rounds(q, seed=5)
+
+    def test_seed_changes_schedule(self):
+        q = complete_graph(8)
+        a = random_local_rounds(q, seed=1)
+        b = random_local_rounds(q, seed=2)
+        assert a != b
+
+    @given(random_graphs(max_n=12), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_always_valid(self, q, seed):
+        assert_valid_schedule(q, random_local_rounds(q, seed=seed))
+
+    def test_rounds_are_maximal_matchings(self):
+        # in each round, no unused edge could have been added
+        q = complete_graph(6)
+        rounds = random_local_rounds(q, seed=3)
+        remaining = {(int(u), int(v))
+                     for u, v, _ in q.edges()}
+        for rnd in rounds:
+            blocks = {x for e in rnd for x in e}
+            for a, b in sorted(remaining):
+                if (a, b) not in rnd:
+                    assert a in blocks or b in blocks
+            remaining -= set(rnd)
+
+
+class TestDispatcher:
+    def test_both_strategies(self):
+        q = complete_graph(5)
+        for strategy in SCHEDULES:
+            assert_valid_schedule(q, schedule_rounds(q, strategy, seed=1))
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            schedule_rounds(complete_graph(3), "round_robin")
+
+    def test_coloring_typically_fewer_rounds(self):
+        # the coloring's global structure needs at most 2Δ−1 rounds;
+        # random-local can need more on dense quotients
+        q = complete_graph(9)
+        nc = len(coloring_rounds(q, seed=1))
+        assert nc <= 2 * 8 - 1

@@ -1,0 +1,169 @@
+"""Edge-case sweep across modules: degenerate inputs, fallback paths,
+and rarely-hit branches."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import FAST, MINIMAL, metrics, partition_graph
+from repro.core.reporting import format_table
+from repro.baselines import (
+    metis_like_partition,
+    parmetis_like_partition,
+    scotch_like_partition,
+)
+from repro.generators import delaunay_graph
+from repro.graph import (
+    empty_graph,
+    from_edge_list,
+    path_graph,
+    read_dimacs,
+    star_graph,
+    write_metis,
+)
+from repro.initial import initial_partition
+from repro.refinement import fm_bipartition_refine, rebalance
+
+
+class TestDegenerateGraphs:
+    def test_partition_tiny_graph(self):
+        g = path_graph(4)
+        res = partition_graph(g, 2, config=MINIMAL, seed=0)
+        assert res.partition.is_feasible()
+        assert res.cut >= 1.0  # a path split in two cuts >= 1 edge
+
+    def test_partition_star(self):
+        # stars barely coarsen and have terrible cuts; must still work
+        g = star_graph(40)
+        res = partition_graph(g, 2, config=MINIMAL, seed=0)
+        assert res.partition.is_feasible()
+
+    def test_partition_disconnected(self):
+        g = from_edge_list(8, [(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)])
+        res = partition_graph(g, 2, config=MINIMAL, seed=0)
+        assert res.partition.is_feasible()
+        # ideal: cut 0 (components distribute across blocks)
+        assert res.cut <= 1.0
+
+    def test_partition_edgeless(self):
+        g = from_edge_list(10, [])
+        res = partition_graph(g, 3, config=MINIMAL, seed=0)
+        assert res.cut == 0.0
+        assert res.partition.is_feasible()
+
+    def test_baselines_on_tiny_graphs(self):
+        g = path_graph(6)
+        for fn in (metis_like_partition, scotch_like_partition,
+                   parmetis_like_partition):
+            res = fn(g, 2, 0.10, 0)
+            assert res.partition.part.shape == (6,)
+
+    def test_heavy_single_node(self):
+        # one node heavier than the average block: the +max c(v) slack
+        # in L_max must make this solvable
+        g = from_edge_list(5, [(0, 1), (1, 2), (2, 3), (3, 4)],
+                           vwgt=[10.0, 1.0, 1.0, 1.0, 1.0])
+        res = partition_graph(g, 2, config=MINIMAL, seed=0)
+        assert res.partition.is_feasible()
+
+
+class TestFMEdgeCases:
+    def test_all_nodes_immovable(self, two_triangles):
+        side = np.array([0, 0, 1, 1, 0, 1], dtype=np.int8)
+        res = fm_bipartition_refine(
+            two_triangles, side, movable=np.zeros(6, dtype=bool),
+            lmax=10.0, rng=np.random.default_rng(0),
+        )
+        assert res.moves_tried == 0
+        assert np.array_equal(res.side, side)
+
+    def test_everything_one_side(self, two_triangles):
+        side = np.zeros(6, dtype=np.int8)
+        res = fm_bipartition_refine(
+            two_triangles, side, lmax=10.0, rng=np.random.default_rng(0)
+        )
+        # no boundary -> no queues -> no moves
+        assert res.moves_tried == 0
+
+    def test_infeasible_start_repaired(self):
+        g = path_graph(10)
+        side = np.zeros(10, dtype=np.int8)
+        side[9] = 1  # weights 9 vs 1 with lmax 6: overloaded
+        res = fm_bipartition_refine(
+            g, side, lmax=6.0, alpha=1.0, rng=np.random.default_rng(1)
+        )
+        assert max(res.weight_a, res.weight_b) <= 6.0
+
+
+class TestRebalanceEdgeCases:
+    def test_k1_noop(self, triangle):
+        part = np.zeros(3, dtype=np.int64)
+        out = rebalance(triangle, part, 1, 0.0)
+        assert np.array_equal(out, part)
+
+    def test_single_node_blocks(self):
+        g = path_graph(3)
+        part = np.array([0, 0, 0])
+        out = rebalance(g, part, 3, 0.0)
+        assert metrics.is_balanced(g, out, 3, 0.0)
+
+    def test_unsatisfiable_is_best_effort(self):
+        # one giant node cannot fit under lmax with epsilon=0 and k=2:
+        # Lmax = 50.5 + 100... actually always satisfiable via slack;
+        # construct the edge case where moving helps nothing
+        g = from_edge_list(2, [(0, 1)], vwgt=[100.0, 1.0])
+        part = np.array([0, 0])
+        out = rebalance(g, part, 2, 0.0)
+        # best effort: returns *something* valid as an assignment
+        assert out.shape == (2,)
+
+
+class TestInitialEdgeCases:
+    def test_k_equals_n(self):
+        g = path_graph(4)
+        part = initial_partition(g, 4, epsilon=0.5, repeats=1, seed=0)
+        assert len(np.unique(part)) == 4
+
+    def test_two_node_graph(self):
+        g = path_graph(2)
+        part = initial_partition(g, 2, repeats=1, seed=0)
+        assert sorted(part.tolist()) == [0, 1]
+
+
+class TestIOEdgeCases:
+    def test_metis_fractional_weights(self):
+        g = from_edge_list(2, [(0, 1)], weights=[2.5], vwgt=[1.5, 1.0])
+        buf = io.StringIO()
+        write_metis(g, buf)
+        text = buf.getvalue()
+        assert "2.5" in text and "1.5" in text
+
+    def test_dimacs_weighted(self):
+        g = read_dimacs(io.StringIO("p edge 3 2\ne 1 2 2.5\ne 2 3 4\n"))
+        assert g.edge_weight(0, 1) == 2.5
+        assert g.edge_weight(1, 2) == 4.0
+
+
+class TestReportingEdgeCases:
+    def test_format_table_empty_rows(self):
+        txt = format_table([], headers=["a", "bb"])
+        assert txt.splitlines()[0].startswith("a")
+
+    def test_format_table_large_floats(self):
+        txt = format_table([[12345.678]], headers=["x"])
+        assert "12345.7" in txt
+
+    def test_format_table_mixed_types(self):
+        txt = format_table([["s", 1, 2.5, None]], headers=list("abcd"))
+        assert "None" in txt
+
+
+class TestSpectralFallback:
+    def test_medium_graph_uses_lanczos(self):
+        from repro.initial import fiedler_vector
+
+        g = delaunay_graph(100, seed=1)  # n > 64: Lanczos path
+        f = fiedler_vector(g, seed=0)
+        assert f.shape == (100,)
+        assert np.std(f) > 0

@@ -1,0 +1,116 @@
+"""Cross-module integration and whole-pipeline property tests."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FAST, MINIMAL, partition_graph
+from repro.core import metrics
+from repro.generators import delaunay_graph, random_geometric_graph
+from repro.graph import (
+    read_metis,
+    relabel,
+    validate_partition,
+    write_metis,
+)
+from tests.conftest import random_graphs
+
+
+class TestPipelineProperties:
+    @given(random_graphs(max_n=60, connected=True), st.integers(2, 4),
+           st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graphs_produce_valid_partitions(self, g, k, seed):
+        if g.n < 2 * k:
+            return
+        res = partition_graph(g, k, config=MINIMAL, seed=seed)
+        part = res.partition.part
+        assert part.shape == (g.n,)
+        assert part.min() >= 0 and part.max() < k
+        assert 0 <= res.cut <= g.total_edge_weight() + 1e-9
+        # with the MINIMAL preset + rebalance, unit-ish weights always fit
+        assert metrics.is_balanced(g, part, k, 0.03) or \
+            g.max_node_weight() > g.total_node_weight() / (2 * k)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=8, deadline=None)
+    def test_cut_invariant_under_relabeling(self, seed):
+        g = delaunay_graph(200, seed=seed % 50)
+        res = partition_graph(g, 3, config=MINIMAL, seed=seed)
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(g.n)
+        g2 = relabel(g, perm)
+        part2 = np.empty(g.n, dtype=np.int64)
+        part2[perm] = res.partition.part
+        assert np.isclose(metrics.cut_value(g2, part2), res.cut)
+
+    def test_file_roundtrip_through_pipeline(self, tmp_path):
+        g = delaunay_graph(300, seed=7)
+        path = tmp_path / "g.graph"
+        write_metis(g, path)
+        g2 = read_metis(path)
+        a = partition_graph(g, 4, config=MINIMAL, seed=3)
+        b = partition_graph(g2, 4, config=MINIMAL, seed=3)
+        # METIS roundtrip loses coordinates -> prepartition differs, but
+        # both must be valid and of similar quality
+        validate_partition(g2, b.partition.part, 4, epsilon=0.03)
+        assert b.cut <= 2.5 * a.cut + 10
+
+    def test_epsilon_zero_with_slack_term(self):
+        # eps=0 still admits Lmax = c(V)/k + max c(v); must stay feasible
+        g = delaunay_graph(256, seed=9)
+        res = partition_graph(g, 4, config=MINIMAL.derive(epsilon=0.0),
+                              seed=0)
+        assert res.partition.is_feasible(0.0)
+
+    @pytest.mark.parametrize("eps", [0.01, 0.05, 0.10, 0.50])
+    def test_looser_epsilon_never_hurts_much(self, eps):
+        g = delaunay_graph(400, seed=10)
+        tight = partition_graph(g, 4, config=MINIMAL.derive(epsilon=0.01),
+                                seed=1)
+        loose = partition_graph(g, 4, config=MINIMAL.derive(epsilon=eps),
+                                seed=1)
+        assert loose.partition.is_feasible(eps)
+        assert loose.cut <= tight.cut * 1.3 + 5
+
+    def test_every_block_nonempty_on_reasonable_graphs(self):
+        g = delaunay_graph(512, seed=11)
+        for k in (2, 3, 5, 8, 13):
+            res = partition_graph(g, k, config=MINIMAL, seed=2)
+            assert len(np.unique(res.partition.part)) == k
+
+
+class TestConsistencyAcrossAPIs:
+    def test_partition_object_matches_metrics(self):
+        g = random_geometric_graph(400, seed=12)
+        res = partition_graph(g, 4, config=FAST, seed=0)
+        p = res.partition
+        assert np.isclose(p.cut, metrics.cut_value(g, p.part))
+        assert np.isclose(p.balance, metrics.balance(g, p.part, 4))
+        assert np.allclose(p.block_weights,
+                           metrics.block_weights(g, p.part, 4))
+        q = p.quotient()
+        assert np.isclose(q.total_edge_weight(), p.cut)
+
+    def test_quotient_degree_bounds_pairwise_work(self):
+        g = delaunay_graph(600, seed=13)
+        res = partition_graph(g, 6, config=FAST, seed=0)
+        q = res.partition.quotient()
+        assert q.n == 6
+        assert q.m <= 15  # at most C(6,2) block pairs
+
+    def test_run_record_roundtrip(self):
+        from repro.core import RunRecord, summarize
+
+        g = delaunay_graph(200, seed=14)
+        recs = []
+        for seed in range(3):
+            r = partition_graph(g, 2, config=MINIMAL, seed=seed)
+            recs.append(RunRecord("kappa", "d200", 2, 0.03, r.cut,
+                                  r.balance, r.time_s, seed))
+        s = summarize(recs)[0]
+        assert s.runs == 3
+        assert s.best_cut <= s.avg_cut

@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.core import FAST, metrics, partition_graph
+from repro.generators import delaunay_graph
+from repro.walshaw import combine, evolve
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = delaunay_graph(400, seed=3)
+    k = 4
+    p1 = partition_graph(g, k, config=FAST, seed=1).partition.part
+    p2 = partition_graph(g, k, config=FAST, seed=2).partition.part
+    return g, k, p1, p2
+
+
+class TestCombine:
+    def test_offspring_not_worse_than_better_parent(self, setup):
+        g, k, p1, p2 = setup
+        child = combine(g, p1, p2, k, config=FAST, seed=7)
+        best_parent = min(metrics.cut_value(g, p1), metrics.cut_value(g, p2))
+        assert metrics.cut_value(g, child) <= best_parent + 1e-9
+
+    def test_offspring_feasible(self, setup):
+        g, k, p1, p2 = setup
+        child = combine(g, p1, p2, k, config=FAST, seed=7)
+        assert metrics.is_balanced(g, child, k, 0.03)
+
+    def test_identical_parents_reproduce_parent_cut(self, setup):
+        g, k, p1, _ = setup
+        child = combine(g, p1, p1, k, config=FAST, seed=7)
+        assert metrics.cut_value(g, child) <= metrics.cut_value(g, p1) + 1e-9
+
+    def test_deterministic(self, setup):
+        g, k, p1, p2 = setup
+        a = combine(g, p1, p2, k, config=FAST, seed=9)
+        b = combine(g, p1, p2, k, config=FAST, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_valid_partition(self, setup):
+        g, k, p1, p2 = setup
+        child = combine(g, p1, p2, k, config=FAST, seed=11)
+        assert child.shape == (g.n,)
+        assert child.min() >= 0 and child.max() < k
+
+
+class TestEvolve:
+    def test_beats_or_matches_single_runs(self, setup):
+        g, k, _, _ = setup
+        best, cut = evolve(g, k, population=2, generations=1,
+                           config=FAST, seed=0)
+        singles = [
+            partition_graph(g, k, config=FAST, seed=7919 * i).cut
+            for i in range(2)
+        ]
+        assert cut <= min(singles) + 1e-9
+        assert np.isclose(metrics.cut_value(g, best), cut)
+
+    def test_feasible(self, setup):
+        g, k, _, _ = setup
+        best, _ = evolve(g, k, population=2, generations=1,
+                         config=FAST, seed=0)
+        assert metrics.is_balanced(g, best, k, 0.03)

@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.core import metrics
+from repro.generators import delaunay_graph
+from repro.walshaw import (
+    Archive,
+    RATING_MARKS,
+    WALSHAW_RATINGS,
+    walshaw_best,
+)
+
+
+class TestArchive:
+    def test_record_and_best(self):
+        a = Archive()
+        assert a.record("g1", 2, 0.03, 100.0, "metis") is True
+        assert a.best("g1", 2, 0.03).cut == 100.0
+
+    def test_only_strict_improvements(self):
+        a = Archive()
+        a.record("g1", 2, 0.03, 100.0, "metis")
+        assert a.record("g1", 2, 0.03, 100.0, "kappa") is False
+        assert a.record("g1", 2, 0.03, 99.0, "kappa") is True
+        assert a.best("g1", 2, 0.03).solver == "kappa"
+
+    def test_keys_independent(self):
+        a = Archive()
+        a.record("g1", 2, 0.01, 50.0, "x")
+        a.record("g1", 2, 0.03, 40.0, "x")
+        a.record("g1", 4, 0.01, 80.0, "x")
+        assert len(a) == 3
+        assert a.best("g1", 2, 0.05) is None
+
+    def test_improvements_by_prefix(self):
+        a = Archive()
+        a.record("g1", 2, 0.03, 10.0, "kappa:**")
+        a.record("g2", 2, 0.03, 10.0, "metis")
+        assert len(a.improvements_by("kappa")) == 1
+
+    def test_save_load_roundtrip(self, tmp_path):
+        a = Archive()
+        a.record("g1", 2, 0.03, 10.5, "kappa:*")
+        a.record("g2", 64, 0.01, 7.0, "metis")
+        p = tmp_path / "archive.json"
+        a.save(p)
+        b = Archive.load(p)
+        assert len(b) == 2
+        assert b.best("g1", 2, 0.03).cut == 10.5
+        assert b.best("g2", 64, 0.01).solver == "metis"
+
+    def test_iteration_sorted(self):
+        a = Archive()
+        a.record("z", 2, 0.03, 1.0, "s")
+        a.record("a", 2, 0.03, 1.0, "s")
+        assert [e.instance for e in a] == ["a", "z"]
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        return delaunay_graph(300, seed=5)
+
+    def test_marks_cover_paper_annotations(self):
+        assert set(RATING_MARKS.values()) == {"*", "**", "+"}
+        assert set(RATING_MARKS) == set(WALSHAW_RATINGS)
+
+    def test_result_feasible(self, mesh):
+        res = walshaw_best(mesh, 4, 0.03, repeats_per_rating=1, seed=1)
+        part_w = metrics.block_weights(mesh, res.part, 4)
+        assert part_w.max() <= metrics.lmax(mesh, 4, 0.03) + 1e-9
+        assert np.isclose(metrics.cut_value(mesh, res.part), res.cut)
+
+    def test_more_repeats_no_worse(self, mesh):
+        one = walshaw_best(mesh, 4, 0.03, repeats_per_rating=1, seed=1)
+        three = walshaw_best(mesh, 4, 0.03, repeats_per_rating=3, seed=1)
+        assert three.cut <= one.cut
+
+    def test_attempt_count(self, mesh):
+        res = walshaw_best(mesh, 2, 0.05, repeats_per_rating=2, seed=1)
+        assert res.attempts == 2 * len(WALSHAW_RATINGS)
+
+    def test_single_rating_subset(self, mesh):
+        res = walshaw_best(mesh, 2, 0.03, repeats_per_rating=1, seed=1,
+                           ratings=("inner_outer",))
+        assert res.rating == "inner_outer"
+        assert res.mark == "+"
+
+    @pytest.mark.parametrize("eps", [0.01, 0.03, 0.05])
+    def test_all_paper_epsilons(self, mesh, eps):
+        res = walshaw_best(mesh, 2, eps, repeats_per_rating=1, seed=2)
+        part_w = metrics.block_weights(mesh, res.part, 2)
+        assert part_w.max() <= metrics.lmax(mesh, 2, eps) + 1e-9
