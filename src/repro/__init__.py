@@ -26,10 +26,14 @@ from .core import (
     partition_graph,
     preset,
 )
+from .instrument import InvariantChecker, InvariantViolation, Tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Tracer",
+    "InvariantChecker",
+    "InvariantViolation",
     "Graph",
     "from_edge_list",
     "read_metis",

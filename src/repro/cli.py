@@ -9,6 +9,17 @@ Subcommands::
 
 Graphs are read/written in METIS format (``--format dimacs`` for DIMACS);
 partition files hold one block id per line (METIS convention).
+
+Observability flags (accepted before the subcommand or on ``partition``)::
+
+    repro --trace out.json --check-invariants strict   # built-in demo run
+    repro partition graph.metis -k 8 --trace out.json --check-invariants strict
+
+``--trace PATH`` writes a structured JSON trace (phase timings, counters,
+per-level records; schema ``repro.trace/1``) and prints a per-level
+summary table; ``--check-invariants {off,sampled,strict}`` enables the
+runtime invariant checker.  With the flags given and no subcommand, a
+demo partitioning run on a generated graph is traced end to end.
 """
 
 from __future__ import annotations
@@ -25,7 +36,8 @@ from .baselines import (
     parmetis_like_partition,
     scotch_like_partition,
 )
-from .core import KappaPartitioner, metrics, preset
+from .core import KappaPartitioner, format_trace_summary, metrics, preset
+from .instrument import CHECK_MODES, Tracer
 from .graph import (
     read_dimacs,
     read_metis,
@@ -60,7 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="KaPPa-reproduction graph partitioner",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSON pipeline trace to PATH")
+    parser.add_argument("--check-invariants", default=None,
+                        choices=CHECK_MODES, dest="check_invariants",
+                        help="runtime invariant checking mode")
+    sub = parser.add_subparsers(dest="command", required=False)
 
     p = sub.add_parser("partition", help="partition a graph into k blocks")
     p.add_argument("graph", help="input graph file")
@@ -75,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default="metis", choices=("metis", "dimacs"))
     p.add_argument("-o", "--output", default=None,
                    help="partition output file (default: <graph>.part.<k>)")
+    # SUPPRESS keeps a flag given before the subcommand from being reset
+    # to the subparser default
+    p.add_argument("--trace", default=argparse.SUPPRESS, metavar="PATH",
+                   help="write a JSON pipeline trace to PATH")
+    p.add_argument("--check-invariants", default=argparse.SUPPRESS,
+                   choices=CHECK_MODES, dest="check_invariants",
+                   help="runtime invariant checking mode")
 
     e = sub.add_parser("evaluate", help="evaluate an existing partition")
     e.add_argument("graph")
@@ -98,14 +122,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _instrumented_run(g, args, k: int):
+    """Run the kappa partitioner honouring ``--trace`` and
+    ``--check-invariants``; returns ``(result, tracer_or_None)``."""
+    check = args.check_invariants or "off"
+    cfg = preset(args.preset).derive(epsilon=args.epsilon,
+                                     check_invariants=check)
+    tracer = Tracer() if args.trace else None
+    res = KappaPartitioner(cfg).partition(
+        g, k, seed=args.seed, execution=args.execution, tracer=tracer
+    )
+    return res, tracer
+
+
+def _report_instrumentation(res, args) -> int:
+    if args.trace:
+        tracer_doc = res.trace
+        try:
+            with open(args.trace, "w") as fh:
+                import json
+
+                json.dump(tracer_doc, fh, indent=2,
+                          default=lambda o: o.item() if hasattr(o, "item") else o)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print()
+        print(format_trace_summary(tracer_doc))
+        print(f"trace written to {args.trace}")
+    if args.check_invariants and args.check_invariants != "off":
+        print(f"invariant checks: mode={args.check_invariants} "
+              f"violations={len(res.violations)}")
+    return 0
+
+
 def _cmd_partition(args) -> int:
     g = _read_graph(args.graph, args.format)
+    instrumented = bool(args.trace or args.check_invariants)
+    if instrumented and args.tool != "kappa":
+        print("error: --trace/--check-invariants require --tool kappa",
+              file=sys.stderr)
+        return 1
     t0 = time.perf_counter()
     if args.tool == "kappa":
-        cfg = preset(args.preset).derive(epsilon=args.epsilon)
-        res = KappaPartitioner(cfg).partition(
-            g, args.k, seed=args.seed, execution=args.execution
-        )
+        res, _ = _instrumented_run(g, args, args.k)
     else:
         fn = {
             "metis_like": metis_like_partition,
@@ -127,7 +189,26 @@ def _cmd_partition(args) -> int:
     if res.sim_time_s is not None:
         print(f"simulated parallel time: {res.sim_time_s * 1e3:.3f}ms")
     print(f"partition written to {out}")
+    if args.tool == "kappa":
+        return _report_instrumentation(res, args)
     return 0
+
+
+def _cmd_demo(args) -> int:
+    """No subcommand but observability flags given: trace a demo run on a
+    generated graph (rgg n=2048, k=8, fast preset)."""
+    from .generators import random_geometric_graph
+
+    g = random_geometric_graph(2048, seed=0)
+    args.preset = getattr(args, "preset", "fast")
+    args.epsilon = getattr(args, "epsilon", 0.03)
+    args.seed = getattr(args, "seed", 0)
+    args.execution = getattr(args, "execution", "sequential")
+    res, _ = _instrumented_run(g, args, k=8)
+    print(f"demo: rgg n={g.n} m={g.m}, k=8, preset={args.preset}")
+    print(f"cut: {res.cut:g}")
+    print(f"balance: {res.partition.balance:.4f}")
+    return _report_instrumentation(res, args)
 
 
 def _cmd_evaluate(args) -> int:
@@ -192,7 +273,13 @@ def _cmd_info(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        if args.trace or args.check_invariants:
+            return _cmd_demo(args)
+        parser.error("a subcommand is required "
+                     "(or pass --trace/--check-invariants for a demo run)")
     handler = {
         "partition": _cmd_partition,
         "evaluate": _cmd_evaluate,

@@ -16,6 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..graph.csr import Graph
+from ..instrument.tracer import NULL_TRACER
 from .contract import contract_matching, project_partition
 from .matching.registry import dispatch
 from .matching.parallel import parallel_matching
@@ -86,6 +87,8 @@ def coarsen(
     n_pes: int = 1,
     prepartition_mode: str = "auto",
     min_shrink: float = 0.05,
+    tracer=NULL_TRACER,
+    checker=None,
 ) -> Hierarchy:
     """Build the contraction hierarchy for a k-way partitioning run.
 
@@ -94,9 +97,15 @@ def coarsen(
     sequential matcher runs directly.  Contraction also stops early when a
     level shrinks by less than ``min_shrink`` (matchings too small to make
     progress — typical for star-like social networks).
+
+    ``tracer`` records one level record per contraction (nodes, edges,
+    matched fraction, shrink); ``checker`` (an
+    :class:`~repro.instrument.InvariantChecker`) validates each matching
+    and each contraction's weight conservation.
     """
     hierarchy = Hierarchy(graphs=[g])
     threshold = contraction_threshold(g.n, k, alpha, min_nodes)
+    tracer.record("contraction_threshold", threshold)
     owner: Optional[np.ndarray] = None
     if n_pes > 1:
         owner = prepartition(g, n_pes, prepartition_mode)
@@ -104,6 +113,8 @@ def coarsen(
     current = g
     for level in range(max_levels):
         if current.n <= threshold or current.m == 0:
+            tracer.record("stop_reason",
+                          "threshold" if current.m else "no_edges")
             break
         rng = np.random.default_rng((seed, level))
         if n_pes > 1:
@@ -113,9 +124,26 @@ def coarsen(
             )
         else:
             m = dispatch(current, algorithm=matching, rating=rating, rng=rng)
+        if checker is not None:
+            checker.check_matching(current, m, level=level)
+        matched = int((m != np.arange(current.n)).sum())
         coarse, cmap = contract_matching(current, m)
+        if checker is not None:
+            checker.check_contraction(current, coarse, cmap, level=level)
         if coarse.n > (1.0 - min_shrink) * current.n:
+            tracer.record("stop_reason", "min_shrink")
             break
+        tracer.count("levels")
+        tracer.add_level(
+            level=level,
+            stage="coarsen",
+            n=current.n,
+            m=current.m,
+            matched_fraction=matched / current.n if current.n else 0.0,
+            shrink=coarse.n / current.n if current.n else 1.0,
+            coarse_n=coarse.n,
+            coarse_m=coarse.m,
+        )
         hierarchy.graphs.append(coarse)
         hierarchy.maps.append(cmap)
         if owner is not None:

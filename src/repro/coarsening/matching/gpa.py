@@ -105,9 +105,17 @@ def gpa_matching(
     us: np.ndarray,
     vs: np.ndarray,
     rng: Optional[np.random.Generator] = None,
+    forbidden: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """GPA matching over edges scored by ``scores``."""
+    """GPA matching over edges scored by ``scores``.
+
+    Nodes flagged in the boolean ``forbidden`` mask never enter the path
+    collection, so they are guaranteed to stay unmatched.
+    """
     n = g.n
+    if forbidden is not None:
+        keep = ~(forbidden[us] | forbidden[vs])
+        us, vs, scores = us[keep], vs[keep], scores[keep]
     order = sort_edges_desc(us, vs, scores, rng)
 
     # -- phase 1: grow a collection of paths and even cycles ------------

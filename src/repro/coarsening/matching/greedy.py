@@ -24,9 +24,17 @@ def greedy_matching(
     us: np.ndarray,
     vs: np.ndarray,
     rng: Optional[np.random.Generator] = None,
+    forbidden: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Half-approximate greedy matching over edges scored by ``scores``."""
+    """Half-approximate greedy matching over edges scored by ``scores``.
+
+    Nodes flagged in the boolean ``forbidden`` mask are unmatchable: no
+    edge incident to them is ever taken (they stay singletons).
+    """
     matching = empty_matching(g.n)
+    if forbidden is not None:
+        keep = ~(forbidden[us] | forbidden[vs])
+        us, vs, scores = us[keep], vs[keep], scores[keep]
     order = sort_edges_desc(us, vs, scores, rng)
     for i in order:
         u, v = int(us[i]), int(vs[i])

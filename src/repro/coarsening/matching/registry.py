@@ -26,10 +26,14 @@ def dispatch(
     algorithm: str = "gpa",
     rating: str = "expansion_star2",
     rng: Optional[np.random.Generator] = None,
+    forbidden: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Rate all edges of ``g`` and run the selected matching algorithm.
 
     Returns the partner array (``partner[v] == v`` for unmatched nodes).
+    ``forbidden`` is an optional boolean mask of unmatchable nodes: every
+    matcher guarantees they stay singletons (used e.g. to keep already
+    overweight nodes from growing further during contraction).
     """
     try:
         matcher = MATCHERS[algorithm]
@@ -39,4 +43,8 @@ def dispatch(
             f"choose from {sorted(MATCHERS)}"
         ) from None
     us, vs, ws, scores = rate_edges(g, rating)
-    return matcher(g, scores, us, vs, rng)
+    if forbidden is not None:
+        forbidden = np.asarray(forbidden, dtype=bool)
+        if forbidden.shape != (g.n,):
+            raise ValueError("forbidden mask must have one entry per node")
+    return matcher(g, scores, us, vs, rng, forbidden=forbidden)

@@ -28,8 +28,13 @@ def shem_matching(
     us: np.ndarray,
     vs: np.ndarray,
     rng: Optional[np.random.Generator] = None,
+    forbidden: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Metis-style sorted heavy edge matching under rating ``scores``."""
+    """Metis-style sorted heavy edge matching under rating ``scores``.
+
+    Nodes flagged in the boolean ``forbidden`` mask are never scanned and
+    never accepted as partners (they stay singletons).
+    """
     matching = empty_matching(g.n)
     # per-arc score lookup aligned with the CSR arrays
     arc_scores = np.empty(len(g.adjncy), dtype=np.float64)
@@ -53,9 +58,13 @@ def shem_matching(
         v = int(v)
         if matching[v] != v:
             continue
+        if forbidden is not None and forbidden[v]:
+            continue
         lo_i, hi_i = g.xadj[v], g.xadj[v + 1]
         nbrs = g.adjncy[lo_i:hi_i]
         free = matching[nbrs] == nbrs
+        if forbidden is not None:
+            free &= ~forbidden[nbrs]
         if not free.any():
             continue
         cand_scores = arc_scores[lo_i:hi_i].copy()

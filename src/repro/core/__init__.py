@@ -4,7 +4,14 @@ result reporting, and the KaPPa driver."""
 from . import metrics
 from .config import FAST, MINIMAL, STRONG, WALSHAW, KappaConfig, preset
 from .partition import Partition
-from .reporting import RunRecord, InstanceSummary, geometric_mean, summarize, format_table
+from .reporting import (
+    RunRecord,
+    InstanceSummary,
+    geometric_mean,
+    summarize,
+    format_table,
+    format_trace_summary,
+)
 
 __all__ = [
     "metrics",
@@ -20,6 +27,7 @@ __all__ = [
     "geometric_mean",
     "summarize",
     "format_table",
+    "format_trace_summary",
 ]
 
 from .partitioner import KappaPartitioner, KappaResult, partition_graph

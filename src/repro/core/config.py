@@ -65,6 +65,12 @@ class KappaConfig:
     n_pes: Optional[int] = None  # None → one PE per block (paper setting)
     prepartition: str = "auto"   # "geometric" | "numbering" | "auto"
 
+    # -- observability (repro.instrument) ------------------------------
+    #: runtime invariant checking: "off" (no cost) | "sampled" (subset of
+    #: levels, violations collected) | "strict" (every level, first
+    #: violation raises InvariantViolation)
+    check_invariants: str = "off"
+
     name: str = "fast"
 
     def derive(self, **kwargs) -> "KappaConfig":
@@ -87,6 +93,11 @@ class KappaConfig:
         if self.refine_algorithm not in ("fm", "flow", "fm_flow"):
             raise ValueError(
                 f"unknown refine_algorithm {self.refine_algorithm!r}"
+            )
+        if self.check_invariants not in ("off", "sampled", "strict"):
+            raise ValueError(
+                f"unknown check_invariants mode {self.check_invariants!r}; "
+                "choose from ('off', 'sampled', 'strict')"
             )
 
 

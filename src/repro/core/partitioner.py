@@ -25,6 +25,13 @@ from ..coarsening.contract import contract_matching
 from ..coarsening.matching.parallel import parallel_matching_spmd
 from ..coarsening.prepartition import prepartition
 from ..initial.runner import initial_partition, initial_partition_spmd
+from ..instrument import (
+    InvariantChecker,
+    NULL_TRACER,
+    Tracer,
+    Violation,
+    ensure_tracer,
+)
 from ..refinement.balance import rebalance
 from ..refinement.pairwise import pairwise_refinement, pairwise_refinement_spmd
 from ..parallel.comm import SimCluster
@@ -49,6 +56,11 @@ class KappaResult:
     #: cut after refining each level, coarsest first (sequential path) —
     #: the multilevel "cut trajectory" (monotone improvements per level)
     level_cuts: List[float] = field(default_factory=list)
+    #: JSON-ready trace document when a live Tracer was passed in
+    trace: Optional[Dict] = None
+    #: invariant violations collected by the run's InvariantChecker
+    #: (always empty in "strict" mode unless the run raised)
+    violations: List[Violation] = field(default_factory=list)
 
     @property
     def cut(self) -> float:
@@ -77,10 +89,15 @@ class KappaPartitioner:
 
     # ------------------------------------------------------------------
     def partition(self, g: Graph, k: int, seed: Optional[int] = None,
-                  execution: str = "sequential") -> KappaResult:
+                  execution: str = "sequential",
+                  tracer: Optional[Tracer] = None) -> KappaResult:
         """Partition ``g`` into ``k`` blocks.
 
-        ``seed`` overrides the config seed for repeated runs.
+        ``seed`` overrides the config seed for repeated runs.  Pass a
+        live :class:`~repro.instrument.Tracer` to collect a structured
+        trace of the run (phases, counters, per-level records); the
+        finished document lands in ``KappaResult.trace``.  Invariant
+        checking is controlled by ``config.check_invariants``.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -89,43 +106,89 @@ class KappaPartitioner:
         if execution not in ("sequential", "cluster"):
             raise ValueError(f"unknown execution mode {execution!r}")
         seed = self.config.seed if seed is None else seed
+        tracer = ensure_tracer(tracer)
+        checker = InvariantChecker(self.config.check_invariants,
+                                   tracer=tracer)
+        if tracer.enabled:
+            tracer.meta.update(
+                n=g.n, m=g.m, k=k, seed=seed, execution=execution,
+                config=self.config.name, epsilon=self.config.epsilon,
+                check_invariants=self.config.check_invariants,
+            )
         if execution == "cluster":
-            return self._partition_cluster(g, k, seed)
-        return self._partition_sequential(g, k, seed)
+            res = self._partition_cluster(g, k, seed, tracer, checker)
+        else:
+            res = self._partition_sequential(g, k, seed, tracer, checker)
+        res.violations = checker.violations
+        if tracer.enabled:
+            tracer.invariants = checker.report()
+            res.trace = tracer.to_dict()
+        return res
 
     # ------------------------------------------------------------------
-    def _partition_sequential(self, g: Graph, k: int, seed: int) -> KappaResult:
+    def _partition_sequential(self, g: Graph, k: int, seed: int,
+                              tracer=NULL_TRACER,
+                              checker: Optional[InvariantChecker] = None,
+                              ) -> KappaResult:
         cfg = self.config
         t0 = time.perf_counter()
         n_pes = cfg.n_pes if cfg.n_pes is not None else k
-        hierarchy = coarsen(
-            g, k,
-            rating=cfg.rating,
-            matching=cfg.matching,
-            alpha=cfg.contraction_alpha,
-            min_nodes=cfg.contraction_min_nodes,
-            max_levels=cfg.max_levels,
-            seed=seed,
-            n_pes=1 if k == 1 else min(n_pes, max(1, g.n // 4)),
-            prepartition_mode=cfg.prepartition,
-        )
+        with tracer.phase("coarsening"):
+            hierarchy = coarsen(
+                g, k,
+                rating=cfg.rating,
+                matching=cfg.matching,
+                alpha=cfg.contraction_alpha,
+                min_nodes=cfg.contraction_min_nodes,
+                max_levels=cfg.max_levels,
+                seed=seed,
+                n_pes=1 if k == 1 else min(n_pes, max(1, g.n // 4)),
+                prepartition_mode=cfg.prepartition,
+                tracer=tracer,
+                checker=checker,
+            )
         t_coarsen = time.perf_counter()
-        part = initial_partition(
-            hierarchy.coarsest, k, cfg.epsilon,
-            method=cfg.initial_partitioner,
-            repeats=cfg.init_repeats,
-            seed=seed,
-        )
+        with tracer.phase("initial_partitioning"):
+            part = initial_partition(
+                hierarchy.coarsest, k, cfg.epsilon,
+                method=cfg.initial_partitioner,
+                repeats=cfg.init_repeats,
+                seed=seed,
+                tracer=tracer,
+            )
         t_initial = time.perf_counter()
         level_cuts = [metrics.cut_value(hierarchy.coarsest, part)]
-        for level in range(hierarchy.depth - 1, 0, -1):
-            part = hierarchy.project(part, level)
-            part = self._refine(hierarchy.graphs[level - 1], part, k, seed + level)
-            level_cuts.append(metrics.cut_value(hierarchy.graphs[level - 1], part))
-        if hierarchy.depth == 1:
-            part = self._refine(g, part, k, seed)
-            level_cuts.append(metrics.cut_value(g, part))
-        part = self._ensure_feasible(g, part, k, seed)
+        with tracer.phase("uncoarsening"):
+            for level in range(hierarchy.depth - 1, 0, -1):
+                fine_g = hierarchy.graphs[level - 1]
+                coarse_part = part
+                part = hierarchy.project(part, level)
+                if checker is not None:
+                    checker.check_projection(
+                        fine_g, part, hierarchy.graphs[level], coarse_part,
+                        level=level - 1,
+                    )
+                t_lvl = time.perf_counter()
+                part = self._refine(fine_g, part, k, seed + level, tracer)
+                cut = metrics.cut_value(fine_g, part)
+                level_cuts.append(cut)
+                tracer.add_level(
+                    level=level - 1, stage="refine", n=fine_g.n, m=fine_g.m,
+                    cut=cut, elapsed_s=time.perf_counter() - t_lvl,
+                )
+            if hierarchy.depth == 1:
+                t_lvl = time.perf_counter()
+                part = self._refine(g, part, k, seed, tracer)
+                cut = metrics.cut_value(g, part)
+                level_cuts.append(cut)
+                tracer.add_level(
+                    level=0, stage="refine", n=g.n, m=g.m, cut=cut,
+                    elapsed_s=time.perf_counter() - t_lvl,
+                )
+        with tracer.phase("feasibility"):
+            part = self._ensure_feasible(g, part, k, seed, tracer)
+        if checker is not None:
+            checker.check_final(g, part, k, cfg.epsilon)
         t_refine = time.perf_counter()
         return KappaResult(
             partition=Partition(g, part, k, cfg.epsilon),
@@ -140,7 +203,8 @@ class KappaPartitioner:
             },
         )
 
-    def _refine(self, g: Graph, part: np.ndarray, k: int, seed: int) -> np.ndarray:
+    def _refine(self, g: Graph, part: np.ndarray, k: int, seed: int,
+                tracer=NULL_TRACER) -> np.ndarray:
         cfg = self.config
         if k == 1:
             return part
@@ -156,28 +220,45 @@ class KappaPartitioner:
             seed=seed,
             matching_selection=cfg.matching_selection,
             pair_algorithm=cfg.refine_algorithm,
+            tracer=tracer,
         )
 
     def _ensure_feasible(self, g: Graph, part: np.ndarray, k: int,
-                         seed: int) -> np.ndarray:
+                         seed: int, tracer=NULL_TRACER) -> np.ndarray:
         if not metrics.is_balanced(g, part, k, self.config.epsilon):
+            tracer.count("rebalance_invocations")
             part = rebalance(g, part, k, self.config.epsilon,
                              rng=np.random.default_rng(seed))
         return part
 
     # ------------------------------------------------------------------
-    def _partition_cluster(self, g: Graph, k: int, seed: int) -> KappaResult:
+    def _partition_cluster(self, g: Graph, k: int, seed: int,
+                           tracer=NULL_TRACER,
+                           checker: Optional[InvariantChecker] = None,
+                           ) -> KappaResult:
         """Full SPMD pipeline: one virtual PE per block by default, or
-        ``config.n_pes < k`` PEs with blocks multiplexed (Section 8)."""
+        ``config.n_pes < k`` PEs with blocks multiplexed (Section 8).
+
+        The SPMD program runs once per virtual PE, so per-level tracing
+        would multiply every counter by P; the cluster path therefore
+        traces at run granularity only and validates the final partition.
+        """
         cfg = self.config
         t0 = time.perf_counter()
         p = k if cfg.n_pes is None else min(cfg.n_pes, k)
         cluster = SimCluster(p, machine=self.machine)
-        res = cluster.run(self._spmd_program, g, k, seed)
+        with tracer.phase("cluster_run"):
+            res = cluster.run(self._spmd_program, g, k, seed)
         part, levels, coarsest_n = res.results[0]
         for other, _, _ in res.results[1:]:
             if not np.array_equal(other, part):
                 raise AssertionError("PEs finished with inconsistent partitions")
+        if checker is not None:
+            checker.check_final(g, part, k, cfg.epsilon)
+        if tracer.enabled:
+            tracer.meta["pes"] = p
+            tracer.count("bytes_sent", float(res.bytes_sent))
+            tracer.count("messages_sent", float(res.messages_sent))
         elapsed = time.perf_counter() - t0
         return KappaResult(
             partition=Partition(g, part, k, cfg.epsilon),

@@ -13,7 +13,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["RunRecord", "InstanceSummary", "geometric_mean", "summarize", "format_table"]
+__all__ = ["RunRecord", "InstanceSummary", "geometric_mean", "summarize",
+           "format_table", "format_trace_summary"]
 
 
 def geometric_mean(values: Sequence[float]) -> float:
@@ -101,4 +102,76 @@ def format_table(rows: Sequence[Sequence], headers: Sequence[str]) -> str:
     ]
     for row in cells:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_trace_summary(trace: Dict) -> str:
+    """Human-readable summary of a pipeline trace document.
+
+    ``trace`` is the ``repro.trace/1`` dict produced by
+    :meth:`repro.instrument.Tracer.to_dict` (also found in
+    ``KappaResult.trace``).  Renders the phase timings, the per-level
+    coarsening and refinement tables, and the invariant-check outcome.
+    """
+    lines: List[str] = []
+    meta = trace.get("meta", {})
+    if meta:
+        head = ", ".join(f"{k}={v}" for k, v in meta.items())
+        lines.append(f"trace: {head}")
+
+    def walk(phases, depth: int):
+        for p in phases:
+            counters = p.get("counters", {})
+            extra = ""
+            if counters:
+                shown = ", ".join(
+                    f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in list(counters.items())[:6]
+                )
+                extra = f"  [{shown}]"
+            lines.append("  " * depth
+                         + f"{p['name']}: {p['elapsed_s'] * 1e3:.1f}ms{extra}")
+            walk(p.get("children", []), depth + 1)
+
+    if trace.get("phases"):
+        lines.append("")
+        lines.append("phases:")
+        walk(trace["phases"], 1)
+
+    levels = trace.get("levels", [])
+    coarsen_rows = [
+        (lv["level"], lv["n"], lv["m"],
+         f"{100.0 * lv['matched_fraction']:.1f}%",
+         f"{lv['shrink']:.3f}", lv["coarse_n"], lv["coarse_m"])
+        for lv in levels if lv.get("stage") == "coarsen"
+    ]
+    if coarsen_rows:
+        lines.append("")
+        lines.append("coarsening levels:")
+        lines.append(format_table(
+            coarsen_rows,
+            ("level", "n", "m", "matched", "shrink", "n'", "m'"),
+        ))
+    refine_rows = [
+        (lv["level"], lv["n"], lv["m"], lv["cut"],
+         f"{lv['elapsed_s'] * 1e3:.1f}ms")
+        for lv in levels if lv.get("stage") == "refine"
+    ]
+    if refine_rows:
+        lines.append("")
+        lines.append("refinement levels (finest last):")
+        lines.append(format_table(
+            refine_rows, ("level", "n", "m", "cut", "time")
+        ))
+
+    inv = trace.get("invariants")
+    if inv is not None:
+        lines.append("")
+        lines.append(
+            f"invariants: mode={inv['mode']} checks={inv['checks_run']} "
+            f"violations={len(inv['violations'])}"
+        )
+        for v in inv["violations"]:
+            where = f" (level {v['level']})" if "level" in v else ""
+            lines.append(f"  VIOLATION {v['check']}{where}: {v['message']}")
     return "\n".join(lines)

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..graph.csr import Graph
 from ..core import metrics
+from ..instrument.tracer import NULL_TRACER
 from ..refinement.balance import rebalance
 from .kway import kway_growing
 from .recursive import recursive_bisection
@@ -57,6 +58,7 @@ def initial_partition(
     method: str = "recursive_bisection",
     repeats: int = 3,
     seed: int = 0,
+    tracer=NULL_TRACER,
 ) -> np.ndarray:
     """Best of ``repeats`` seeded attempts (the sequential analogue of the
     paper's all-PEs-different-seeds protocol)."""
@@ -66,9 +68,13 @@ def initial_partition(
     best_score = (np.inf, np.inf)
     for r in range(repeats):
         part = _one_attempt(g, k, epsilon, method, seed + 7919 * r)
+        tracer.count("init_attempts")
         score = _score(g, part, k, epsilon)
         if score < best_score:
             best, best_score = part, score
+    tracer.record("init_method", method)
+    tracer.record("init_best_penalty", best_score[0])
+    tracer.record("init_best_cut", best_score[1])
     return best
 
 

@@ -1,0 +1,36 @@
+"""Pipeline observability: structured tracing and invariant checking.
+
+Two cooperating components, threaded through every stage of the
+multilevel pipeline (coarsening → initial partitioning → refinement):
+
+* :class:`Tracer` — nested phase timers, counters and per-level records,
+  exported as a JSON document (``schema: "repro.trace/1"``);
+* :class:`InvariantChecker` — runtime validation of the paper's core
+  invariants (matching validity §3.2, weight/cut conservation under
+  contraction §2, projection consistency, final balance §1) with
+  ``off`` / ``sampled`` / ``strict`` modes.
+
+Both default to inert implementations (:data:`NULL_TRACER`, mode
+``"off"``) so the instrumented hot paths cost nothing unless enabled via
+``KappaConfig.check_invariants``, ``KappaPartitioner.partition(...,
+tracer=...)`` or the ``--trace`` / ``--check-invariants`` CLI flags.
+"""
+
+from .tracer import NULL_TRACER, NullTracer, Tracer, ensure_tracer
+from .invariants import (
+    CHECK_MODES,
+    InvariantChecker,
+    InvariantViolation,
+    Violation,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "ensure_tracer",
+    "CHECK_MODES",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Violation",
+]

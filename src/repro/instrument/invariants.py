@@ -1,0 +1,253 @@
+"""Runtime invariant checking for the multilevel pipeline.
+
+The paper's correctness contract, enforced at runtime:
+
+* **matching validity** (§3.2) — the partner array is a self-inverse
+  involution and every matched pair is an edge of the graph;
+* **contraction conservation** (§2) — contraction preserves the total
+  node weight exactly, and the coarse edge weight equals the fine edge
+  weight minus the weight of the contracted (intra-pair) edges;
+* **projection consistency** (§2) — uncontracting a partition reproduces
+  the coarse cut *exactly* on the finer graph and keeps identical block
+  weights (contracted edges are internal, so they never enter the cut);
+* **final feasibility** (§1) — every block obeys
+  ``c(V_i) ≤ L_max = (1+ε)·c(V)/k + max_v c(v)``.
+
+Three strictness modes:
+
+``off``
+    No checks; the checker is inert (and cheap enough to leave wired in).
+``sampled``
+    Per-level checks run on a deterministic subset of levels (every
+    ``sample_stride``-th, plus the final feasibility check, which always
+    runs).  Violations are collected, not raised — suitable for
+    always-on production telemetry.
+``strict``
+    Every check on every level; the first violation raises
+    :class:`InvariantViolation`.  This is the test-suite / debugging
+    mode; overhead is O(m) per level (documented in ``docs/API.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..graph.csr import Graph
+from .tracer import NULL_TRACER
+
+__all__ = ["CHECK_MODES", "InvariantViolation", "Violation",
+           "InvariantChecker"]
+
+CHECK_MODES = ("off", "sampled", "strict")
+
+#: absolute tolerance for float weight comparisons (weights are sums of
+#: user inputs, so exact conservation holds up to accumulation order)
+_ATOL = 1e-6
+
+
+class InvariantViolation(AssertionError):
+    """Raised in ``strict`` mode when a pipeline invariant is broken."""
+
+
+# The checker lives below repro.core in the layering (core's driver wires
+# it in), so the few metrics it needs are computed inline from the CSR
+# arrays rather than imported from core.metrics.
+
+def _cut_value(g: Graph, part: np.ndarray) -> float:
+    src = g.directed_sources()
+    return float(g.adjwgt[part[src] != part[g.adjncy]].sum()) / 2.0
+
+
+def _block_weights(g: Graph, part: np.ndarray, k: int) -> np.ndarray:
+    w = np.zeros(k, dtype=np.float64)
+    np.add.at(w, np.asarray(part), g.vwgt)
+    return w
+
+
+def _lmax(g: Graph, k: int, epsilon: float) -> float:
+    return (1.0 + epsilon) * g.total_node_weight() / k + g.max_node_weight()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded invariant violation."""
+
+    check: str                 # e.g. "matching.involution"
+    message: str
+    level: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"check": self.check, "message": self.message}
+        if self.level is not None:
+            out["level"] = self.level
+        return out
+
+
+class InvariantChecker:
+    """Validates pipeline invariants according to a strictness mode.
+
+    The checker is shared across the whole run: it accumulates
+    ``violations`` and per-check counters, and exports a summary via
+    :meth:`report` (embedded in the JSON trace).
+    """
+
+    def __init__(self, mode: str = "off", sample_stride: int = 4,
+                 tracer=NULL_TRACER) -> None:
+        if mode not in CHECK_MODES:
+            raise ValueError(
+                f"unknown invariant mode {mode!r}; choose from {CHECK_MODES}"
+            )
+        if sample_stride < 1:
+            raise ValueError("sample_stride must be >= 1")
+        self.mode = mode
+        self.sample_stride = sample_stride
+        self.tracer = tracer
+        self.checks_run = 0
+        self.violations: List[Violation] = []
+
+    # -- gating --------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    def active_at(self, level: Optional[int]) -> bool:
+        """Whether per-level checks run at ``level`` under this mode."""
+        if self.mode == "off":
+            return False
+        if self.mode == "strict" or level is None:
+            return True
+        return level % self.sample_stride == 0
+
+    # -- failure handling ----------------------------------------------
+    def _fail(self, check: str, message: str,
+              level: Optional[int] = None) -> None:
+        v = Violation(check=check, message=message, level=level)
+        self.violations.append(v)
+        self.tracer.count("invariant_violations")
+        if self.mode == "strict":
+            where = "" if level is None else f" (level {level})"
+            raise InvariantViolation(f"{check}{where}: {message}")
+
+    def _ran(self, name: str) -> None:
+        self.checks_run += 1
+        self.tracer.count(f"check.{name}")
+
+    # -- checks --------------------------------------------------------
+    def check_matching(self, g: Graph, matching: np.ndarray,
+                       level: Optional[int] = None) -> None:
+        """Matching validity (§3.2): involution over existing edges."""
+        if not self.active_at(level):
+            return
+        self._ran("matching")
+        matching = np.asarray(matching, dtype=np.int64)
+        if matching.shape != (g.n,):
+            self._fail("matching.shape",
+                       f"expected shape ({g.n},), got {matching.shape}", level)
+            return
+        if g.n == 0:
+            return
+        if matching.min() < 0 or matching.max() >= g.n:
+            self._fail("matching.range", "partner id out of range", level)
+            return
+        ident = np.arange(g.n, dtype=np.int64)
+        if not np.array_equal(matching[matching], ident):
+            bad = int(np.nonzero(matching[matching] != ident)[0][0])
+            self._fail("matching.involution",
+                       f"matching[matching[{bad}]] != {bad} "
+                       "(not symmetric)", level)
+            return
+        for v in np.nonzero(matching != ident)[0]:
+            u = int(matching[v])
+            if not g.has_edge(int(v), u):
+                self._fail("matching.edge_exists",
+                           f"matched pair ({int(v)}, {u}) is not an edge",
+                           level)
+                return
+
+    def check_contraction(self, fine: Graph, coarse: Graph,
+                          cmap: np.ndarray,
+                          level: Optional[int] = None) -> None:
+        """Weight conservation under contraction (§2)."""
+        if not self.active_at(level):
+            return
+        self._ran("contraction")
+        cmap = np.asarray(cmap, dtype=np.int64)
+        if cmap.shape != (fine.n,):
+            self._fail("contraction.map_shape",
+                       f"coarse map must have {fine.n} entries", level)
+            return
+        if fine.n and (cmap.min() < 0 or cmap.max() >= coarse.n):
+            self._fail("contraction.map_range",
+                       "coarse map id out of range", level)
+            return
+        if fine.n and len(np.unique(cmap)) != coarse.n:
+            self._fail("contraction.map_surjective",
+                       "coarse map does not cover every coarse node", level)
+        fw, cw = fine.total_node_weight(), coarse.total_node_weight()
+        if not np.isclose(fw, cw, atol=_ATOL):
+            self._fail("contraction.node_weight",
+                       f"total node weight changed: {fw:g} -> {cw:g}", level)
+        # coarse edges lose exactly the contracted (now internal) weight
+        src = fine.directed_sources()
+        internal = float(
+            fine.adjwgt[cmap[src] == cmap[fine.adjncy]].sum()) / 2.0
+        expect = fine.total_edge_weight() - internal
+        got = coarse.total_edge_weight()
+        if not np.isclose(expect, got, atol=_ATOL):
+            self._fail(
+                "contraction.edge_weight",
+                f"coarse edge weight {got:g} != fine minus contracted "
+                f"{expect:g}", level)
+
+    def check_projection(self, fine: Graph, fine_part: np.ndarray,
+                         coarse: Graph, coarse_part: np.ndarray,
+                         level: Optional[int] = None) -> None:
+        """Projection consistency (§2): cut and block weights carry over
+        exactly when lifting a coarse partition to the finer graph."""
+        if not self.active_at(level):
+            return
+        self._ran("projection")
+        ccut = _cut_value(coarse, coarse_part)
+        fcut = _cut_value(fine, fine_part)
+        if not np.isclose(ccut, fcut, atol=_ATOL):
+            self._fail("projection.cut",
+                       f"projected cut {fcut:g} != coarse cut {ccut:g}",
+                       level)
+        k = int(max(coarse_part.max(), fine_part.max())) + 1 if fine.n else 1
+        cbw = _block_weights(coarse, coarse_part, k)
+        fbw = _block_weights(fine, fine_part, k)
+        if not np.allclose(cbw, fbw, atol=_ATOL):
+            self._fail("projection.block_weights",
+                       "block weights changed under projection", level)
+
+    def check_final(self, g: Graph, part: np.ndarray, k: int,
+                    epsilon: float) -> None:
+        """Final partition feasibility (§1): shape, ids, balance."""
+        if self.mode == "off":
+            return
+        self._ran("final")
+        part = np.asarray(part)
+        if part.shape != (g.n,):
+            self._fail("final.shape",
+                       f"partition must have shape ({g.n},)")
+            return
+        if g.n and (part.min() < 0 or part.max() >= k):
+            self._fail("final.block_ids", "block ids must lie in 0..k-1")
+            return
+        bw = _block_weights(g, part, k)
+        limit = _lmax(g, k, epsilon)
+        worst = float(bw.max()) if k else 0.0
+        if worst > limit + 1e-9:
+            self._fail("final.balance",
+                       f"max block weight {worst:g} > L_max {limit:g}")
+
+    # -- export --------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "checks_run": self.checks_run,
+            "violations": [v.to_dict() for v in self.violations],
+        }

@@ -1,0 +1,223 @@
+"""Structured pipeline tracing: nested phase timers, counters, levels.
+
+The multilevel pipeline (coarsening → initial partitioning → refinement,
+DESIGN §1) historically ran as a black box.  The :class:`Tracer` gives it
+the per-phase / per-level accounting that the KaHIP engineering papers
+(Sanders & Schulz; Osipov & Sanders) identify as the prerequisite for any
+tuning loop: every phase is timed on a stack of nested spans, counters
+accumulate in the innermost open span, and each coarsening/uncoarsening
+level appends one record to a flat ``levels`` table.
+
+The emitted JSON document (``schema: "repro.trace/1"``) has the shape::
+
+    {
+      "schema": "repro.trace/1",
+      "meta":     {...},               # graph size, k, config name, seed
+      "phases":   [{"name", "elapsed_s", "counters", "children"}, ...],
+      "levels":   [{"level", "stage", ...free-form numeric fields}, ...],
+      "counters": {...},               # grand totals over all phases
+      "invariants": {"mode", "checks_run", "violations": [...]}
+    }
+
+Cost discipline: the hot paths are instrumented unconditionally but
+against :data:`NULL_TRACER` by default, whose methods are no-ops (a
+single attribute lookup + call).  Benchmarks in ``docs/API.md`` show the
+off-mode overhead is below measurement noise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "ensure_tracer"]
+
+
+class _Span:
+    """One timed phase: a node of the phase tree."""
+
+    __slots__ = ("name", "t0", "elapsed_s", "counters", "values", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.t0 = 0.0
+        self.elapsed_s = 0.0
+        self.counters: Dict[str, float] = {}
+        self.values: Dict[str, Any] = {}
+        self.children: List["_Span"] = []
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "elapsed_s": self.elapsed_s}
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.values:
+            out["values"] = dict(self.values)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class Tracer:
+    """Collects nested phase timings, counters and per-level records.
+
+    >>> tr = Tracer()
+    >>> with tr.phase("coarsening"):
+    ...     tr.count("levels")
+    ...     tr.add_level(level=0, stage="coarsen", n=100, m=400)
+    >>> doc = tr.to_dict()
+    >>> doc["phases"][0]["name"]
+    'coarsening'
+    """
+
+    #: distinguishes a live tracer from :class:`NullTracer` without an
+    #: isinstance check in hot loops
+    enabled: bool = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._root = _Span("__root__")
+        self._stack: List[_Span] = [self._root]
+        self.levels: List[Dict[str, Any]] = []
+        self.meta: Dict[str, Any] = {}
+        self.invariants: Optional[Dict[str, Any]] = None
+
+    # -- phases --------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator["Tracer"]:
+        """Time a (possibly nested) pipeline phase."""
+        span = _Span(name)
+        span.t0 = self._clock()
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        try:
+            yield self
+        finally:
+            span.elapsed_s = self._clock() - span.t0
+            self._stack.pop()
+
+    # -- counters / values --------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` in the innermost open phase."""
+        c = self._stack[-1].counters
+        c[name] = c.get(name, 0) + value
+
+    def record(self, name: str, value: Any) -> None:
+        """Set a non-additive value (e.g. a choice made) on the phase."""
+        self._stack[-1].values[name] = value
+
+    # -- levels --------------------------------------------------------
+    def add_level(self, **fields: Any) -> None:
+        """Append one per-level record (free-form numeric fields)."""
+        self.levels.append(fields)
+
+    # -- export --------------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        """Grand totals: every counter summed over the whole phase tree.
+
+        Per-phase breakdowns stay available on the ``phases`` tree of
+        :meth:`to_dict`; this is the roll-up view.
+        """
+        totals: Dict[str, float] = {}
+
+        def walk(span: _Span) -> None:
+            for name, value in span.counters.items():
+                totals[name] = totals.get(name, 0) + value
+            for child in span.children:
+                walk(child)
+
+        walk(self._root)
+        return totals
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "schema": "repro.trace/1",
+            "meta": dict(self.meta),
+            "phases": [s.to_dict() for s in self._root.children],
+            "levels": list(self.levels),
+            "counters": self.counters(),
+        }
+        if self.invariants is not None:
+            doc["invariants"] = self.invariants
+        return doc
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False,
+                          default=_json_default)
+
+    def write(self, path: str) -> None:
+        """Write the trace document as JSON to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+
+def _json_default(obj: Any) -> Any:
+    """Make numpy scalars serialisable without importing numpy here."""
+    for attr in ("item",):
+        fn = getattr(obj, attr, None)
+        if callable(fn):
+            return fn()
+    raise TypeError(f"not JSON serialisable: {type(obj).__name__}")
+
+
+class _NullContext:
+    """Reusable no-op context manager (avoids an allocation per phase)."""
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "NullTracer") -> None:
+        self._owner = owner
+
+    def __enter__(self) -> "NullTracer":
+        return self._owner
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+class NullTracer:
+    """The do-nothing tracer used when tracing is off.
+
+    Every method is a constant-time no-op so instrumented hot paths pay
+    only an attribute lookup and an empty call.  A single shared instance
+    (:data:`NULL_TRACER`) is used everywhere.
+    """
+
+    enabled: bool = False
+
+    def __init__(self) -> None:
+        self._ctx = _NullContext(self)
+        self.levels: List[Dict[str, Any]] = []
+        self.meta: Dict[str, Any] = {}
+        self.invariants = None
+
+    def phase(self, name: str) -> _NullContext:
+        return self._ctx
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def record(self, name: str, value: Any) -> None:
+        pass
+
+    def add_level(self, **fields: Any) -> None:
+        pass
+
+    def counters(self) -> Dict[str, float]:
+        return {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"schema": "repro.trace/1", "meta": {}, "phases": [],
+                "levels": [], "counters": {}}
+
+
+#: Shared no-op tracer; algorithms default to this so tracing adds no
+#: measurable cost unless a live :class:`Tracer` is passed in.
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer: Optional["Tracer"]):
+    """Normalise an optional tracer argument to a usable object."""
+    return NULL_TRACER if tracer is None else tracer

@@ -35,11 +35,8 @@ import numpy as np
 from ..graph.csr import Graph
 from ..graph.quotient import quotient_graph
 from ..core import metrics
-from ..parallel.coloring import (
-    coloring_to_matchings,
-    distributed_edge_coloring_spmd,
-    greedy_edge_coloring,
-)
+from ..instrument.tracer import NULL_TRACER
+from ..parallel.coloring import distributed_edge_coloring_spmd
 from .band import extract_band
 from .fm import fm_bipartition_refine
 
@@ -56,6 +53,8 @@ class PairResult:
     changed: List[Tuple[int, int]]  # (node, new block)
     band_nodes: int
     boundary: int
+    moves_tried: int = 0   # FM moves attempted across both seeded runs
+    moves_applied: int = 0  # node moves surviving adoption (== len(changed))
 
 
 def refine_pair(
@@ -91,6 +90,7 @@ def refine_pair(
     before_imb = max(0.0, max(wa, wb) - lmax)
 
     candidates = []
+    moves_tried = 0
     if algorithm in ("fm", "fm_flow"):
         for seed in (seed_a, seed_b):
             res = fm_bipartition_refine(
@@ -106,6 +106,7 @@ def refine_pair(
                 block_sizes=block_sizes,
             )
             after_imb = max(0.0, max(res.weight_a, res.weight_b) - lmax)
+            moves_tried += res.moves_tried
             candidates.append(((after_imb, -res.gain), res.side))
     if algorithm in ("flow", "fm_flow"):
         from .flow import flow_cut_for_band
@@ -123,10 +124,12 @@ def refine_pair(
             after_imb = max(0.0, max(fwa, fwb) - lmax)
             candidates.append(((after_imb, value - cut_before), flow_side))
     if not candidates:
-        return PairResult(0.0, 0.0, [], band.graph.n, band.n_boundary)
+        return PairResult(0.0, 0.0, [], band.graph.n, band.n_boundary,
+                          moves_tried=moves_tried)
     key, winner_side = min(candidates, key=lambda kr: tuple(kr[0]))
     if key >= (before_imb, 0.0):
-        return PairResult(0.0, 0.0, [], band.graph.n, band.n_boundary)
+        return PairResult(0.0, 0.0, [], band.graph.n, band.n_boundary,
+                          moves_tried=moves_tried)
 
     changed: List[Tuple[int, int]] = []
     flipped = np.nonzero(band.movable & (winner_side != band.side))[0]
@@ -143,6 +146,8 @@ def refine_pair(
         changed=changed,
         band_nodes=band.graph.n,
         boundary=band.n_boundary,
+        moves_tried=moves_tried,
+        moves_applied=len(changed),
     )
 
 
@@ -167,6 +172,7 @@ def pairwise_refinement(
     coloring: str = "greedy",
     matching_selection: str = "edge_coloring",
     pair_algorithm: str = "fm",
+    tracer=NULL_TRACER,
 ) -> np.ndarray:
     """Sequential driver: iterate over the rounds of a pair schedule of
     Q, refining every pair.  Returns the refined partition vector.
@@ -177,11 +183,12 @@ def pairwise_refinement(
     sequential coloring while ``coloring="distributed"`` runs the
     distributed algorithm (on a simulated cluster), which makes this
     driver bit-identical to :func:`pairwise_refinement_spmd` for the same
-    seed.
+    seed.  ``tracer`` accumulates refinement counters (pairs refined, FM
+    moves attempted/accepted, total gain, iteration counts).
     """
     if coloring not in ("greedy", "distributed"):
         raise ValueError(f"unknown coloring mode {coloring!r}")
-    from .scheduling import SCHEDULES, random_local_rounds
+    from .scheduling import SCHEDULES, schedule_rounds
 
     if matching_selection not in SCHEDULES:
         raise ValueError(
@@ -197,17 +204,11 @@ def pairwise_refinement(
         q = quotient_graph(g, part, k)
         if q.m == 0:
             break
-        if matching_selection == "random_local":
-            rounds = random_local_rounds(q, seed=seed + git)
-        elif coloring == "distributed":
-            from ..parallel.coloring import distributed_edge_coloring
-
-            colors = distributed_edge_coloring(q, seed=seed + git)
-            rounds = coloring_to_matchings(colors)
-        else:
-            rounds = coloring_to_matchings(
-                greedy_edge_coloring(q, seed=seed + git)
-            )
+        tracer.count("global_iterations")
+        rounds = schedule_rounds(
+            q, matching_selection, seed=seed + git, coloring=coloring,
+            tracer=tracer,
+        )
         total_gain = 0.0
         total_moved = 0
         for matching in rounds:
@@ -224,8 +225,13 @@ def pairwise_refinement(
                     )
                     total_gain += pr.gain
                     total_moved += len(pr.changed)
+                    tracer.count("pairs_refined")
+                    tracer.count("fm_moves_attempted", pr.moves_tried)
+                    tracer.count("fm_moves_accepted", pr.moves_applied)
                     if not pr.changed:
                         break
+        tracer.count("refine_gain", total_gain)
+        tracer.count("nodes_moved", total_moved)
         if stop_rule == "always":
             break
         if total_gain <= 1e-12 and total_moved == 0:

@@ -19,6 +19,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..graph.csr import Graph
+from ..instrument.tracer import NULL_TRACER
 from ..parallel.coloring import coloring_to_matchings, greedy_edge_coloring
 
 __all__ = ["SCHEDULES", "schedule_rounds", "random_local_rounds",
@@ -29,8 +30,20 @@ Edge = Tuple[int, int]
 SCHEDULES = ("edge_coloring", "random_local")
 
 
-def coloring_rounds(q: Graph, seed: int = 0) -> List[List[Edge]]:
-    """The default schedule: the color classes of a greedy edge coloring."""
+def coloring_rounds(q: Graph, seed: int = 0,
+                    coloring: str = "greedy") -> List[List[Edge]]:
+    """The default schedule: the color classes of an edge coloring.
+
+    ``coloring="greedy"`` uses the fast sequential coloring;
+    ``coloring="distributed"`` runs the distributed algorithm on a
+    simulated cluster (bit-identical to the SPMD refinement driver).
+    """
+    if coloring == "distributed":
+        from ..parallel.coloring import distributed_edge_coloring
+
+        return coloring_to_matchings(distributed_edge_coloring(q, seed=seed))
+    if coloring != "greedy":
+        raise ValueError(f"unknown coloring mode {coloring!r}")
     return coloring_to_matchings(greedy_edge_coloring(q, seed=seed))
 
 
@@ -63,12 +76,22 @@ def random_local_rounds(q: Graph, seed: int = 0) -> List[List[Edge]]:
     return rounds
 
 
-def schedule_rounds(q: Graph, strategy: str, seed: int = 0) -> List[List[Edge]]:
-    """Dispatch on the matching-selection strategy name."""
+def schedule_rounds(q: Graph, strategy: str, seed: int = 0,
+                    coloring: str = "greedy",
+                    tracer=NULL_TRACER) -> List[List[Edge]]:
+    """Dispatch on the matching-selection strategy name.
+
+    ``tracer`` accumulates the schedule shape (rounds and pairs per
+    global iteration) for the pipeline trace.
+    """
     if strategy == "edge_coloring":
-        return coloring_rounds(q, seed)
-    if strategy == "random_local":
-        return random_local_rounds(q, seed)
-    raise ValueError(
-        f"unknown matching selection {strategy!r}; choose from {SCHEDULES}"
-    )
+        rounds = coloring_rounds(q, seed, coloring=coloring)
+    elif strategy == "random_local":
+        rounds = random_local_rounds(q, seed)
+    else:
+        raise ValueError(
+            f"unknown matching selection {strategy!r}; choose from {SCHEDULES}"
+        )
+    tracer.count("schedule_rounds", len(rounds))
+    tracer.count("schedule_pairs", sum(len(r) for r in rounds))
+    return rounds

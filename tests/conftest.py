@@ -1,4 +1,12 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+Generator graphs are deterministic for a given (family, n, seed), and
+:class:`~repro.graph.csr.Graph` is immutable by convention, so identical
+instances can safely be shared across tests.  The session-scoped
+``seeded_graph`` factory memoizes every build; the named fixtures below
+cover the combinations the suites request most often — use them instead
+of calling a generator inline so the graph is built once per session.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +15,74 @@ import pytest
 from hypothesis import strategies as st
 
 from repro.graph import Graph, from_edge_list, grid2d_graph
+
+# ----------------------------------------------------------------------
+# session-scoped seeded generator graphs
+# ----------------------------------------------------------------------
+_GRAPH_FAMILIES = {
+    "rgg": ("random_geometric_graph", "n"),
+    "delaunay": ("delaunay_graph", "n"),
+    "social": ("preferential_attachment", "n"),
+    "grid": ("grid2d_graph", None),
+}
+
+
+@pytest.fixture(scope="session")
+def seeded_graph():
+    """Memoizing factory: ``seeded_graph(family, n, seed=0, **kw)``.
+
+    Families: ``rgg``, ``delaunay``, ``social`` (plus any attribute of
+    :mod:`repro.generators` by full name).  Each distinct argument tuple
+    is built exactly once per test session.
+    """
+    from repro import generators
+
+    cache = {}
+
+    def get(family: str, n: int, seed: int = 0, **kw) -> Graph:
+        key = (family, n, seed, tuple(sorted(kw.items())))
+        if key not in cache:
+            fn_name = _GRAPH_FAMILIES.get(family, (family, "n"))[0]
+            fn = getattr(generators, fn_name)
+            cache[key] = fn(n, seed=seed, **kw)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def rgg128(seeded_graph) -> Graph:
+    return seeded_graph("rgg", 128, seed=5)
+
+
+@pytest.fixture(scope="session")
+def rgg512(seeded_graph) -> Graph:
+    return seeded_graph("rgg", 512, seed=123)
+
+
+@pytest.fixture(scope="session")
+def delaunay100(seeded_graph) -> Graph:
+    return seeded_graph("delaunay", 100, seed=1)
+
+
+@pytest.fixture(scope="session")
+def delaunay300(seeded_graph) -> Graph:
+    return seeded_graph("delaunay", 300, seed=1)
+
+
+@pytest.fixture(scope="session")
+def delaunay400(seeded_graph) -> Graph:
+    return seeded_graph("delaunay", 400, seed=2)
+
+
+@pytest.fixture(scope="session")
+def delaunay512(seeded_graph) -> Graph:
+    return seeded_graph("delaunay", 512, seed=123)
+
+
+@pytest.fixture(scope="session")
+def social300(seeded_graph) -> Graph:
+    return seeded_graph("social", 300, seed=1, m_per_node=3)
 
 
 @pytest.fixture

@@ -7,10 +7,9 @@ from repro.graph import read_partition, write_metis, write_dimacs
 
 
 @pytest.fixture
-def graph_file(tmp_path):
-    g = delaunay_graph(300, seed=1)
+def graph_file(tmp_path, delaunay300):
     path = tmp_path / "g.graph"
-    write_metis(g, path)
+    write_metis(delaunay300, path)
     return str(path)
 
 
@@ -140,8 +139,10 @@ class TestInfoCommand:
 
 class TestParser:
     def test_requires_command(self):
+        # the subcommand requirement is enforced in main() so that the
+        # observability flags alone can trigger the built-in demo run
         with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+            main([])
 
     def test_unknown_tool_rejected(self):
         with pytest.raises(SystemExit):

@@ -19,15 +19,15 @@ from repro.generators import delaunay_graph, load
 
 
 class TestCommon:
-    def test_all_tools_run(self):
-        g = delaunay_graph(300, seed=1)
+    def test_all_tools_run(self, delaunay300):
+        g = delaunay300
         for tool in TOOLS:
             res = run_tool(tool, g, 2, seed=0)
             assert res.cut >= 0
             assert res.partition.k == 2
 
-    def test_unknown_tool(self):
-        g = delaunay_graph(100, seed=1)
+    def test_unknown_tool(self, delaunay100):
+        g = delaunay100
         with pytest.raises(ValueError):
             run_tool("patoh", g, 2)
 

@@ -59,8 +59,8 @@ class TestSpectral:
         part = side.astype(np.int64)
         assert metrics.cut_value(two_triangles, part) == 1.0
 
-    def test_large_graph_lanczos_path(self):
-        g = delaunay_graph(300, seed=1)
+    def test_large_graph_lanczos_path(self, delaunay300):
+        g = delaunay300
         side = spectral_bisection(g)
         assert 100 <= (side == 0).sum() <= 200
 
@@ -71,8 +71,8 @@ class TestSpectral:
 
 class TestRecursiveBisection:
     @pytest.mark.parametrize("k", [2, 3, 4, 5, 8])
-    def test_various_k_feasible(self, k):
-        g = delaunay_graph(400, seed=2)
+    def test_various_k_feasible(self, k, delaunay400):
+        g = delaunay400
         part = recursive_bisection(g, k, epsilon=0.05, seed=1)
         metrics_ok = metrics.is_balanced(g, part, k, 0.05)
         assert metrics_ok

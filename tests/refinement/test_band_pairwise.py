@@ -96,8 +96,8 @@ class TestPairwiseRefinement:
         part1 = pairwise_refinement(g, part0, 4, seed=5)
         assert metrics.cut_value(g, part1) < metrics.cut_value(g, part0)
 
-    def test_keeps_or_restores_balance(self):
-        g = delaunay_graph(400, seed=2)
+    def test_keeps_or_restores_balance(self, delaunay400):
+        g = delaunay400
         rng = np.random.default_rng(3)
         part0 = rng.integers(0, 4, g.n)  # random: roughly balanced
         part1 = pairwise_refinement(g, part0, 4, epsilon=0.10, seed=5)

@@ -61,8 +61,8 @@ class TestMultiplexedRefinement:
         for r in range(p):
             assert np.array_equal(res.results[r], seq)
 
-    def test_k_less_than_p_rejected(self):
-        g = delaunay_graph(100, seed=1)
+    def test_k_less_than_p_rejected(self, delaunay100):
+        g = delaunay100
         part0 = np.zeros(g.n, dtype=np.int64)
         with pytest.raises(ValueError):
             SimCluster(4).run(pairwise_refinement_spmd, g, part0, k=2)

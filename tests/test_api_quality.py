@@ -39,6 +39,9 @@ MODULES = [
     "repro.refinement.maxflow",
     "repro.refinement.flow",
     "repro.refinement.scheduling",
+    "repro.instrument",
+    "repro.instrument.tracer",
+    "repro.instrument.invariants",
     "repro.core",
     "repro.core.config",
     "repro.core.metrics",

@@ -160,10 +160,10 @@ class TestReportingEdgeCases:
 
 
 class TestSpectralFallback:
-    def test_medium_graph_uses_lanczos(self):
+    def test_medium_graph_uses_lanczos(self, delaunay100):
         from repro.initial import fiedler_vector
 
-        g = delaunay_graph(100, seed=1)  # n > 64: Lanczos path
+        g = delaunay100  # n > 64: Lanczos path
         f = fiedler_vector(g, seed=0)
         assert f.shape == (100,)
         assert np.std(f) > 0

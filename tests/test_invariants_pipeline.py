@@ -1,0 +1,149 @@
+"""End-to-end invariant checking: the full partitioner in strict mode.
+
+Runs :class:`~repro.core.KappaPartitioner` with
+``check_invariants="strict"`` over three generator families and
+k in {2, 4, 8} and asserts that not a single invariant trips anywhere in
+the pipeline (matching validity, contraction conservation, projection
+cut equality, final balance), and that the emitted trace is well formed.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FAST, KappaPartitioner, metrics
+from repro.instrument import InvariantViolation, Tracer
+
+KS = [2, 4, 8]
+EPSILON = 0.03
+CFG = FAST.derive(epsilon=EPSILON, check_invariants="strict")
+
+
+@pytest.fixture(scope="session")
+def pipeline_graphs(rgg512, delaunay512, social300):
+    return {"rgg": rgg512, "delaunay": delaunay512, "social": social300}
+
+
+class TestStrictPipeline:
+    @pytest.mark.parametrize("family", ["rgg", "delaunay", "social"])
+    @pytest.mark.parametrize("k", KS)
+    def test_zero_violations_and_balanced(self, pipeline_graphs, family, k):
+        g = pipeline_graphs[family]
+        # strict mode raises on the first violation — completing at all
+        # already proves every sampled invariant held
+        res = KappaPartitioner(CFG).partition(g, k, seed=7)
+        assert res.violations == []
+        part = res.partition.part
+        assert part.shape == (g.n,)
+        assert set(np.unique(part)) <= set(range(k))
+        block_w = metrics.block_weights(g, part, k)
+        assert block_w.max() <= metrics.lmax(g, k, EPSILON) + 1e-9
+        assert res.cut == pytest.approx(metrics.cut_value(g, part))
+
+    @pytest.mark.parametrize("k", [2, 8])
+    def test_cluster_execution_strict(self, delaunay512, k):
+        res = KappaPartitioner(CFG).partition(
+            delaunay512, k, seed=3, execution="cluster")
+        assert res.violations == []
+        assert metrics.is_balanced(delaunay512, res.partition.part,
+                                   k, EPSILON)
+
+
+class TestTraceOutput:
+    def test_trace_schema_and_levels(self, delaunay512, tmp_path):
+        tracer = Tracer()
+        res = KappaPartitioner(CFG).partition(
+            delaunay512, 4, seed=7, tracer=tracer)
+        trace = res.trace
+        assert trace["schema"] == "repro.trace/1"
+        assert trace["meta"]["n"] == delaunay512.n
+        assert trace["meta"]["k"] == 4
+        assert trace["meta"]["check_invariants"] == "strict"
+
+        names = [p["name"] for p in trace["phases"]]
+        for phase in ("coarsening", "initial_partitioning",
+                      "uncoarsening", "feasibility"):
+            assert phase in names
+
+        coarsen_levels = [l for l in trace["levels"]
+                          if l["stage"] == "coarsen"]
+        refine_levels = [l for l in trace["levels"]
+                         if l["stage"] == "refine"]
+        assert coarsen_levels, "no coarsening level records"
+        assert refine_levels, "no refinement level records"
+        for lvl in coarsen_levels:
+            assert 0.0 <= lvl["matched_fraction"] <= 1.0
+            assert lvl["coarse_n"] < lvl["n"]
+
+        inv = trace["invariants"]
+        assert inv["mode"] == "strict"
+        assert inv["violations"] == []
+        assert inv["checks_run"] > 0
+
+        # the trace round-trips through JSON without custom encoders
+        path = tmp_path / "trace.json"
+        tracer.write(path)
+        assert json.loads(path.read_text())["schema"] == "repro.trace/1"
+
+    def test_counters_track_fm_activity(self, delaunay512):
+        tracer = Tracer()
+        KappaPartitioner(CFG).partition(delaunay512, 4, seed=7,
+                                        tracer=tracer)
+        counters = tracer.counters()
+        assert counters["fm_moves_attempted"] >= counters["fm_moves_accepted"]
+        assert counters["fm_moves_accepted"] > 0
+        assert counters["pairs_refined"] > 0
+        assert counters["levels"] >= 1
+
+
+class TestCheckerCatchesCorruption:
+    """The checker is only trustworthy if it actually fires on bad data."""
+
+    def test_bad_matching_detected(self, delaunay100):
+        from repro.instrument import InvariantChecker
+
+        checker = InvariantChecker("strict")
+        bad = np.arange(delaunay100.n, dtype=np.int64)
+        bad[0], bad[1] = 1, 0
+        if not delaunay100.has_edge(0, 1):  # force a non-edge pair
+            with pytest.raises(InvariantViolation):
+                checker.check_matching(delaunay100, bad, level=0)
+        else:
+            nbrs = set(delaunay100.neighbors(0))
+            v = next(i for i in range(2, delaunay100.n) if i not in nbrs)
+            bad = np.arange(delaunay100.n, dtype=np.int64)
+            bad[0], bad[v] = v, 0
+            with pytest.raises(InvariantViolation):
+                checker.check_matching(delaunay100, bad, level=0)
+
+    def test_unbalanced_final_detected(self, delaunay100):
+        from repro.instrument import InvariantChecker
+
+        checker = InvariantChecker("strict")
+        part = np.zeros(delaunay100.n, dtype=np.int64)  # everything in block 0
+        with pytest.raises(InvariantViolation):
+            checker.check_final(delaunay100, part, k=4, epsilon=0.03)
+
+    def test_sampled_mode_collects_without_raising(self, delaunay100):
+        from repro.instrument import InvariantChecker
+
+        checker = InvariantChecker("sampled")
+        part = np.zeros(delaunay100.n, dtype=np.int64)
+        checker.check_final(delaunay100, part, k=4, epsilon=0.03)
+        assert len(checker.violations) == 1
+        assert checker.violations[0].check == "final.balance"
+
+
+class TestOffModeCost:
+    def test_off_mode_adds_no_trace(self, delaunay300):
+        res = KappaPartitioner(FAST).partition(delaunay300, 4, seed=7)
+        assert res.trace is None
+        assert res.violations == []
+
+    def test_off_and_strict_same_partition(self, delaunay512):
+        """Checking is observational: it must never change the result."""
+        a = KappaPartitioner(FAST.derive(epsilon=EPSILON)).partition(
+            delaunay512, 4, seed=11)
+        b = KappaPartitioner(CFG).partition(delaunay512, 4, seed=11)
+        assert np.array_equal(a.partition.part, b.partition.part)

@@ -1,0 +1,104 @@
+"""Property-based tests for contraction/projection conservation laws.
+
+The paper's contraction (Section 2) conserves node weight exactly and
+removes exactly the matched edges' weight from the edge total; projecting
+a coarse partition back must reproduce the coarse cut exactly.  These are
+the same invariants :class:`repro.instrument.InvariantChecker` enforces
+at runtime — here they are exercised directly on hypothesis-generated
+graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coarsening import contract_matching, dispatch, project_partition
+from repro.core import metrics
+from repro.graph import validate_graph
+from tests.conftest import random_graphs
+
+
+def _matched_edge_weight(g, m):
+    """Total weight of the matched (contracted) edges of ``g``."""
+    src = g.directed_sources()
+    internal = (m[src] == g.adjncy) & (m[src] != src)
+    return float(g.adjwgt[internal].sum()) / 2.0
+
+
+@given(g=random_graphs(max_n=24, weighted=True, connected=True),
+       seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_node_weight_conserved(g, seed):
+    m = dispatch(g, rng=np.random.default_rng(seed))
+    coarse, _ = contract_matching(g, m)
+    assert coarse.total_node_weight() == pytest.approx(
+        g.total_node_weight(), abs=1e-9)
+
+
+@given(g=random_graphs(max_n=24, weighted=True, connected=True),
+       seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_edge_weight_drops_by_matched_weight(g, seed):
+    m = dispatch(g, rng=np.random.default_rng(seed))
+    coarse, _ = contract_matching(g, m)
+    expect = g.total_edge_weight() - _matched_edge_weight(g, m)
+    assert coarse.total_edge_weight() == pytest.approx(expect, abs=1e-6)
+
+
+@given(g=random_graphs(max_n=20, weighted=True, connected=False),
+       seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_coarse_graph_structurally_valid(g, seed):
+    m = dispatch(g, rng=np.random.default_rng(seed))
+    coarse, cmap = contract_matching(g, m)
+    validate_graph(coarse)
+    # the coarse map is a surjection onto 0..n_coarse-1
+    assert cmap.shape == (g.n,)
+    if g.n:
+        assert set(np.unique(cmap)) == set(range(coarse.n))
+
+
+@given(g=random_graphs(max_n=24, weighted=True, connected=True),
+       data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_projection_reproduces_coarse_cut(g, data):
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    k = data.draw(st.integers(min_value=1, max_value=4))
+    m = dispatch(g, rng=np.random.default_rng(seed))
+    coarse, cmap = contract_matching(g, m)
+    coarse_part = np.random.default_rng(seed).integers(
+        0, k, coarse.n).astype(np.int64)
+    fine_part = project_partition(coarse_part, cmap)
+    assert metrics.cut_value(g, fine_part) == pytest.approx(
+        metrics.cut_value(coarse, coarse_part), abs=1e-6)
+    # block weights are preserved too (same grouping, summed weights)
+    assert np.allclose(metrics.block_weights(g, fine_part, k),
+                       metrics.block_weights(coarse, coarse_part, k))
+
+
+@given(g=random_graphs(max_n=20, weighted=True, connected=True),
+       seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_two_level_composition(g, seed):
+    """Conservation laws compose across two coarsening levels."""
+    rng = np.random.default_rng(seed)
+    m1 = dispatch(g, rng=rng)
+    g1, map1 = contract_matching(g, m1)
+    m2 = dispatch(g1, rng=rng)
+    g2, map2 = contract_matching(g1, m2)
+    assert g2.total_node_weight() == pytest.approx(
+        g.total_node_weight(), abs=1e-9)
+    part2 = (np.arange(g2.n) % 2).astype(np.int64)
+    lifted = project_partition(project_partition(part2, map2), map1)
+    assert metrics.cut_value(g, lifted) == pytest.approx(
+        metrics.cut_value(g2, part2), abs=1e-6)
+
+
+def test_empty_matching_is_identity_contraction(grid8):
+    m = np.arange(grid8.n, dtype=np.int64)
+    coarse, cmap = contract_matching(grid8, m)
+    assert coarse.n == grid8.n
+    assert coarse.total_edge_weight() == pytest.approx(
+        grid8.total_edge_weight())
+    assert np.array_equal(cmap, np.arange(grid8.n))

@@ -1,0 +1,105 @@
+"""Property-based tests for every matcher in the registry.
+
+Hypothesis generates random connected weighted graphs (via the shared
+``random_graphs`` strategy) and asserts the structural contract every
+matcher must honour: the partner array is a symmetric involution over
+existing edges, and nodes flagged ``forbidden`` are never matched.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coarsening import MATCHERS, dispatch
+from repro.graph import validate_matching
+from tests.conftest import random_graphs
+
+ALGORITHMS = sorted(MATCHERS)
+RATINGS = ["weight", "expansion_star2", "inner_outer"]
+
+
+class TestMatchingValidity:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @given(g=random_graphs(max_n=24, weighted=True, connected=True),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_matching_is_valid_involution(self, algorithm, g, seed):
+        m = dispatch(g, algorithm=algorithm,
+                     rng=np.random.default_rng(seed))
+        validate_matching(g, m)  # raises on any structural violation
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("rating", RATINGS)
+    @given(g=random_graphs(max_n=16, weighted=True, connected=True))
+    @settings(max_examples=15, deadline=None)
+    def test_valid_under_every_rating(self, algorithm, rating, g):
+        m = dispatch(g, algorithm=algorithm, rating=rating,
+                     rng=np.random.default_rng(0))
+        validate_matching(g, m)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @given(g=random_graphs(max_n=24, weighted=False, connected=False),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_on_disconnected_unweighted(self, algorithm, g, seed):
+        m = dispatch(g, algorithm=algorithm,
+                     rng=np.random.default_rng(seed))
+        validate_matching(g, m)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @given(g=random_graphs(max_n=20, connected=True),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_given_rng_seed(self, algorithm, g, seed):
+        a = dispatch(g, algorithm=algorithm, rng=np.random.default_rng(seed))
+        b = dispatch(g, algorithm=algorithm, rng=np.random.default_rng(seed))
+        assert np.array_equal(a, b)
+
+
+class TestForbiddenNodes:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @given(g=random_graphs(max_n=24, weighted=True, connected=True),
+           data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_forbidden_nodes_stay_singletons(self, algorithm, g, data):
+        forbid_seed = data.draw(st.integers(0, 2**31 - 1))
+        frac = data.draw(st.floats(min_value=0.0, max_value=1.0))
+        rng = np.random.default_rng(forbid_seed)
+        forbidden = rng.random(g.n) < frac
+        m = dispatch(g, algorithm=algorithm, rng=rng, forbidden=forbidden)
+        validate_matching(g, m)
+        ids = np.arange(g.n)
+        assert np.array_equal(m[forbidden], ids[forbidden]), \
+            "a forbidden node was matched"
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_forbidden_yields_empty_matching(self, algorithm, grid8):
+        forbidden = np.ones(grid8.n, dtype=bool)
+        m = dispatch(grid8, algorithm=algorithm,
+                     rng=np.random.default_rng(0), forbidden=forbidden)
+        assert np.array_equal(m, np.arange(grid8.n))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_none_forbidden_matches_unmasked_run(self, algorithm, grid8):
+        none = np.zeros(grid8.n, dtype=bool)
+        a = dispatch(grid8, algorithm=algorithm,
+                     rng=np.random.default_rng(3), forbidden=none)
+        b = dispatch(grid8, algorithm=algorithm,
+                     rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_bad_mask_shape_rejected(self, grid8):
+        with pytest.raises(ValueError):
+            dispatch(grid8, forbidden=np.zeros(3, dtype=bool))
+
+
+class TestMatchingCoverage:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matches_most_nodes_on_mesh(self, algorithm, delaunay300):
+        """Maximality sanity: on a mesh, every matcher pairs >= 2/3 of the
+        nodes (all three are maximal-matching algorithms)."""
+        m = dispatch(delaunay300, algorithm=algorithm,
+                     rng=np.random.default_rng(1))
+        matched = int((m != np.arange(delaunay300.n)).sum())
+        assert matched >= (2 * delaunay300.n) // 3

@@ -11,26 +11,23 @@ import pytest
 
 from repro.coarsening import contract_matching, dispatch, rate_edges
 from repro.core import FAST, MINIMAL, metrics, partition_graph
-from repro.generators import delaunay_graph, random_geometric_graph
 from repro.graph import from_edge_list, grid2d_graph
 from repro.parallel import greedy_edge_coloring
 from repro.refinement import fm_bipartition_refine
 
 
 class TestGoldenGraphs:
-    def test_rgg_fixed_seed_shape(self):
-        g = random_geometric_graph(512, seed=123)
-        assert (g.n, g.m) == (512, 1447)
+    def test_rgg_fixed_seed_shape(self, rgg512):
+        assert (rgg512.n, rgg512.m) == (512, 1447)
 
-    def test_delaunay_fixed_seed_shape(self):
-        g = delaunay_graph(512, seed=123)
-        assert (g.n, g.m) == (512, 1516)
+    def test_delaunay_fixed_seed_shape(self, delaunay512):
+        assert (delaunay512.n, delaunay512.m) == (512, 1516)
 
 
 class TestGoldenAlgorithms:
-    @pytest.fixture(scope="class")
-    def mesh(self):
-        return delaunay_graph(512, seed=123)
+    @pytest.fixture
+    def mesh(self, delaunay512):
+        return delaunay512
 
     def test_matching_sizes(self, mesh):
         sizes = {}
@@ -83,9 +80,9 @@ class TestGoldenAlgorithms:
 
 
 class TestGoldenPipeline:
-    def test_known_cut_ranges(self):
+    def test_known_cut_ranges(self, delaunay512):
         """End-to-end pins: cuts land in tight, verified ranges."""
-        g = delaunay_graph(512, seed=123)
+        g = delaunay512
         minimal = partition_graph(g, 4, config=MINIMAL, seed=42).cut
         fast = partition_graph(g, 4, config=FAST, seed=42).cut
         # verified at pin time: minimal 214, fast 234 (a per-seed sample —
