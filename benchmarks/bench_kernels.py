@@ -1,0 +1,153 @@
+"""Kernel backend benchmark: ``python`` reference loops vs ``numpy``.
+
+Times every registered hot-path kernel (edge ratings, contraction
+aggregation, FM gain/boundary construction, band BFS) on both backends
+over generator-suite instances and writes ``BENCH_kernels.json``::
+
+    {"schema": "repro.bench_kernels/1",
+     "records": [{"graph", "n", "m", "kernel", "backend",
+                  "median_s", "speedup"}, ...]}
+
+``speedup`` is the python-backend median divided by this record's median
+(so python rows read 1.0 and numpy rows read the vectorisation factor).
+This file is the repo's perf trajectory for the kernel layer — CI runs
+the ``--smoke`` variant on every push and uploads the JSON as an
+artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py              # full run
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke      # tiny + fast
+    PYTHONPATH=src python benchmarks/bench_kernels.py \
+        --graphs rgg11 road16k --repeats 7 -o BENCH_kernels.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct script invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import kernels
+from repro.coarsening.matching import dispatch as run_matching
+from repro.generators import random_geometric_graph
+from repro.generators.suite import load
+from repro.graph.csr import Graph
+
+#: representative instances across the generator families; road16k is
+#: the largest graph of the generator suite
+DEFAULT_GRAPHS = ("rgg11", "delaunay11", "pa1k", "road16k")
+
+BAND_DEPTH = 20  # the strong preset's BFS band depth
+
+
+def _setup(g: Graph) -> Dict[str, tuple]:
+    """Build each kernel's inputs once so only kernel time is measured."""
+    us, vs, ws = g.edge_array()
+    matching = run_matching(g, rng=np.random.default_rng(0))
+    rep = np.minimum(np.arange(g.n, dtype=np.int64), matching)
+    uniq, coarse_map = np.unique(rep, return_inverse=True)
+    side = (np.arange(g.n) >= g.n // 2).astype(np.int8)
+    _, boundary = kernels.get_kernel("gain_boundary", "numpy")(g, side)
+    allowed = np.ones(g.n, dtype=bool)
+    return {
+        "edge_ratings": (g, us, vs, ws, "expansion_star2"),
+        "contract_edges": (g, coarse_map, len(uniq)),
+        "gain_boundary": (g, side),
+        "band_bfs": (g, boundary, allowed, BAND_DEPTH),
+    }
+
+
+def _median_time(fn: Callable, args: tuple, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def bench_graph(name: str, g: Graph, repeats: int) -> List[dict]:
+    rows: List[dict] = []
+    inputs = _setup(g)
+    for kname in kernels.kernel_names():
+        args = inputs[kname]
+        medians = {
+            backend: _median_time(kernels.get_kernel(kname, backend),
+                                  args, repeats)
+            for backend in kernels.BACKENDS
+        }
+        for backend, median_s in medians.items():
+            rows.append({
+                "graph": name,
+                "n": g.n,
+                "m": g.m,
+                "kernel": kname,
+                "backend": backend,
+                "median_s": median_s,
+                "speedup": medians["python"] / median_s if median_s > 0
+                else float("inf"),
+            })
+    return rows
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--graphs", nargs="+", default=None,
+                    metavar="INSTANCE",
+                    help=f"suite instances to time (default: "
+                         f"{' '.join(DEFAULT_GRAPHS)})")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="timing repetitions per kernel (median reported)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="fast CI mode: one small generated graph, "
+                         "3 repeats")
+    ap.add_argument("-o", "--output", default="BENCH_kernels.json",
+                    help="output JSON path (default: ./BENCH_kernels.json)")
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        instances = {"rgg_smoke": random_geometric_graph(512, seed=0)}
+        repeats = 3
+    else:
+        names = args.graphs or list(DEFAULT_GRAPHS)
+        instances = {name: load(name) for name in names}
+        repeats = args.repeats
+
+    records: List[dict] = []
+    for name, g in instances.items():
+        print(f"benchmarking {name} (n={g.n}, m={g.m}, "
+              f"repeats={repeats}) ...", flush=True)
+        records.extend(bench_graph(name, g, repeats))
+
+    doc = {"schema": "repro.bench_kernels/1", "records": records}
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+    print(f"\n{'graph':<12} {'kernel':<16} {'python ms':>10} "
+          f"{'numpy ms':>10} {'speedup':>8}")
+    by_key = {(r["graph"], r["kernel"], r["backend"]): r for r in records}
+    for name in instances:
+        for kname in kernels.kernel_names():
+            py = by_key[(name, kname, "python")]
+            npy = by_key[(name, kname, "numpy")]
+            print(f"{name:<12} {kname:<16} {py['median_s'] * 1e3:>10.3f} "
+                  f"{npy['median_s'] * 1e3:>10.3f} {npy['speedup']:>7.1f}x")
+    print(f"\nwrote {len(records)} records to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

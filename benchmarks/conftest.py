@@ -8,9 +8,17 @@ claims (the paper's qualitative findings).
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import pytest
+
+# make `import repro` work however the benchmarks are invoked (pytest
+# from the repo root, an IDE, or a bench script run directly) — the same
+# layout the tier-1 command selects with PYTHONPATH=src
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 

@@ -38,6 +38,7 @@ from .baselines import (
 )
 from .core import KappaPartitioner, format_trace_summary, metrics, preset
 from .instrument import CHECK_MODES, Tracer
+from .kernels import BACKENDS as KERNEL_BACKENDS, use_backend
 from .graph import (
     read_dimacs,
     read_metis,
@@ -77,6 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--check-invariants", default=None,
                         choices=CHECK_MODES, dest="check_invariants",
                         help="runtime invariant checking mode")
+    parser.add_argument("--kernel-backend", default=None,
+                        choices=KERNEL_BACKENDS, dest="kernel_backend",
+                        help="hot-path kernel backend (default: numpy)")
     sub = parser.add_subparsers(dest="command", required=False)
 
     p = sub.add_parser("partition", help="partition a graph into k blocks")
@@ -99,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check-invariants", default=argparse.SUPPRESS,
                    choices=CHECK_MODES, dest="check_invariants",
                    help="runtime invariant checking mode")
+    p.add_argument("--kernel-backend", default=argparse.SUPPRESS,
+                   choices=KERNEL_BACKENDS, dest="kernel_backend",
+                   help="hot-path kernel backend (default: numpy)")
 
     e = sub.add_parser("evaluate", help="evaluate an existing partition")
     e.add_argument("graph")
@@ -126,8 +133,11 @@ def _instrumented_run(g, args, k: int):
     """Run the kappa partitioner honouring ``--trace`` and
     ``--check-invariants``; returns ``(result, tracer_or_None)``."""
     check = args.check_invariants or "off"
+    overrides = {}
+    if getattr(args, "kernel_backend", None):
+        overrides["kernel_backend"] = args.kernel_backend
     cfg = preset(args.preset).derive(epsilon=args.epsilon,
-                                     check_invariants=check)
+                                     check_invariants=check, **overrides)
     tracer = Tracer() if args.trace else None
     res = KappaPartitioner(cfg).partition(
         g, k, seed=args.seed, execution=args.execution, tracer=tracer
@@ -174,7 +184,10 @@ def _cmd_partition(args) -> int:
             "parmetis_like": parmetis_like_partition,
             "scotch_like": scotch_like_partition,
         }[args.tool]
-        res = fn(g, args.k, args.epsilon, args.seed)
+        # baselines share the kernel layer but take no KappaConfig, so
+        # the backend override is applied process-wide for the call
+        with use_backend(getattr(args, "kernel_backend", None) or "numpy"):
+            res = fn(g, args.k, args.epsilon, args.seed)
     elapsed = time.perf_counter() - t0
     out = args.output or f"{args.graph}.part.{args.k}"
     write_partition(res.partition.part, out)

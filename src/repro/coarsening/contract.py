@@ -18,6 +18,7 @@ from typing import Tuple
 import numpy as np
 
 from ..graph.csr import Graph
+from ..kernels import dispatch
 
 __all__ = ["contract_matching", "project_partition"]
 
@@ -30,6 +31,10 @@ def contract_matching(g: Graph, matching: np.ndarray) -> Tuple[Graph, np.ndarray
     constituents, parallel edges merged by summing, self-edges (the
     contracted matching edges themselves) dropped.  Coordinates, when
     present, become the node-weight-weighted centroid of the constituents.
+
+    The edge aggregation (map arcs, drop intra-pair edges, merge
+    parallels, assemble the coarse CSR) is the ``contract_edges`` kernel
+    of :mod:`repro.kernels`, dispatched to the active backend.
     """
     matching = np.asarray(matching, dtype=np.int64)
     if matching.shape != (g.n,):
@@ -38,34 +43,9 @@ def contract_matching(g: Graph, matching: np.ndarray) -> Tuple[Graph, np.ndarray
     uniq, coarse_map = np.unique(rep, return_inverse=True)
     n_coarse = len(uniq)
 
-    # coarse node weights
-    vwgt = np.zeros(n_coarse, dtype=np.float64)
-    np.add.at(vwgt, coarse_map, g.vwgt)
-
-    # coarse edges: map, drop intra-pair, merge parallels
-    src = coarse_map[g.directed_sources()]
-    dst = coarse_map[g.adjncy]
-    keep = src < dst  # also removes the contracted edges (src == dst)
-    cu, cv, cw = src[keep], dst[keep], g.adjwgt[keep]
-    if len(cu):
-        key = cu * n_coarse + cv
-        order = np.argsort(key, kind="stable")
-        key, cu, cv, cw = key[order], cu[order], cv[order], cw[order]
-        first = np.ones(len(key), dtype=bool)
-        first[1:] = key[1:] != key[:-1]
-        groups = np.cumsum(first) - 1
-        merged = np.zeros(int(first.sum()), dtype=np.float64)
-        np.add.at(merged, groups, cw)
-        cu, cv, cw = cu[first], cv[first], merged
-
-    # CSR assembly (both directions)
-    s2 = np.concatenate([cu, cv])
-    d2 = np.concatenate([cv, cu])
-    w2 = np.concatenate([cw, cw])
-    order = np.lexsort((d2, s2))
-    xadj = np.zeros(n_coarse + 1, dtype=np.int64)
-    np.add.at(xadj, s2 + 1, 1)
-    np.cumsum(xadj, out=xadj)
+    xadj, adjncy, adjwgt, vwgt = dispatch(
+        "contract_edges", g, coarse_map, n_coarse
+    )
 
     coords = None
     if g.coords is not None:
@@ -76,7 +56,7 @@ def contract_matching(g: Graph, matching: np.ndarray) -> Tuple[Graph, np.ndarray
         denom = np.where(vwgt > 0, vwgt, 1.0)
         coords /= denom[:, None]
 
-    coarse = Graph(xadj, d2[order], w2[order], vwgt, coords=coords, validate=False)
+    coarse = Graph(xadj, adjncy, adjwgt, vwgt, coords=coords, validate=False)
     return coarse, coarse_map
 
 

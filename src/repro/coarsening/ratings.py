@@ -11,6 +11,12 @@ previous systems by up to 8.8 % in final cut (Table 3).
     innerOuter({u,v})  = ω({u,v}) / (Out(v) + Out(u) − 2ω(u,v))
 
 with Out(v) = Σ_{x∈Γ(v)} ω({v,x}).
+
+The actual computation is the ``edge_ratings`` kernel of
+:mod:`repro.kernels` — :func:`rate_edges` dispatches to the active
+backend (vectorised ``numpy`` by default, reference ``python`` loops for
+differential testing).  :data:`RATINGS` keeps the classic name → function
+mapping as public API.
 """
 
 from __future__ import annotations
@@ -20,48 +26,15 @@ from typing import Callable, Dict, Tuple
 import numpy as np
 
 from ..graph.csr import Graph
+from ..kernels import dispatch
+from ..kernels.numpy_backend import RATING_FNS
 
 __all__ = ["RATINGS", "rate_edges", "rating_function"]
 
 RatingFn = Callable[[Graph, np.ndarray, np.ndarray, np.ndarray], np.ndarray]
 
-
-def _weight(g: Graph, us: np.ndarray, vs: np.ndarray, ws: np.ndarray) -> np.ndarray:
-    """The classical rating: the edge weight itself."""
-    return ws.astype(np.float64, copy=True)
-
-
-def _expansion(g: Graph, us, vs, ws) -> np.ndarray:
-    return ws / (g.vwgt[us] + g.vwgt[vs])
-
-
-def _expansion_star(g: Graph, us, vs, ws) -> np.ndarray:
-    return ws / (g.vwgt[us] * g.vwgt[vs])
-
-
-def _expansion_star2(g: Graph, us, vs, ws) -> np.ndarray:
-    return ws * ws / (g.vwgt[us] * g.vwgt[vs])
-
-
-def _inner_outer(g: Graph, us, vs, ws) -> np.ndarray:
-    out = g.weighted_degrees()
-    denom = out[us] + out[vs] - 2.0 * ws
-    # a component consisting of the single edge {u,v} has denom == 0: the
-    # edge has no outer connectivity at all, the best possible contraction
-    rating = np.empty(len(ws), dtype=np.float64)
-    zero = denom <= 0
-    rating[~zero] = ws[~zero] / denom[~zero]
-    rating[zero] = np.inf
-    return rating
-
-
-RATINGS: Dict[str, RatingFn] = {
-    "weight": _weight,
-    "expansion": _expansion,
-    "expansion_star": _expansion_star,
-    "expansion_star2": _expansion_star2,
-    "inner_outer": _inner_outer,
-}
+#: name → vectorised rating function (the ``numpy`` backend's formulas)
+RATINGS: Dict[str, RatingFn] = dict(RATING_FNS)
 
 
 def rating_function(name: str) -> RatingFn:
@@ -79,10 +52,10 @@ def rate_edges(
     rating: str = "expansion_star2",
     edges: Tuple[np.ndarray, np.ndarray, np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Rate all edges of ``g`` (vectorised).
+    """Rate all edges of ``g`` on the active kernel backend.
 
     Returns ``(us, vs, ws, ratings)`` with ``us < vs``.  Pass ``edges``
     to reuse an already-extracted edge list.
     """
     us, vs, ws = g.edge_array() if edges is None else edges
-    return us, vs, ws, rating_function(rating)(g, us, vs, ws)
+    return us, vs, ws, dispatch("edge_ratings", g, us, vs, ws, rating)

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from ..kernels import BACKENDS as KERNEL_BACKENDS
+
 __all__ = ["KappaConfig", "MINIMAL", "FAST", "STRONG", "WALSHAW", "preset"]
 
 
@@ -65,6 +67,11 @@ class KappaConfig:
     n_pes: Optional[int] = None  # None → one PE per block (paper setting)
     prepartition: str = "auto"   # "geometric" | "numbering" | "auto"
 
+    # -- hot-path kernels (repro.kernels) ------------------------------
+    #: backend for the registered hot-path kernels: "numpy" (vectorised,
+    #: the default) or "python" (reference loops, bit-identical, slow)
+    kernel_backend: str = "numpy"
+
     # -- observability (repro.instrument) ------------------------------
     #: runtime invariant checking: "off" (no cost) | "sampled" (subset of
     #: levels, violations collected) | "strict" (every level, first
@@ -93,6 +100,11 @@ class KappaConfig:
         if self.refine_algorithm not in ("fm", "flow", "fm_flow"):
             raise ValueError(
                 f"unknown refine_algorithm {self.refine_algorithm!r}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                f"choose from {KERNEL_BACKENDS}"
             )
         if self.check_invariants not in ("off", "sampled", "strict"):
             raise ValueError(

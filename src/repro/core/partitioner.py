@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import kernels
 from ..graph.csr import Graph
 from ..coarsening.hierarchy import Hierarchy, coarsen
 from ..coarsening.contract import contract_matching
@@ -114,11 +115,16 @@ class KappaPartitioner:
                 n=g.n, m=g.m, k=k, seed=seed, execution=execution,
                 config=self.config.name, epsilon=self.config.epsilon,
                 check_invariants=self.config.check_invariants,
+                kernel_backend=self.config.kernel_backend,
             )
-        if execution == "cluster":
-            res = self._partition_cluster(g, k, seed, tracer, checker)
-        else:
-            res = self._partition_sequential(g, k, seed, tracer, checker)
+        # run every hot-path kernel on the configured backend and let the
+        # dispatcher report per-kernel timings into the trace
+        with kernels.use_backend(self.config.kernel_backend), \
+                kernels.use_tracer(tracer):
+            if execution == "cluster":
+                res = self._partition_cluster(g, k, seed, tracer, checker)
+            else:
+                res = self._partition_sequential(g, k, seed, tracer, checker)
         res.violations = checker.violations
         if tracer.enabled:
             tracer.invariants = checker.report()

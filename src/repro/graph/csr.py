@@ -156,6 +156,28 @@ class Graph:
         """Source node of every directed arc, aligned with ``adjncy``."""
         return np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
 
+    def gather_neighbors(self, nodes: np.ndarray) -> np.ndarray:
+        """Concatenated adjacency lists of ``nodes``, in one gather.
+
+        Equivalent to ``np.concatenate([self.neighbors(v) for v in
+        nodes])`` but without the per-node Python loop — the workhorse of
+        the vectorised frontier expansion in BFS kernels.  Duplicates in
+        ``nodes`` yield duplicated neighbour runs.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        starts = self.xadj[nodes]
+        counts = self.xadj[nodes + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # position of each output slot within its node's run, then shift
+        # every run to its CSR slice
+        run_starts = np.cumsum(counts) - counts
+        idx = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - run_starts, counts
+        )
+        return self.adjncy[idx]
+
     # ------------------------------------------------------------------
     # traversal
     # ------------------------------------------------------------------
@@ -175,14 +197,9 @@ class Graph:
         while len(frontier) and (max_depth is None or depth < max_depth):
             depth += 1
             # gather all neighbours of the frontier, keep the unvisited
-            starts = self.xadj[frontier]
-            ends = self.xadj[frontier + 1]
-            counts = ends - starts
-            if counts.sum() == 0:
+            take = self.gather_neighbors(frontier)
+            if len(take) == 0:
                 break
-            take = np.concatenate(
-                [self.adjncy[s:e] for s, e in zip(starts, ends) if e > s]
-            )
             nxt = np.unique(take)
             nxt = nxt[level[nxt] == -1]
             if len(nxt) == 0:

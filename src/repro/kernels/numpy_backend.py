@@ -1,0 +1,152 @@
+"""Vectorised (numpy) implementations of the hot-path kernels.
+
+Each kernel is the segment-reduce / bincount formulation of its
+reference loop in :mod:`repro.kernels.python_backend`, accumulating
+floats in the same order (sequential in arc order) so results are
+bit-identical.  These are the production backend
+(``KappaConfig.kernel_backend = "numpy"``); the benchmark harness
+``benchmarks/bench_kernels.py`` tracks their speedup over the reference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+from .registry import register
+
+__all__ = ["RATING_FNS"]
+
+
+def _weight(g: Graph, us, vs, ws) -> np.ndarray:
+    """The classical rating: the edge weight itself."""
+    return ws.astype(np.float64, copy=True)
+
+
+def _expansion(g: Graph, us, vs, ws) -> np.ndarray:
+    return ws / (g.vwgt[us] + g.vwgt[vs])
+
+
+def _expansion_star(g: Graph, us, vs, ws) -> np.ndarray:
+    return ws / (g.vwgt[us] * g.vwgt[vs])
+
+
+def _expansion_star2(g: Graph, us, vs, ws) -> np.ndarray:
+    return ws * ws / (g.vwgt[us] * g.vwgt[vs])
+
+
+def _inner_outer(g: Graph, us, vs, ws) -> np.ndarray:
+    out = g.weighted_degrees()
+    denom = out[us] + out[vs] - 2.0 * ws
+    # a component consisting of the single edge {u,v} has denom == 0: the
+    # edge has no outer connectivity at all, the best possible contraction
+    rating = np.empty(len(ws), dtype=np.float64)
+    zero = denom <= 0
+    rating[~zero] = ws[~zero] / denom[~zero]
+    rating[zero] = np.inf
+    return rating
+
+
+#: §3.1 rating functions, signature ``fn(g, us, vs, ws) -> ratings``
+RATING_FNS: Dict[str, Callable] = {
+    "weight": _weight,
+    "expansion": _expansion,
+    "expansion_star": _expansion_star,
+    "expansion_star2": _expansion_star2,
+    "inner_outer": _inner_outer,
+}
+
+
+@register("edge_ratings", "numpy")
+def edge_ratings(g: Graph, us: np.ndarray, vs: np.ndarray, ws: np.ndarray,
+                 rating: str) -> np.ndarray:
+    """Rate the edge list ``(us, vs, ws)`` in one vectorised pass."""
+    try:
+        fn = RATING_FNS[rating]
+    except KeyError:
+        raise ValueError(
+            f"unknown rating {rating!r}; choose from {sorted(RATING_FNS)}"
+        ) from None
+    return fn(g, us, vs, ws)
+
+
+@register("contract_edges", "numpy")
+def contract_edges(
+    g: Graph, coarse_map: np.ndarray, n_coarse: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Aggregate the contracted graph's CSR arrays with sort + segment sums.
+
+    Maps every arc to coarse ids, keeps the ``cu < cv`` direction (which
+    also drops the contracted matching edges, ``cu == cv``), merges
+    parallel edges by a stable sort + grouped add, and assembles the
+    symmetric CSR via one lexsort.
+    """
+    vwgt = np.zeros(n_coarse, dtype=np.float64)
+    np.add.at(vwgt, coarse_map, g.vwgt)
+
+    src = coarse_map[g.directed_sources()]
+    dst = coarse_map[g.adjncy]
+    keep = src < dst
+    cu, cv, cw = src[keep], dst[keep], g.adjwgt[keep]
+    if len(cu):
+        key = cu * n_coarse + cv
+        order = np.argsort(key, kind="stable")
+        key, cu, cv, cw = key[order], cu[order], cv[order], cw[order]
+        first = np.ones(len(key), dtype=bool)
+        first[1:] = key[1:] != key[:-1]
+        groups = np.cumsum(first) - 1
+        merged = np.zeros(int(first.sum()), dtype=np.float64)
+        np.add.at(merged, groups, cw)
+        cu, cv, cw = cu[first], cv[first], merged
+
+    s2 = np.concatenate([cu, cv])
+    d2 = np.concatenate([cv, cu])
+    w2 = np.concatenate([cw, cw])
+    order = np.lexsort((d2, s2))
+    xadj = np.zeros(n_coarse + 1, dtype=np.int64)
+    np.add.at(xadj, s2 + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    return xadj, d2[order], w2[order], vwgt
+
+
+@register("gain_boundary", "numpy")
+def gain_boundary(g: Graph, side: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Initial FM gains and boundary nodes, one bincount over all arcs."""
+    src = g.directed_sources()
+    crossing = side[src] != side[g.adjncy]
+    signed = np.where(crossing, g.adjwgt, -g.adjwgt)
+    gains = np.bincount(src, weights=signed, minlength=g.n)
+    on_boundary = np.zeros(g.n, dtype=bool)
+    on_boundary[src[crossing]] = True
+    return gains, np.nonzero(on_boundary)[0]
+
+
+@register("band_bfs", "numpy")
+def band_bfs(g: Graph, seeds: np.ndarray, allowed: np.ndarray,
+             max_depth: int) -> np.ndarray:
+    """Bounded restricted BFS, whole frontiers expanded per step.
+
+    Each round gathers all frontier adjacency slices in one shot
+    (:meth:`Graph.gather_neighbors`) instead of looping per node.
+    """
+    level = np.full(g.n, -1, dtype=np.int64)
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    if len(seeds) == 0:
+        return level
+    level[seeds] = 0
+    frontier = seeds
+    depth = 0
+    while len(frontier) and depth + 1 < max_depth:
+        depth += 1
+        cand = g.gather_neighbors(frontier)
+        if len(cand) == 0:
+            break
+        cand = np.unique(cand)
+        cand = cand[(level[cand] == -1) & allowed[cand]]
+        if len(cand) == 0:
+            break
+        level[cand] = depth
+        frontier = cand
+    return level

@@ -3,7 +3,12 @@ strategies, boundary bands, pairwise refinement over quotient colorings,
 greedy k-way refinement (baseline), and rebalancing."""
 
 from .pq import AddressablePQ
-from .gain import initial_gains, two_way_boundary, cut_between_sides
+from .gain import (
+    gain_and_boundary,
+    initial_gains,
+    two_way_boundary,
+    cut_between_sides,
+)
 from .fm import FMResult, fm_bipartition_refine, QUEUE_STRATEGIES
 from .band import Band, extract_band
 from .pairwise import (
@@ -17,6 +22,7 @@ from .balance import rebalance
 
 __all__ = [
     "AddressablePQ",
+    "gain_and_boundary",
     "initial_gains",
     "two_way_boundary",
     "cut_between_sides",

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..graph.csr import Graph
 from ..graph.subgraph import SubgraphMap, induced_subgraph
+from ..kernels import dispatch
 
 __all__ = ["Band", "extract_band"]
 
@@ -69,8 +70,8 @@ def extract_band(
         )
         return empty, pair_nodes
 
-    # bounded BFS inside the two blocks
-    level = _restricted_bfs(g, seeds, in_pair, depth)
+    # bounded BFS inside the two blocks (the ``band_bfs`` kernel)
+    level = dispatch("band_bfs", g, seeds, in_pair, depth)
     band_nodes = np.nonzero(level >= 0)[0]
 
     # halo: neighbours of band nodes that are in the pair but not the band
@@ -91,27 +92,3 @@ def extract_band(
     )
 
 
-def _restricted_bfs(
-    g: Graph, seeds: np.ndarray, allowed: np.ndarray, max_depth: int
-) -> np.ndarray:
-    """BFS levels from ``seeds`` walking only through ``allowed`` nodes.
-
-    Depth 1 means "the boundary itself"; level values are 0-based.
-    """
-    level = np.full(g.n, -1, dtype=np.int64)
-    level[seeds] = 0
-    frontier = seeds
-    depth = 0
-    while len(frontier) and depth + 1 < max_depth:
-        depth += 1
-        nxt = []
-        for v in frontier:
-            lo, hi = g.xadj[v], g.xadj[v + 1]
-            nxt.append(g.adjncy[lo:hi])
-        cand = np.unique(np.concatenate(nxt)) if nxt else np.empty(0, np.int64)
-        cand = cand[(level[cand] == -1) & allowed[cand]]
-        if len(cand) == 0:
-            break
-        level[cand] = depth
-        frontier = cand
-    return level

@@ -29,7 +29,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..graph.csr import Graph
-from .gain import initial_gains, two_way_boundary
+from .gain import gain_and_boundary
 from .pq import AddressablePQ
 
 __all__ = ["FMResult", "fm_bipartition_refine", "QUEUE_STRATEGIES"]
@@ -167,8 +167,7 @@ def fm_bipartition_refine(
         block_sizes = (int((side == 0).sum()), int((side == 1).sum()))
     patience = max(1, int(alpha * max(1, min(block_sizes))))
 
-    gains = initial_gains(g, side)
-    boundary = two_way_boundary(g, side)
+    gains, boundary = gain_and_boundary(g, side)
     pq = (AddressablePQ(), AddressablePQ())
     for v in boundary:
         v = int(v)

@@ -4,6 +4,12 @@
 the node is moved to the other side."  For node ``v`` in block A,
 
     gain(v) = ω(edges to B) − ω(edges to A).
+
+Gains and the boundary node set are produced together by the
+``gain_boundary`` kernel of :mod:`repro.kernels` (one pass over all
+arcs); the functions here unpack the pair for callers that need only one
+half, and :func:`gain_and_boundary` exposes the fused form for the FM
+initialisation, which needs both.
 """
 
 from __future__ import annotations
@@ -13,25 +19,29 @@ from typing import Tuple
 import numpy as np
 
 from ..graph.csr import Graph
+from ..kernels import dispatch
 
-__all__ = ["initial_gains", "two_way_boundary", "cut_between_sides"]
+__all__ = [
+    "initial_gains",
+    "two_way_boundary",
+    "gain_and_boundary",
+    "cut_between_sides",
+]
+
+
+def gain_and_boundary(g: Graph, side: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Gains for every node plus the boundary node ids, in one kernel call."""
+    return dispatch("gain_boundary", g, side)
 
 
 def initial_gains(g: Graph, side: np.ndarray) -> np.ndarray:
-    """Vectorised gains for every node under a 0/1 side assignment."""
-    src = g.directed_sources()
-    crossing = side[src] != side[g.adjncy]
-    signed = np.where(crossing, g.adjwgt, -g.adjwgt)
-    return np.bincount(src, weights=signed, minlength=g.n)
+    """Gains for every node under a 0/1 side assignment."""
+    return gain_and_boundary(g, side)[0]
 
 
 def two_way_boundary(g: Graph, side: np.ndarray) -> np.ndarray:
     """Nodes with at least one neighbour on the other side."""
-    src = g.directed_sources()
-    crossing = side[src] != side[g.adjncy]
-    out = np.zeros(g.n, dtype=bool)
-    out[src[crossing]] = True
-    return np.nonzero(out)[0]
+    return gain_and_boundary(g, side)[1]
 
 
 def cut_between_sides(g: Graph, side: np.ndarray) -> float:

@@ -42,6 +42,10 @@ MODULES = [
     "repro.instrument",
     "repro.instrument.tracer",
     "repro.instrument.invariants",
+    "repro.kernels",
+    "repro.kernels.registry",
+    "repro.kernels.python_backend",
+    "repro.kernels.numpy_backend",
     "repro.core",
     "repro.core.config",
     "repro.core.metrics",

@@ -50,6 +50,28 @@ class TestStrictPipeline:
                                    k, EPSILON)
 
 
+class TestKernelBackendsStrict:
+    """The invariant checker must validate the fast kernel path too: a
+    strict end-to-end run under each ``kernel_backend`` trips nothing,
+    and both backends produce the identical partition."""
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_strict_run_per_backend(self, delaunay512, backend):
+        cfg = CFG.derive(kernel_backend=backend)
+        res = KappaPartitioner(cfg).partition(delaunay512, 4, seed=7)
+        assert res.violations == []
+        assert metrics.is_balanced(delaunay512, res.partition.part,
+                                   4, EPSILON)
+
+    def test_backends_identical_under_strict(self, delaunay512):
+        parts = [
+            KappaPartitioner(CFG.derive(kernel_backend=b)).partition(
+                delaunay512, 4, seed=7).partition.part
+            for b in ("python", "numpy")
+        ]
+        assert np.array_equal(parts[0], parts[1])
+
+
 class TestTraceOutput:
     def test_trace_schema_and_levels(self, delaunay512, tmp_path):
         tracer = Tracer()

@@ -1,0 +1,201 @@
+"""Differential equivalence tests for the hot-path kernel backends.
+
+Every kernel registered in :mod:`repro.kernels` ships a ``python``
+reference implementation and a vectorised ``numpy`` one.  These tests
+assert they are **bit-identical** — same ratings, same contracted CSR,
+same gains and boundary sets, same band levels — on hypothesis-generated
+graphs and on the generator families, and that whole pipeline runs are
+deterministic and backend-independent (fixed seed ⇒ identical partition
+vector and edge cut).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.coarsening.matching import dispatch as run_matching
+from repro.core import FAST, KappaPartitioner
+from repro.instrument import Tracer
+from repro.kernels.python_backend import RATING_NAMES
+from repro.refinement.band import extract_band
+from tests.conftest import random_graphs
+
+KERNEL_NAMES = ("band_bfs", "contract_edges", "edge_ratings", "gain_boundary")
+
+
+def run_both(name, *args):
+    """One call per backend; returns (python_result, numpy_result)."""
+    return (kernels.get_kernel(name, "python")(*args),
+            kernels.get_kernel(name, "numpy")(*args))
+
+
+def coarse_map_of(g, seed):
+    """A valid coarse mapping from a real matching of ``g``."""
+    m = run_matching(g, rng=np.random.default_rng(seed))
+    rep = np.minimum(np.arange(g.n, dtype=np.int64), m)
+    uniq, cmap = np.unique(rep, return_inverse=True)
+    return cmap, len(uniq)
+
+
+# ----------------------------------------------------------------------
+# registry behaviour
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_kernels_have_both_backends(self):
+        assert kernels.kernel_names() == KERNEL_NAMES
+        for name in KERNEL_NAMES:
+            for backend in kernels.BACKENDS:
+                assert callable(kernels.get_kernel(name, backend))
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernels.get_kernel("nope")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.get_kernel("band_bfs", "cython")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_backend("cython")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already has"):
+            kernels.register("band_bfs", "numpy")(lambda: None)
+
+    def test_use_backend_switches_and_restores(self):
+        assert kernels.get_backend() == "numpy"
+        with kernels.use_backend("python"):
+            assert kernels.get_backend() == "python"
+            assert (kernels.get_kernel("edge_ratings")
+                    is kernels.get_kernel("edge_ratings", "python"))
+        assert kernels.get_backend() == "numpy"
+
+    def test_dispatch_times_kernels_into_tracer(self, rgg128):
+        us, vs, ws = rgg128.edge_array()
+        tr = Tracer()
+        with kernels.use_tracer(tr):
+            with tr.phase("test"):
+                kernels.dispatch("edge_ratings", rgg128, us, vs, ws, "weight")
+        counters = tr.counters()
+        assert counters["kernel_edge_ratings_calls"] == 1
+        assert counters["kernel_edge_ratings_s"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# per-kernel differential equivalence (hypothesis)
+# ----------------------------------------------------------------------
+class TestEdgeRatingsEquivalence:
+    @pytest.mark.parametrize("rating", RATING_NAMES)
+    @given(g=random_graphs(max_n=24, weighted=True))
+    @settings(max_examples=25, deadline=None)
+    def test_identical_ratings(self, g, rating):
+        us, vs, ws = g.edge_array()
+        ref, fast = run_both("edge_ratings", g, us, vs, ws, rating)
+        assert ref.dtype == fast.dtype == np.float64
+        assert np.array_equal(ref, fast)
+
+    @pytest.mark.parametrize("backend", kernels.BACKENDS)
+    def test_unknown_rating_rejected(self, rgg128, backend):
+        us, vs, ws = rgg128.edge_array()
+        with pytest.raises(ValueError, match="unknown rating"):
+            kernels.get_kernel("edge_ratings", backend)(
+                rgg128, us, vs, ws, "nope")
+
+
+class TestContractEquivalence:
+    @given(g=random_graphs(max_n=24, weighted=True),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_identical_coarse_csr(self, g, seed):
+        cmap, n_coarse = coarse_map_of(g, seed)
+        ref, fast = run_both("contract_edges", g, cmap, n_coarse)
+        for name, a, b in zip(("xadj", "adjncy", "adjwgt", "vwgt"),
+                              ref, fast):
+            assert np.array_equal(a, b), f"{name} differs"
+
+    @pytest.mark.parametrize("family", ["rgg", "delaunay", "social"])
+    def test_generator_families(self, pipeline_graphs, family):
+        g = pipeline_graphs[family]
+        cmap, n_coarse = coarse_map_of(g, seed=11)
+        ref, fast = run_both("contract_edges", g, cmap, n_coarse)
+        for a, b in zip(ref, fast):
+            assert np.array_equal(a, b)
+
+
+class TestGainBoundaryEquivalence:
+    @given(g=random_graphs(max_n=24, weighted=True),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_identical_gains_and_boundary(self, g, seed):
+        side = np.random.default_rng(seed).integers(
+            0, 2, size=g.n).astype(np.int8)
+        (gains_ref, bnd_ref), (gains_fast, bnd_fast) = run_both(
+            "gain_boundary", g, side)
+        assert np.array_equal(gains_ref, gains_fast)
+        assert np.array_equal(bnd_ref, bnd_fast)
+
+
+class TestBandBFSEquivalence:
+    @given(g=random_graphs(max_n=24, weighted=True, connected=True),
+           seed=st.integers(0, 2**31 - 1),
+           depth=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_identical_levels(self, g, seed, depth):
+        rng = np.random.default_rng(seed)
+        n_seeds = int(rng.integers(1, max(2, g.n // 2)))
+        seeds = rng.choice(g.n, size=min(n_seeds, g.n), replace=False)
+        allowed = rng.random(g.n) < 0.8
+        allowed[seeds] = True
+        ref, fast = run_both("band_bfs", g, seeds, allowed, depth)
+        assert np.array_equal(ref, fast)
+
+    @pytest.mark.parametrize("depth", [1, 5, 20])
+    def test_extract_band_identical_across_backends(self, delaunay300,
+                                                    depth):
+        part = (np.arange(delaunay300.n) >= delaunay300.n // 2).astype(
+            np.int64)
+        bands = []
+        for backend in kernels.BACKENDS:
+            with kernels.use_backend(backend):
+                band, pair = extract_band(delaunay300, part, 0, 1, depth)
+            bands.append((band, pair))
+        (b_ref, p_ref), (b_fast, p_fast) = bands
+        assert b_ref.graph == b_fast.graph
+        assert np.array_equal(b_ref.smap.to_parent, b_fast.smap.to_parent)
+        assert np.array_equal(b_ref.side, b_fast.side)
+        assert np.array_equal(b_ref.movable, b_fast.movable)
+        assert b_ref.n_boundary == b_fast.n_boundary
+        assert np.array_equal(p_ref, p_fast)
+
+
+# ----------------------------------------------------------------------
+# golden determinism: whole pipeline, both backends, repeated runs
+# ----------------------------------------------------------------------
+class TestGoldenDeterminism:
+    """Fixed seed ⇒ identical edge cut and partition vector across both
+    backends and across repeated runs (k ∈ {2, 4, 8}, three families)."""
+
+    SEED = 42
+
+    @pytest.mark.parametrize("family", ["rgg", "delaunay", "social"])
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_backends_and_reruns_agree(self, golden_graphs, family, k):
+        g = golden_graphs[family]
+        runs = []
+        for backend in ("python", "numpy", "numpy"):  # repeat the default
+            cfg = FAST.derive(kernel_backend=backend)
+            res = KappaPartitioner(cfg).partition(g, k, seed=self.SEED)
+            runs.append((res.cut, res.partition.part))
+        cut0, part0 = runs[0]
+        for cut, part in runs[1:]:
+            assert cut == cut0
+            assert np.array_equal(part, part0)
+
+
+@pytest.fixture(scope="session")
+def golden_graphs(rgg128, delaunay300, social300):
+    return {"rgg": rgg128, "delaunay": delaunay300, "social": social300}
+
+
+@pytest.fixture(scope="session")
+def pipeline_graphs(rgg128, delaunay300, social300):
+    return {"rgg": rgg128, "delaunay": delaunay300, "social": social300}
