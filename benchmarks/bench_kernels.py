@@ -4,9 +4,15 @@ Times every registered hot-path kernel (edge ratings, contraction
 aggregation, FM gain/boundary construction, band BFS) on both backends
 over generator-suite instances and writes ``BENCH_kernels.json``::
 
-    {"schema": "repro.bench_kernels/1",
-     "records": [{"graph", "n", "m", "kernel", "backend",
+    {"schema": "repro.bench_kernels/2",
+     "meta":   {"engine", "cpus", "python"},
+     "records": [{"graph", "n", "m", "kernel", "backend", "engine",
                   "median_s", "speedup"}, ...]}
+
+``--engine`` tags every record with the execution engine the run
+represents (kernels themselves are engine-independent, but trajectories
+recorded under different engines must not be compared against each
+other, so the tag travels with the numbers).
 
 ``speedup`` is the python-backend median divided by this record's median
 (so python rows read 1.0 and numpy rows read the vectorisation factor).
@@ -26,6 +32,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import statistics
 import sys
 import time
@@ -40,6 +48,7 @@ except ImportError:  # direct script invocation without PYTHONPATH=src
 import numpy as np
 
 from repro import kernels
+from repro.engine import ENGINES
 from repro.coarsening.matching import dispatch as run_matching
 from repro.generators import random_geometric_graph
 from repro.generators.suite import load
@@ -110,6 +119,9 @@ def main(argv=None) -> int:
                          f"{' '.join(DEFAULT_GRAPHS)})")
     ap.add_argument("--repeats", type=int, default=5,
                     help="timing repetitions per kernel (median reported)")
+    ap.add_argument("--engine", default="sim", choices=sorted(ENGINES),
+                    help="engine tag recorded in the output metadata "
+                         "(default: sim)")
     ap.add_argument("--smoke", action="store_true",
                     help="fast CI mode: one small generated graph, "
                          "3 repeats")
@@ -130,8 +142,18 @@ def main(argv=None) -> int:
         print(f"benchmarking {name} (n={g.n}, m={g.m}, "
               f"repeats={repeats}) ...", flush=True)
         records.extend(bench_graph(name, g, repeats))
+    for row in records:
+        row["engine"] = args.engine
 
-    doc = {"schema": "repro.bench_kernels/1", "records": records}
+    doc = {
+        "schema": "repro.bench_kernels/2",
+        "meta": {
+            "engine": args.engine,
+            "cpus": len(os.sched_getaffinity(0)),
+            "python": platform.python_version(),
+        },
+        "records": records,
+    }
     with open(args.output, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")

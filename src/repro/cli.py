@@ -37,6 +37,7 @@ from .baselines import (
     scotch_like_partition,
 )
 from .core import KappaPartitioner, format_trace_summary, metrics, preset
+from .engine import ENGINES
 from .instrument import CHECK_MODES, Tracer
 from .kernels import BACKENDS as KERNEL_BACKENDS, use_backend
 from .graph import (
@@ -93,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--execution", default="sequential",
                    choices=("sequential", "cluster"))
+    p.add_argument("--engine", default=None, choices=sorted(ENGINES),
+                   help="execution engine for the SPMD cluster path "
+                        "(implies --execution cluster)")
     p.add_argument("--format", default="metis", choices=("metis", "dimacs"))
     p.add_argument("-o", "--output", default=None,
                    help="partition output file (default: <graph>.part.<k>)")
@@ -136,11 +140,17 @@ def _instrumented_run(g, args, k: int):
     overrides = {}
     if getattr(args, "kernel_backend", None):
         overrides["kernel_backend"] = args.kernel_backend
+    engine = getattr(args, "engine", None)
+    execution = args.execution
+    if engine is not None:
+        # an explicit engine only makes sense for the SPMD cluster path
+        execution = "cluster"
+        overrides["engine"] = engine
     cfg = preset(args.preset).derive(epsilon=args.epsilon,
                                      check_invariants=check, **overrides)
     tracer = Tracer() if args.trace else None
     res = KappaPartitioner(cfg).partition(
-        g, k, seed=args.seed, execution=args.execution, tracer=tracer
+        g, k, seed=args.seed, execution=execution, tracer=tracer
     )
     return res, tracer
 

@@ -15,7 +15,8 @@ Two entry points share all kernels:
 * :func:`parallel_matching` — deterministic sequential simulation (used by
   the fast quality-experiment path);
 * :func:`parallel_matching_spmd` — the same algorithm running as an SPMD
-  program on :class:`~repro.parallel.comm.Comm`, exercising real message
+  program against the :class:`~repro.engine.base.Comm` protocol (so it
+  runs on any execution engine), exercising real message
   passing.  Both produce identical matchings for identical seeds because
   the locally-dominant matching is canonical under a global total order on
   edges (score, then edge id).
@@ -27,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ...engine.base import Comm
 from ...graph.csr import Graph
 from ...graph.subgraph import induced_subgraph
 from ..ratings import rate_edges
@@ -167,7 +169,7 @@ def parallel_matching(
 
 
 def parallel_matching_spmd(
-    comm,
+    comm: Comm,
     g: Graph,
     owner: np.ndarray,
     algorithm: str = "gpa",

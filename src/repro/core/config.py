@@ -66,6 +66,13 @@ class KappaConfig:
     # -- parallel execution --------------------------------------------
     n_pes: Optional[int] = None  # None → one PE per block (paper setting)
     prepartition: str = "auto"   # "geometric" | "numbering" | "auto"
+    #: execution engine for the cluster path: "sequential" (deterministic
+    #: token-passing), "sim" (threads + cost model, reports simulated
+    #: makespan — the paper default) or "process" (one OS process per PE)
+    engine: str = "sim"
+    #: receive timeout in seconds for engines that detect deadlocks by
+    #: timeout (sim, process).  None → $REPRO_RECV_TIMEOUT_S → 60 s.
+    recv_timeout_s: Optional[float] = None
 
     # -- hot-path kernels (repro.kernels) ------------------------------
     #: backend for the registered hot-path kernels: "numpy" (vectorised,
@@ -106,6 +113,16 @@ class KappaConfig:
                 f"unknown kernel_backend {self.kernel_backend!r}; "
                 f"choose from {KERNEL_BACKENDS}"
             )
+        # deferred import: the engine package is heavier than config and
+        # only the registry keys are needed for validation
+        from ..engine import ENGINES
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"choose from {sorted(ENGINES)}"
+            )
+        if self.recv_timeout_s is not None and self.recv_timeout_s <= 0:
+            raise ValueError("recv_timeout_s must be positive")
         if self.check_invariants not in ("off", "sampled", "strict"):
             raise ValueError(
                 f"unknown check_invariants mode {self.check_invariants!r}; "

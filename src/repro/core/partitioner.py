@@ -4,11 +4,18 @@ Two execution paths share every algorithm kernel (DESIGN.md §5):
 
 * ``execution="sequential"`` — deterministic single-process run used for
   the quality experiments (identical algorithmic decisions, no threads);
-* ``execution="cluster"`` — the full SPMD pipeline on a simulated cluster
-  with one virtual PE per block: parallel two-phase matching (§3.3),
-  all-PEs initial partitioning (§4), distributed quotient coloring and
-  pairwise band refinement (§5).  Its :class:`ClusterResult` makespan is
-  the simulated parallel runtime used by the Figure 3 reproduction.
+* ``execution="cluster"`` — the full SPMD pipeline
+  (:func:`~repro.core.spmd.kappa_spmd_program`) with one virtual PE per
+  block: parallel two-phase matching (§3.3), all-PEs initial
+  partitioning (§4), distributed quotient coloring and pairwise band
+  refinement (§5).
+
+The cluster path runs on a pluggable execution engine
+(:mod:`repro.engine`): ``sequential`` (deterministic token-passing),
+``sim`` (threads + cost model; its makespan is the simulated parallel
+runtime used by the Figure 3 reproduction) or ``process`` (one OS
+process per PE for real wall-clock parallelism).  All engines produce
+bit-identical partitions for the same master seed.
 """
 
 from __future__ import annotations
@@ -21,11 +28,8 @@ import numpy as np
 
 from .. import kernels
 from ..graph.csr import Graph
-from ..coarsening.hierarchy import Hierarchy, coarsen
-from ..coarsening.contract import contract_matching
-from ..coarsening.matching.parallel import parallel_matching_spmd
-from ..coarsening.prepartition import prepartition
-from ..initial.runner import initial_partition, initial_partition_spmd
+from ..coarsening.hierarchy import coarsen
+from ..initial.runner import initial_partition
 from ..instrument import (
     InvariantChecker,
     NULL_TRACER,
@@ -34,12 +38,13 @@ from ..instrument import (
     ensure_tracer,
 )
 from ..refinement.balance import rebalance
-from ..refinement.pairwise import pairwise_refinement, pairwise_refinement_spmd
-from ..parallel.comm import SimCluster
+from ..refinement.pairwise import pairwise_refinement
+from ..engine import SimulatedEngine, get_engine
 from ..parallel.costmodel import DEFAULT_MACHINE, MachineModel
 from . import metrics
 from .config import FAST, KappaConfig
 from .partition import Partition
+from .spmd import kappa_spmd_program
 
 __all__ = ["KappaResult", "KappaPartitioner", "partition_graph"]
 
@@ -91,7 +96,8 @@ class KappaPartitioner:
     # ------------------------------------------------------------------
     def partition(self, g: Graph, k: int, seed: Optional[int] = None,
                   execution: str = "sequential",
-                  tracer: Optional[Tracer] = None) -> KappaResult:
+                  tracer: Optional[Tracer] = None,
+                  engine: Optional[str] = None) -> KappaResult:
         """Partition ``g`` into ``k`` blocks.
 
         ``seed`` overrides the config seed for repeated runs.  Pass a
@@ -99,6 +105,10 @@ class KappaPartitioner:
         trace of the run (phases, counters, per-level records); the
         finished document lands in ``KappaResult.trace``.  Invariant
         checking is controlled by ``config.check_invariants``.
+
+        ``engine`` selects the runtime for the cluster path
+        ("sequential" | "sim" | "process"), overriding ``config.engine``;
+        it is ignored by ``execution="sequential"``.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -107,6 +117,7 @@ class KappaPartitioner:
         if execution not in ("sequential", "cluster"):
             raise ValueError(f"unknown execution mode {execution!r}")
         seed = self.config.seed if seed is None else seed
+        engine = self.config.engine if engine is None else engine
         tracer = ensure_tracer(tracer)
         checker = InvariantChecker(self.config.check_invariants,
                                    tracer=tracer)
@@ -117,12 +128,15 @@ class KappaPartitioner:
                 check_invariants=self.config.check_invariants,
                 kernel_backend=self.config.kernel_backend,
             )
+            if execution == "cluster":
+                tracer.meta["engine"] = engine
         # run every hot-path kernel on the configured backend and let the
         # dispatcher report per-kernel timings into the trace
         with kernels.use_backend(self.config.kernel_backend), \
                 kernels.use_tracer(tracer):
             if execution == "cluster":
-                res = self._partition_cluster(g, k, seed, tracer, checker)
+                res = self._partition_cluster(g, k, seed, tracer, checker,
+                                              engine)
             else:
                 res = self._partition_sequential(g, k, seed, tracer, checker)
         res.violations = checker.violations
@@ -241,112 +255,62 @@ class KappaPartitioner:
     def _partition_cluster(self, g: Graph, k: int, seed: int,
                            tracer=NULL_TRACER,
                            checker: Optional[InvariantChecker] = None,
-                           ) -> KappaResult:
+                           engine: Optional[str] = None) -> KappaResult:
         """Full SPMD pipeline: one virtual PE per block by default, or
         ``config.n_pes < k`` PEs with blocks multiplexed (Section 8).
 
-        The SPMD program runs once per virtual PE, so per-level tracing
-        would multiply every counter by P; the cluster path therefore
-        traces at run granularity only and validates the final partition.
+        The SPMD program (:func:`~repro.core.spmd.kappa_spmd_program`)
+        runs once per virtual PE on the selected engine.  It runs once
+        per PE, so per-level tracing would multiply every counter by P;
+        the cluster path therefore traces at run granularity only and
+        validates the final partition.
         """
         cfg = self.config
         t0 = time.perf_counter()
         p = k if cfg.n_pes is None else min(cfg.n_pes, k)
-        cluster = SimCluster(p, machine=self.machine)
+        eng = get_engine(engine if engine is not None else cfg.engine, p,
+                         machine=self.machine,
+                         recv_timeout_s=cfg.recv_timeout_s)
         with tracer.phase("cluster_run"):
-            res = cluster.run(self._spmd_program, g, k, seed)
+            res = eng.run(kappa_spmd_program, g, k, seed, cfg)
         part, levels, coarsest_n = res.results[0]
         for other, _, _ in res.results[1:]:
             if not np.array_equal(other, part):
                 raise AssertionError("PEs finished with inconsistent partitions")
         if checker is not None:
             checker.check_final(g, part, k, cfg.epsilon)
+        # aggregate per-PE phase timers: the max over PEs is the phase's
+        # critical-path wall time (PEs run the phase concurrently)
+        phase_stats: Dict[str, float] = {}
+        for pe_phases in res.phase_times:
+            for name, seconds in pe_phases.items():
+                key = f"phase_{name}_max_s"
+                phase_stats[key] = max(phase_stats.get(key, 0.0), seconds)
         if tracer.enabled:
             tracer.meta["pes"] = p
+            tracer.meta["engine"] = eng.name
             tracer.count("bytes_sent", float(res.bytes_sent))
             tracer.count("messages_sent", float(res.messages_sent))
+            for key, seconds in sorted(phase_stats.items()):
+                tracer.count(f"pe_{key}", seconds)
         elapsed = time.perf_counter() - t0
+        stats = {
+            "bytes_sent": float(res.bytes_sent),
+            "messages_sent": float(res.messages_sent),
+            **phase_stats,
+        }
+        if res.makespan is not None:
+            stats["makespan_s"] = res.makespan
         return KappaResult(
             partition=Partition(g, part, k, cfg.epsilon),
             time_s=elapsed,
-            sim_time_s=res.makespan,
+            # simulated parallel time is only meaningful on the sim
+            # engine (Figure 3); process/sequential report wall time only
+            sim_time_s=(res.makespan
+                        if isinstance(eng, SimulatedEngine) else None),
             levels=levels,
             coarsest_n=coarsest_n,
-            stats={
-                "bytes_sent": float(res.bytes_sent),
-                "messages_sent": float(res.messages_sent),
-            },
-        )
-
-    def _spmd_program(self, comm, g: Graph, k: int, seed: int):
-        cfg = self.config
-        from ..coarsening.hierarchy import contraction_threshold
-
-        # ---- parallel coarsening (§3.3) ------------------------------
-        owner = prepartition(g, comm.size, cfg.prepartition)
-        threshold = contraction_threshold(
-            g.n, k, cfg.contraction_alpha, cfg.contraction_min_nodes
-        )
-        graphs: List[Graph] = [g]
-        maps: List[np.ndarray] = []
-        current = g
-        for level in range(cfg.max_levels):
-            if current.n <= threshold or current.m == 0:
-                break
-            m = parallel_matching_spmd(
-                comm, current, owner,
-                algorithm=cfg.matching, rating=cfg.rating,
-                seed=seed + level,
-            )
-            coarse, cmap = contract_matching(current, m)
-            comm.compute(current.m / comm.size)  # distributed contraction
-            if coarse.n > 0.95 * current.n:
-                break
-            graphs.append(coarse)
-            maps.append(cmap)
-            new_owner = np.zeros(coarse.n, dtype=np.int64)
-            new_owner[cmap] = owner
-            owner = new_owner
-            current = coarse
-        hierarchy = Hierarchy(graphs=graphs, maps=maps)
-
-        # ---- initial partitioning on all PEs (§4) ---------------------
-        part = initial_partition_spmd(
-            comm, hierarchy.coarsest, k, cfg.epsilon,
-            method=cfg.initial_partitioner,
-            repeats=cfg.init_repeats,
-            seed=seed,
-        )
-
-        # ---- pairwise refinement per level (§5) -----------------------
-        for level in range(hierarchy.depth - 1, 0, -1):
-            part = hierarchy.project(part, level)
-            part = self._refine_spmd(comm, hierarchy.graphs[level - 1],
-                                     part, k, seed + level)
-        if hierarchy.depth == 1:
-            part = self._refine_spmd(comm, g, part, k, seed)
-        if not metrics.is_balanced(g, part, k, cfg.epsilon):
-            part = rebalance(g, part, k, cfg.epsilon,
-                             rng=np.random.default_rng(seed))
-        return part, hierarchy.depth, hierarchy.coarsest.n
-
-    def _refine_spmd(self, comm, g: Graph, part: np.ndarray, k: int,
-                     seed: int):
-        cfg = self.config
-        if k == 1:
-            return part
-        return pairwise_refinement_spmd(
-            comm, g, part,
-            k=k,
-            pair_algorithm=cfg.refine_algorithm,
-            epsilon=cfg.epsilon,
-            bfs_depth=cfg.bfs_band_depth,
-            alpha=cfg.fm_alpha,
-            queue_selection=cfg.queue_selection,
-            local_iterations=cfg.local_iterations,
-            max_global_iterations=cfg.max_global_iterations,
-            stop_rule=cfg.stop_rule,
-            seed=seed,
+            stats=stats,
         )
 
 
@@ -356,6 +320,9 @@ def partition_graph(
     config: KappaConfig = FAST,
     seed: Optional[int] = None,
     execution: str = "sequential",
+    engine: Optional[str] = None,
 ) -> KappaResult:
     """Convenience one-shot API: ``KappaPartitioner(config).partition(...)``."""
-    return KappaPartitioner(config).partition(g, k, seed=seed, execution=execution)
+    return KappaPartitioner(config).partition(g, k, seed=seed,
+                                              execution=execution,
+                                              engine=engine)

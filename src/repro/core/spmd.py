@@ -1,0 +1,119 @@
+"""The KaPPa SPMD program: the full pipeline as one ``fn(comm, ...)``.
+
+This is the single source of truth for the parallel execution path.  It
+is written purely against the :class:`~repro.engine.base.Comm` protocol
+and therefore runs unchanged on every engine — sequential (token-passing
+determinism), sim (threads + cost model) and process (one OS process per
+PE).  The cross-engine equivalence suite leans on exactly that: same
+program + same master seed ⇒ bit-identical partition everywhere.
+
+Kept at module level (not a ``KappaPartitioner`` method) so the process
+engine can ship it to workers under any start method, and so the kernel
+backend is (re-)entered *inside* the program: process-engine workers do
+not inherit the parent's backend context under ``spawn``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .. import kernels
+from ..coarsening.contract import contract_matching
+from ..coarsening.hierarchy import Hierarchy, contraction_threshold
+from ..coarsening.matching.parallel import parallel_matching_spmd
+from ..coarsening.prepartition import prepartition
+from ..engine.base import Comm
+from ..graph.csr import Graph
+from ..initial.runner import initial_partition_spmd
+from ..refinement.balance import rebalance
+from ..refinement.pairwise import pairwise_refinement_spmd
+from . import metrics
+from .config import KappaConfig
+
+__all__ = ["kappa_spmd_program"]
+
+
+def kappa_spmd_program(comm: Comm, g: Graph, k: int, seed: int,
+                       cfg: KappaConfig):
+    """One virtual PE's share of a full KaPPa run.
+
+    Returns ``(partition, depth, coarsest_n)``; every PE returns the
+    same values because all decisions flow through deterministic
+    collectives and ``comm.derive_rng``.  Phase wall-clock per PE is
+    recorded through ``comm.timed`` and surfaces in
+    ``EngineResult.phase_times``.
+    """
+    with kernels.use_backend(cfg.kernel_backend):
+        with comm.timed("coarsening"):
+            hierarchy, owner = _coarsen_spmd(comm, g, k, seed, cfg)
+        with comm.timed("initial_partitioning"):
+            part = initial_partition_spmd(
+                comm, hierarchy.coarsest, k, cfg.epsilon,
+                method=cfg.initial_partitioner,
+                repeats=cfg.init_repeats,
+                seed=seed,
+            )
+        with comm.timed("refinement"):
+            for level in range(hierarchy.depth - 1, 0, -1):
+                part = hierarchy.project(part, level)
+                part = _refine_spmd(comm, hierarchy.graphs[level - 1],
+                                    part, k, seed + level, cfg)
+            if hierarchy.depth == 1:
+                part = _refine_spmd(comm, g, part, k, seed, cfg)
+            if not metrics.is_balanced(g, part, k, cfg.epsilon):
+                part = rebalance(g, part, k, cfg.epsilon,
+                                 rng=np.random.default_rng(seed))
+    return part, hierarchy.depth, hierarchy.coarsest.n
+
+
+def _coarsen_spmd(comm: Comm, g: Graph, k: int, seed: int,
+                  cfg: KappaConfig):
+    """Parallel coarsening (§3.3): two-phase matching + contraction."""
+    owner = prepartition(g, comm.size, cfg.prepartition)
+    threshold = contraction_threshold(
+        g.n, k, cfg.contraction_alpha, cfg.contraction_min_nodes
+    )
+    graphs: List[Graph] = [g]
+    maps: List[np.ndarray] = []
+    current = g
+    for level in range(cfg.max_levels):
+        if current.n <= threshold or current.m == 0:
+            break
+        m = parallel_matching_spmd(
+            comm, current, owner,
+            algorithm=cfg.matching, rating=cfg.rating,
+            seed=seed + level,
+        )
+        coarse, cmap = contract_matching(current, m)
+        comm.compute(current.m / comm.size)  # distributed contraction
+        if coarse.n > 0.95 * current.n:
+            break
+        graphs.append(coarse)
+        maps.append(cmap)
+        new_owner = np.zeros(coarse.n, dtype=np.int64)
+        new_owner[cmap] = owner
+        owner = new_owner
+        current = coarse
+    return Hierarchy(graphs=graphs, maps=maps), owner
+
+
+def _refine_spmd(comm: Comm, g: Graph, part: np.ndarray, k: int,
+                 seed: int, cfg: KappaConfig) -> np.ndarray:
+    """Pairwise band refinement per level (§5)."""
+    if k == 1:
+        return part
+    return pairwise_refinement_spmd(
+        comm, g, part,
+        k=k,
+        pair_algorithm=cfg.refine_algorithm,
+        epsilon=cfg.epsilon,
+        bfs_depth=cfg.bfs_band_depth,
+        alpha=cfg.fm_alpha,
+        queue_selection=cfg.queue_selection,
+        local_iterations=cfg.local_iterations,
+        max_global_iterations=cfg.max_global_iterations,
+        stop_rule=cfg.stop_rule,
+        seed=seed,
+    )

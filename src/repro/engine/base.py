@@ -1,0 +1,275 @@
+"""The execution-engine abstraction: Comm protocol + Engine interface.
+
+The KaPPa pipeline is written as SPMD programs — functions of the shape
+``fn(comm, *args)`` that run once per virtual PE and communicate only
+through their :class:`Comm` handle.  This module defines that contract
+and nothing else, so every SPMD phase (parallel matching, initial
+partitioning, distributed coloring, pairwise refinement) can depend on
+the *protocol* without pulling in any particular runtime:
+
+* :class:`Comm` — a :class:`typing.Protocol` with the mpi4py-like API
+  every engine's communicator implements (``send``/``recv``/``sendrecv``,
+  ``barrier``/``bcast``/``gather``/``allgather``/``allreduce``/
+  ``alltoall``, plus ``derive_rng``/``compute``/``timed``);
+* :class:`Engine` — the runtime strategy: run an SPMD function on ``p``
+  PEs and return an :class:`EngineResult`;
+* :class:`EngineResult` — per-PE return values plus runtime statistics
+  (makespan, per-PE phase timers, message/byte counts).
+
+Concrete engines live in sibling modules: sequential (deterministic
+cooperative scheduling on one thread), sim (threads + the simulated-time
+cost model) and process (one OS process per PE).  This module must not
+import any of them — it is the dependency floor of the engine layer.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    ContextManager,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+import numpy as np
+
+__all__ = [
+    "Comm",
+    "Engine",
+    "EngineResult",
+    "CommBase",
+    "DeadlockError",
+    "EngineFailure",
+    "DEFAULT_RECV_TIMEOUT_S",
+    "RECV_TIMEOUT_ENV_VAR",
+    "resolve_recv_timeout",
+]
+
+#: Fallback receive timeout (seconds) when neither ``KappaConfig.
+#: recv_timeout_s`` nor the environment variable overrides it.  A
+#: deadlocked SPMD program fails loudly in tests instead of hanging.
+DEFAULT_RECV_TIMEOUT_S = 60.0
+
+#: Environment variable overriding the default receive timeout.
+RECV_TIMEOUT_ENV_VAR = "REPRO_RECV_TIMEOUT_S"
+
+
+def resolve_recv_timeout(explicit: Optional[float] = None) -> float:
+    """Receive-timeout resolution order: explicit argument (e.g. from
+    ``KappaConfig.recv_timeout_s``) → ``$REPRO_RECV_TIMEOUT_S`` →
+    :data:`DEFAULT_RECV_TIMEOUT_S`."""
+    if explicit is not None:
+        if explicit <= 0:
+            raise ValueError("recv timeout must be positive")
+        return float(explicit)
+    env = os.environ.get(RECV_TIMEOUT_ENV_VAR)
+    if env is not None:
+        try:
+            value = float(env)
+        except ValueError:
+            raise ValueError(
+                f"{RECV_TIMEOUT_ENV_VAR}={env!r} is not a number"
+            ) from None
+        if value <= 0:
+            raise ValueError(f"{RECV_TIMEOUT_ENV_VAR} must be positive")
+        return value
+    return DEFAULT_RECV_TIMEOUT_S
+
+
+class DeadlockError(RuntimeError):
+    """A blocking communication operation cannot complete — the SPMD
+    program is deadlocked.  The message names the PE, the operation and
+    its source/tag so the stuck channel can be identified directly."""
+
+
+class EngineFailure(RuntimeError):
+    """A PE failed for a non-algorithmic reason (process died, protocol
+    violated).  Wraps enough context to identify the failing rank."""
+
+
+@runtime_checkable
+class Comm(Protocol):
+    """One PE's communicator handle — the only interface SPMD phases may
+    depend on.  All engines implement it; ``rank``/``size`` identify the
+    PE, randomness must come from :meth:`derive_rng` so runs are pure
+    functions of the master seed, and :meth:`compute` charges abstract
+    work to engines that model cost (a no-op elsewhere)."""
+
+    rank: int
+
+    @property
+    def size(self) -> int: ...
+
+    def derive_rng(self, seed: int) -> np.random.Generator: ...
+
+    def compute(self, work_units: float) -> None: ...
+
+    def timed(self, name: str) -> ContextManager[None]: ...
+
+    # -- point to point -------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None: ...
+
+    def recv(self, source: int, tag: int = 0,
+             timeout: Optional[float] = None) -> Any: ...
+
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any: ...
+
+    # -- collectives ----------------------------------------------------
+    def barrier(self) -> None: ...
+
+    def bcast(self, obj: Any, root: int = 0) -> Any: ...
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]: ...
+
+    def allgather(self, obj: Any) -> List[Any]: ...
+
+    def allreduce(self, value: Any,
+                  op: Optional[Callable[[Any, Any], Any]] = None) -> Any: ...
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]: ...
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one SPMD run on any engine.
+
+    ``makespan`` is engine-specific: simulated seconds for the sim
+    engine (the Figure 3 quantity), wall-clock seconds of the slowest PE
+    for the process engine, and ``None`` for the sequential engine
+    (whose execution is serialised, so a per-PE makespan is meaningless).
+    ``phase_times`` holds one ``{phase: seconds}`` dict per PE, filled by
+    ``comm.timed(...)`` blocks inside the SPMD program and aggregated
+    into the Tracer by the partitioner driver.
+    """
+
+    results: List[Any]
+    makespan: Optional[float] = None
+    clocks: List[float] = field(default_factory=list)
+    bytes_sent: int = 0
+    messages_sent: int = 0
+    phase_times: List[Dict[str, float]] = field(default_factory=list)
+
+
+class CommBase:
+    """Shared communicator plumbing: seed derivation (identical across
+    engines so partitions are bit-identical), per-PE phase timers, and
+    the rank-order collective folds expressed over a single primitive,
+    ``_exchange(value) -> [value_0, …, value_{p-1}]``.
+
+    Subclasses implement ``_exchange`` (and the point-to-point ops) and
+    may override individual collectives when their runtime has a cheaper
+    native form.
+    """
+
+    rank: int
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.phase_times: Dict[str, float] = {}
+
+    def derive_rng(self, seed: int) -> np.random.Generator:
+        """Per-PE RNG: the paper runs identical components "each with a
+        different seed for the random number generator"."""
+        return np.random.default_rng((seed, self.rank))
+
+    def compute(self, work_units: float) -> None:
+        """Charge abstract compute.  Engines without a cost model treat
+        this as a no-op; real time is measured, not modelled."""
+
+    @contextmanager
+    def timed(self, name: str):
+        """Accumulate wall-clock time of a program phase on this PE; the
+        engine returns the per-PE totals in ``EngineResult.phase_times``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phase_times[name] = (
+                self.phase_times.get(name, 0.0) + time.perf_counter() - t0
+            )
+
+    # -- collective folds over _exchange --------------------------------
+    def _exchange(self, value: Any) -> List[Any]:
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        self._exchange(None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return self._exchange(obj if self.rank == root else None)[root]
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        vals = self._exchange(obj)
+        return vals if self.rank == root else None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        return self._exchange(obj)
+
+    def allreduce(self, value: Any,
+                  op: Optional[Callable[[Any, Any], Any]] = None) -> Any:
+        """All-reduce with a binary ``op`` (default: addition), folded in
+        rank order on every PE — the same fold as the simulated comm, so
+        non-associative ops cannot diverge between engines."""
+        vals = self._exchange(value)
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = (acc + v) if op is None else op(acc, v)
+        return acc
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        """Personalised all-to-all: ``objs[d]`` goes to PE ``d``."""
+        if len(objs) != self.size:  # type: ignore[attr-defined]
+            raise ValueError("alltoall needs one payload per PE")
+        vals = self._exchange(list(objs))
+        return [vals[src][self.rank]
+                for src in range(self.size)]  # type: ignore[attr-defined]
+
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
+        """Exchange with a partner PE (both sides call this).  Rank order
+        breaks the symmetry so engines with bounded channel buffers
+        cannot deadlock on large payloads."""
+        if peer == self.rank:
+            raise ValueError("sendrecv with self")
+        if self.rank < peer:
+            self.send(obj, peer, tag)  # type: ignore[attr-defined]
+            return self.recv(peer, tag)  # type: ignore[attr-defined]
+        out = self.recv(peer, tag)  # type: ignore[attr-defined]
+        self.send(obj, peer, tag)  # type: ignore[attr-defined]
+        return out
+
+
+class Engine(ABC):
+    """A runtime strategy for SPMD programs.
+
+    ``Engine(p).run(fn, *args)`` executes ``fn(comm, *args)`` on ``p``
+    virtual PEs and collects per-PE results and statistics.  Engines are
+    cheap to construct; all heavy lifting happens in :meth:`run`.
+    """
+
+    #: registry key ("sequential" | "sim" | "process")
+    name: str = "abstract"
+
+    def __init__(self, p: int, recv_timeout_s: Optional[float] = None) -> None:
+        if p < 1:
+            raise ValueError("need at least one PE")
+        self.p = p
+        self.recv_timeout_s = resolve_recv_timeout(recv_timeout_s)
+
+    @abstractmethod
+    def run(self, fn: Callable[..., Any], *args: Any,
+            **kwargs: Any) -> EngineResult:
+        """Execute ``fn(comm, *args, **kwargs)`` on every PE."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(p={self.p})"

@@ -1,0 +1,361 @@
+"""Process engine: one real OS process per virtual PE.
+
+The simulated engine reproduces the paper's *algorithmic* behaviour but
+its threads share the GIL, so wall clock never improves with PE count.
+This engine runs every PE as a real ``multiprocessing`` process:
+
+* the input CSR graph is placed in shared memory once
+  (:class:`~repro.engine.shm.SharedGraph`) and mapped zero-copy by every
+  worker;
+* point-to-point messages travel over a full mesh of OS pipes, serialised
+  by the pickle-free numpy-buffer codec (:mod:`repro.engine.wire`);
+* collectives run as a deterministic star over rank 0 (gather in rank
+  order, fold locally on every PE — the same rank-order fold as the
+  other engines, so results are bit-identical);
+* per-PE results, phase timers and byte counts return to the parent over
+  dedicated result pipes.
+
+Scheduling is OS-level and non-deterministic, but every SPMD phase draws
+randomness from ``comm.derive_rng`` and communicates through matching
+deterministic operations, so the *outcome* equals the sequential and
+simulated engines' bit for bit — the cross-engine equivalence suite
+enforces exactly this.
+
+Wall-clock speedup over the simulated engine scales with physical cores:
+redundant per-PE work that the GIL serialises runs concurrently here.
+On a single-core host the engine still works but cannot be faster.
+"""
+
+from __future__ import annotations
+
+import builtins
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..graph.csr import Graph
+from . import wire
+from .base import (
+    CommBase,
+    DeadlockError,
+    Engine,
+    EngineFailure,
+    EngineResult,
+)
+from .shm import SharedGraph
+
+__all__ = ["ProcessEngine", "ProcessComm"]
+
+#: reserved system tags (user tags must be non-negative)
+_TAG_COLL = -1         # collective contribution, worker -> rank 0
+_TAG_COLL_RESULT = -2  # collective result, rank 0 -> worker
+
+_POLL_S = 0.25  # wakeup granularity while waiting on a pipe
+
+
+class ProcessComm(CommBase):
+    """Communicator of one worker process (mesh pipes + wire codec)."""
+
+    def __init__(self, rank: int, size: int, peers: Dict[int, Any],
+                 recv_timeout_s: float) -> None:
+        super().__init__()
+        self.rank = rank
+        self._size = size
+        self._peers = peers
+        self.recv_timeout_s = recv_timeout_s
+        self._inbox: Dict[int, Dict[int, Deque[Any]]] = {}
+        self._coll_seq = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # -- point to point -------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if tag < 0:
+            raise ValueError("user tags must be non-negative")
+        self._post(obj, dest, tag)
+
+    def _post(self, obj: Any, dest: int, tag: int) -> None:
+        if not (0 <= dest < self._size):
+            raise ValueError(f"bad destination {dest}")
+        if dest == self.rank:  # loopback without a pipe
+            box = self._inbox.setdefault(dest, {})
+            box.setdefault(tag, deque()).append(obj)
+            self.messages_sent += 1
+            return
+        data = wire.encode((tag, obj))
+        self._peers[dest].send_bytes(data)
+        self.bytes_sent += len(data)
+        self.messages_sent += 1
+
+    def recv(self, source: int, tag: int = 0,
+             timeout: Optional[float] = None) -> Any:
+        if tag < 0:
+            raise ValueError("user tags must be non-negative")
+        return self._pull(source, tag, timeout)
+
+    def _pull(self, source: int, tag: int,
+              timeout: Optional[float] = None) -> Any:
+        if not (0 <= source < self._size):
+            raise ValueError(f"bad source {source}")
+        if timeout is None:
+            timeout = self.recv_timeout_s
+        box = self._inbox.setdefault(source, {})
+        q = box.get(tag)
+        if q:
+            return q.popleft()
+        if source == self.rank:
+            raise DeadlockError(
+                f"PE {self.rank}: recv from self on tag {tag} with no "
+                "message queued (engine=process)"
+            )
+        conn = self._peers[source]
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                buffered = sorted(
+                    (t, len(msgs)) for t, msgs in box.items() if msgs
+                )
+                detail = (
+                    "; buffered tags from that PE: "
+                    + ", ".join(f"tag={t} x{n}" for t, n in buffered)
+                    if buffered else "; nothing buffered from that PE"
+                )
+                raise DeadlockError(
+                    f"PE {self.rank}: recv(source={source}, tag={tag}) "
+                    f"timed out after {timeout:g}s (engine=process){detail}"
+                )
+            if conn.poll(min(remaining, _POLL_S)):
+                try:
+                    data = conn.recv_bytes()
+                except EOFError:
+                    raise EngineFailure(
+                        f"PE {self.rank}: PE {source} closed its channel "
+                        f"while recv(tag={tag}) was waiting"
+                    ) from None
+                got_tag, obj = wire.decode(data)
+                if got_tag == tag:
+                    return obj
+                box.setdefault(got_tag, deque()).append(obj)
+
+    # -- collectives ------------------------------------------------------
+    def _exchange(self, value: Any) -> List[Any]:
+        """Deterministic star rendezvous over rank 0."""
+        seq = self._coll_seq
+        self._coll_seq += 1
+        if self.rank == 0:
+            slots: List[Any] = [None] * self._size
+            slots[0] = value
+            for src in range(1, self._size):
+                got_seq, v = self._pull(src, _TAG_COLL)
+                if got_seq != seq:
+                    raise EngineFailure(
+                        f"collective mismatch: PE 0 is at collective "
+                        f"#{seq} but PE {src} sent #{got_seq}"
+                    )
+                slots[src] = v
+            for dst in range(1, self._size):
+                self._post((seq, slots), dst, _TAG_COLL_RESULT)
+            return slots
+        self._post((seq, value), 0, _TAG_COLL)
+        got_seq, slots = self._pull(0, _TAG_COLL_RESULT)
+        if got_seq != seq:
+            raise EngineFailure(
+                f"collective mismatch: PE {self.rank} is at collective "
+                f"#{seq} but rank 0 answered #{got_seq}"
+            )
+        return list(slots)
+
+
+def _worker_main(rank: int, size: int, peers: Dict[int, Any], result_conn,
+                 fn, args, kwargs, recv_timeout_s: float) -> None:
+    """Worker process body: rebuild shared graphs, run the program,
+    report result + stats (or the failure) to the parent."""
+    comm = ProcessComm(rank, size, peers, recv_timeout_s)
+    t0 = time.perf_counter()
+
+    def stats() -> Dict[str, Any]:
+        return {
+            "wall_s": time.perf_counter() - t0,
+            "bytes_sent": comm.bytes_sent,
+            "messages_sent": comm.messages_sent,
+            "phase_times": dict(comm.phase_times),
+        }
+
+    try:
+        real_args = [
+            a.graph() if isinstance(a, SharedGraph) else a for a in args
+        ]
+        out = fn(comm, *real_args, **kwargs)
+        payload = ("ok", out, stats())
+        try:
+            data = wire.encode(payload)
+        except wire.WireError as exc:
+            data = wire.encode(
+                ("err", "WireError",
+                 f"SPMD result of PE {rank} is not wire-serialisable: "
+                 f"{exc}", "", stats())
+            )
+        result_conn.send_bytes(data)
+    except BaseException as exc:  # noqa: BLE001 - reported to parent
+        try:
+            result_conn.send_bytes(wire.encode(
+                ("err", type(exc).__name__, str(exc),
+                 traceback.format_exc(), stats())
+            ))
+        except Exception:  # pragma: no cover - parent gone
+            pass
+
+
+def _rebuild_exception(rank: int, name: str, msg: str,
+                       tb: str) -> BaseException:
+    """Raise the worker's failure under its original type when that type
+    is unambiguous (engine exceptions, builtins); otherwise wrap it."""
+    known = {"DeadlockError": DeadlockError, "EngineFailure": EngineFailure,
+             "WireError": wire.WireError}
+    exc_type = known.get(name) or getattr(builtins, name, None)
+    if (isinstance(exc_type, type) and issubclass(exc_type, BaseException)
+            and not issubclass(exc_type, (SystemExit, KeyboardInterrupt))):
+        try:
+            exc = exc_type(msg)
+        except Exception:  # pragma: no cover - exotic signature
+            exc = EngineFailure(f"PE {rank}: {name}: {msg}")
+    else:
+        exc = EngineFailure(f"PE {rank}: {name}: {msg}")
+    if tb:
+        exc.__cause__ = EngineFailure(
+            f"worker traceback (PE {rank}):\n{tb}"
+        )
+    return exc
+
+
+class ProcessEngine(Engine):
+    """True multiprocessing: one OS process per virtual PE.
+
+    ``start_method`` defaults to ``fork`` where available (workers
+    inherit the program and its arguments without any serialisation);
+    ``spawn`` also works provided ``fn`` and non-graph arguments are
+    picklable — messages themselves never use pickle either way.
+    """
+
+    name = "process"
+
+    def __init__(self, p: int, recv_timeout_s: Optional[float] = None,
+                 start_method: Optional[str] = None) -> None:
+        super().__init__(p, recv_timeout_s)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.start_method = start_method
+
+    def run(self, fn: Callable[..., Any], *args: Any,
+            **kwargs: Any) -> EngineResult:
+        ctx = multiprocessing.get_context(self.start_method)
+        p = self.p
+        shared_graphs: List[SharedGraph] = []
+        conv_args: List[Any] = []
+        for a in args:
+            if isinstance(a, Graph):
+                sg = SharedGraph(a)
+                shared_graphs.append(sg)
+                conv_args.append(sg)
+            else:
+                conv_args.append(a)
+
+        mesh: Dict[Tuple[int, int], Tuple[Any, Any]] = {}
+        for i in range(p):
+            for j in range(i + 1, p):
+                mesh[(i, j)] = ctx.Pipe(duplex=True)
+        result_pipes = [ctx.Pipe(duplex=False) for _ in range(p)]
+
+        procs = []
+        try:
+            for r in range(p):
+                peers = {}
+                for (i, j), (ci, cj) in mesh.items():
+                    if i == r:
+                        peers[j] = ci
+                    elif j == r:
+                        peers[i] = cj
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(r, p, peers, result_pipes[r][1], fn, conv_args,
+                          kwargs, self.recv_timeout_s),
+                    daemon=True,
+                )
+                procs.append(proc)
+                proc.start()
+            # the mesh and the result send-ends belong to the workers now
+            for ci, cj in mesh.values():
+                ci.close()
+                cj.close()
+            for _, send_end in result_pipes:
+                send_end.close()
+
+            statuses: List[Any] = [None] * p
+            pending = set(range(p))
+            failed = False
+            while pending and not failed:
+                for r in sorted(pending):
+                    rc = result_pipes[r][0]
+                    if rc.poll(_POLL_S if len(pending) == p else 0.01):
+                        statuses[r] = wire.decode(rc.recv_bytes())
+                        pending.discard(r)
+                    elif not procs[r].is_alive() and not rc.poll(0):
+                        statuses[r] = (
+                            "died",
+                            f"PE {r} exited without reporting "
+                            f"(exitcode={procs[r].exitcode})",
+                        )
+                        pending.discard(r)
+                    if statuses[r] is not None and statuses[r][0] != "ok":
+                        failed = True
+            if failed:
+                # grace drain: a failure elsewhere often makes peers fail
+                # a moment later — pick those up so the lowest-rank (root
+                # cause) error is the one reported, then stop the rest
+                for r in sorted(pending):
+                    rc = result_pipes[r][0]
+                    if rc.poll(0.2):
+                        statuses[r] = wire.decode(rc.recv_bytes())
+                        pending.discard(r)
+                for proc in procs:
+                    if proc.is_alive():
+                        proc.terminate()
+            for proc in procs:
+                proc.join(timeout=10.0)
+                if proc.is_alive():  # pragma: no cover - last resort
+                    proc.kill()
+                    proc.join(timeout=5.0)
+        finally:
+            for sg in shared_graphs:
+                sg.cleanup()
+            for recv_end, _ in result_pipes:
+                recv_end.close()
+
+        for r, status in enumerate(statuses):
+            if status is None:
+                continue  # run aborted before this PE reported
+            if status[0] == "died":
+                raise EngineFailure(status[1])
+            if status[0] == "err":
+                _, name, msg, tb, _stats = status
+                raise _rebuild_exception(r, name, msg, tb)
+        if any(status is None for status in statuses):  # pragma: no cover
+            raise EngineFailure("run aborted with unreported PEs")
+
+        results = [status[1] for status in statuses]
+        all_stats = [status[2] for status in statuses]
+        walls = [s["wall_s"] for s in all_stats]
+        return EngineResult(
+            results=results,
+            makespan=max(walls) if walls else 0.0,
+            clocks=walls,
+            bytes_sent=sum(int(s["bytes_sent"]) for s in all_stats),
+            messages_sent=sum(int(s["messages_sent"]) for s in all_stats),
+            phase_times=[dict(s["phase_times"]) for s in all_stats],
+        )

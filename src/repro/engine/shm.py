@@ -1,0 +1,121 @@
+"""CSR graph arrays in POSIX shared memory for the process engine.
+
+The input graph is by far the largest object an SPMD run touches.  With
+one OS process per PE, sending it through a pipe would copy it P times;
+instead the parent packs the five CSR arrays (``xadj``/``adjncy``/
+``adjwgt``/``vwgt``/optional ``coords``) into a single
+:class:`multiprocessing.shared_memory.SharedMemory` block and every
+worker rebuilds a zero-copy :class:`~repro.graph.csr.Graph` view onto it.
+
+Lifecycle: the parent creates the block and must call :meth:`SharedGraph.
+cleanup` after the run (close + unlink).  Workers only :meth:`close`.
+Under the ``fork`` start method workers inherit the mapping directly;
+under ``spawn`` the object re-attaches by name (``__reduce__``), taking
+care to unregister from the child's ``resource_tracker`` so a worker
+exit cannot tear down the parent's segment (CPython issue 38119).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = ["SharedGraph"]
+
+#: (attribute, dtype) layout of the CSR arrays inside the block
+_FIELDS = (
+    ("xadj", np.int64),
+    ("adjncy", np.int64),
+    ("adjwgt", np.float64),
+    ("vwgt", np.float64),
+)
+
+
+def _align(offset: int) -> int:
+    """8-byte alignment for every array start."""
+    return (offset + 7) & ~7
+
+
+class SharedGraph:
+    """A :class:`Graph` whose arrays live in one shared-memory block."""
+
+    def __init__(self, g: Graph) -> None:
+        arrays = [np.ascontiguousarray(getattr(g, name), dtype=dtype)
+                  for name, dtype in _FIELDS]
+        coords = (None if g.coords is None
+                  else np.ascontiguousarray(g.coords, dtype=np.float64))
+        if coords is not None:
+            arrays.append(coords)
+        self._specs: List[Tuple[Tuple[int, ...], str, int]] = []
+        total = 0
+        for arr in arrays:
+            total = _align(total)
+            self._specs.append((arr.shape, arr.dtype.str, total))
+            total += arr.nbytes
+        self._has_coords = coords is not None
+        self.shm = shared_memory.SharedMemory(create=True,
+                                              size=max(total, 1))
+        self._owner = True
+        for arr, (shape, dtype, offset) in zip(arrays, self._specs):
+            view = np.ndarray(shape, dtype=dtype, buffer=self.shm.buf,
+                              offset=offset)
+            view[:] = arr
+
+    # -- spawn support: re-attach by name instead of pickling buffers ---
+    def __reduce__(self):
+        return (
+            SharedGraph._attach,
+            (self.shm.name, self._specs, self._has_coords),
+        )
+
+    @staticmethod
+    def _attach(name: str, specs, has_coords: bool) -> "SharedGraph":
+        obj = object.__new__(SharedGraph)
+        obj._specs = specs
+        obj._has_coords = has_coords
+        obj.shm = shared_memory.SharedMemory(name=name)
+        obj._owner = False
+        # attaching registered the segment with this process's resource
+        # tracker, which would unlink it when the worker exits — the
+        # parent owns the lifetime, so undo the registration
+        try:
+            resource_tracker.unregister(obj.shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        return obj
+
+    # ------------------------------------------------------------------
+    def graph(self) -> Graph:
+        """Zero-copy :class:`Graph` view onto the shared block.
+
+        The returned graph is valid only while this :class:`SharedGraph`
+        stays open; workers must keep a reference for the run's duration.
+        """
+        views = [
+            np.ndarray(shape, dtype=dtype, buffer=self.shm.buf,
+                       offset=offset)
+            for shape, dtype, offset in self._specs
+        ]
+        coords: Optional[np.ndarray] = None
+        if self._has_coords:
+            coords = views[len(_FIELDS)]
+        xadj, adjncy, adjwgt, vwgt = views[: len(_FIELDS)]
+        # the views are already contiguous with the right dtypes, so the
+        # constructor's ascontiguousarray calls are no-ops (no copy)
+        return Graph(xadj, adjncy, adjwgt, vwgt, coords, validate=False)
+
+    def close(self) -> None:
+        self.shm.close()
+
+    def cleanup(self) -> None:
+        """Parent-side teardown: close the mapping and unlink the name."""
+        self.shm.close()
+        if self._owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

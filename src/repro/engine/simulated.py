@@ -1,0 +1,62 @@
+"""Simulated engine: the thread-based virtual cluster with a cost model.
+
+Wraps the existing :class:`~repro.parallel.comm.SimCluster` behind the
+:class:`~repro.engine.base.Engine` interface, behaviour-preserving: one
+thread per virtual PE (the GIL serialises execution), every message and
+collective charged to per-PE simulated clocks by the
+:class:`~repro.parallel.costmodel.MachineModel`.  The resulting
+``makespan`` is *simulated* parallel time — the quantity the Figure 3
+scalability reproduction plots — not wall clock.  Use the process engine
+when real wall-clock parallelism is the goal.
+
+The import of :mod:`repro.parallel.comm` is deferred to :meth:`run`:
+``parallel/comm.py`` itself imports :mod:`repro.engine.base` for the
+shared exception/timeout machinery, and a module-level import here would
+close that cycle during package initialisation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .base import Engine, EngineResult
+
+__all__ = ["SimulatedEngine"]
+
+
+class SimulatedEngine(Engine):
+    """One thread per virtual PE + LogP-style simulated time.
+
+    >>> def program(comm):
+    ...     return comm.allreduce(comm.rank)
+    >>> SimulatedEngine(4).run(program).results
+    [6, 6, 6, 6]
+    """
+
+    name = "sim"
+
+    def __init__(self, p: int, recv_timeout_s: Optional[float] = None,
+                 machine=None) -> None:
+        super().__init__(p, recv_timeout_s)
+        self.machine = machine
+
+    def run(self, fn: Callable[..., Any], *args: Any,
+            **kwargs: Any) -> EngineResult:
+        from ..parallel.comm import SimCluster
+        from ..parallel.costmodel import DEFAULT_MACHINE
+
+        cluster = SimCluster(
+            self.p,
+            machine=self.machine if self.machine is not None
+            else DEFAULT_MACHINE,
+            recv_timeout_s=self.recv_timeout_s,
+        )
+        res = cluster.run(fn, *args, **kwargs)
+        return EngineResult(
+            results=res.results,
+            makespan=res.makespan,
+            clocks=res.clocks,
+            bytes_sent=res.bytes_sent,
+            messages_sent=res.messages_sent,
+            phase_times=res.phase_times,
+        )

@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..engine.base import Comm
 from ..graph.csr import Graph
 from ..core import metrics
 from ..instrument.tracer import NULL_TRACER
@@ -79,7 +80,7 @@ def initial_partition(
 
 
 def initial_partition_spmd(
-    comm,
+    comm: Comm,
     g: Graph,
     k: int,
     epsilon: float = 0.03,

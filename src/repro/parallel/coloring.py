@@ -13,9 +13,10 @@ The paper colors Q's edges with a *parallelised greedy edge coloring*:
     back to u.  […] this algorithm needs at most twice as many colors as
     an optimal edge coloring."
 
-Both the distributed version (running on :class:`~repro.parallel.comm.Comm`)
-and a sequential reference implementation are provided; they satisfy the
-same ≤ 2·Δ − 1 color bound.
+Both the distributed version (an SPMD kernel against the engine-agnostic
+:class:`~repro.engine.base.Comm` protocol, runnable on any execution
+engine) and a sequential reference implementation are provided; they
+satisfy the same ≤ 2·Δ − 1 color bound.
 """
 
 from __future__ import annotations
@@ -24,8 +25,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.base import Comm
 from ..graph.csr import Graph
-from .comm import Comm, SimCluster
 
 __all__ = [
     "greedy_edge_coloring",
@@ -139,13 +140,19 @@ def distributed_edge_coloring_spmd(comm: Comm, q: Graph, seed: int = 0,
     return colors
 
 
-def distributed_edge_coloring(q: Graph, seed: int = 0) -> Dict[Edge, int]:
-    """Run the distributed coloring on a simulated cluster with one PE per
-    quotient-graph node and merge the per-PE views."""
+def distributed_edge_coloring(q: Graph, seed: int = 0,
+                              engine: str = "sim") -> Dict[Edge, int]:
+    """Run the distributed coloring with one PE per quotient-graph node
+    on the named execution engine and merge the per-PE views."""
     if q.n == 0:
         return {}
-    cluster = SimCluster(q.n)
-    res = cluster.run(distributed_edge_coloring_spmd, q, seed)
+    # deferred import: the engine package imports this package's
+    # cost-model module, so binding it at call time keeps repro.parallel
+    # importable on its own
+    from ..engine import get_engine
+
+    eng = get_engine(engine, q.n)
+    res = eng.run(distributed_edge_coloring_spmd, q, seed)
     merged: Dict[Edge, int] = {}
     for local in res.results:
         for e, c in local.items():

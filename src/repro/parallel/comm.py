@@ -25,22 +25,28 @@ from __future__ import annotations
 import math
 import queue
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine.base import (
+    DEFAULT_RECV_TIMEOUT_S,
+    DeadlockError,
+    resolve_recv_timeout,
+)
 from .costmodel import DEFAULT_MACHINE, MachineModel, payload_nbytes
 
-__all__ = ["Clock", "Comm", "SimCluster", "ClusterResult", "run_spmd"]
+__all__ = ["Clock", "Comm", "SimCluster", "ClusterResult", "run_spmd",
+           "DeadlockError"]
 
-#: Default receive timeout.  A deadlocked SPMD program fails loudly in
-#: tests instead of hanging the suite.
-RECV_TIMEOUT_S = 60.0
-
-
-class DeadlockError(RuntimeError):
-    """A blocking receive timed out — the SPMD program is deadlocked."""
+#: Backward-compatible alias.  The *effective* timeout is no longer this
+#: module constant: it resolves per cluster via ``KappaConfig.
+#: recv_timeout_s`` → ``$REPRO_RECV_TIMEOUT_S`` → this default (see
+#: :func:`repro.engine.base.resolve_recv_timeout`).
+RECV_TIMEOUT_S = DEFAULT_RECV_TIMEOUT_S
 
 
 @dataclass
@@ -66,9 +72,11 @@ class _Message:
 class _Shared:
     """State shared by all PEs of one cluster run."""
 
-    def __init__(self, size: int, machine: MachineModel) -> None:
+    def __init__(self, size: int, machine: MachineModel,
+                 recv_timeout_s: Optional[float] = None) -> None:
         self.size = size
         self.machine = machine
+        self.recv_timeout_s = resolve_recv_timeout(recv_timeout_s)
         self.channels: Dict[Tuple[int, int, int], "queue.Queue[_Message]"] = {}
         self.channels_lock = threading.Lock()
         self.slots: List[Any] = [None] * size
@@ -87,6 +95,16 @@ class _Shared:
                 ch = self.channels[key] = queue.Queue()
             return ch
 
+    def pending_for(self, dst: int) -> List[Tuple[int, int, int]]:
+        """(src, tag, count) of undelivered messages addressed to ``dst``
+        — the deadlock diagnostic's view of where traffic actually is."""
+        with self.channels_lock:
+            return sorted(
+                (src, tag, ch.qsize())
+                for (src, d, tag), ch in self.channels.items()
+                if d == dst and ch.qsize() > 0
+            )
+
 
 class Comm:
     """One PE's communicator handle (mpi4py-like API, simulated time)."""
@@ -97,6 +115,7 @@ class Comm:
         self.clock = Clock()
         self.bytes_sent = 0
         self.messages_sent = 0
+        self.phase_times: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -116,6 +135,22 @@ class Comm:
         """Charge local compute to the simulated clock."""
         self.clock.advance(self.machine.compute_time(work_units))
 
+    @contextmanager
+    def timed(self, name: str):
+        """Accumulate wall-clock time of a program phase on this PE.
+
+        Note the simulated engine interleaves PEs on threads, so these
+        wall timers overlap; the simulated ``makespan`` remains the
+        meaningful parallel-time figure for this engine.
+        """
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phase_times[name] = (
+                self.phase_times.get(name, 0.0) + time.perf_counter() - t0
+            )
+
     # -- point to point -------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Send (non-blocking buffered, like a small-message MPI_Send)."""
@@ -128,16 +163,29 @@ class Comm:
         self.shared.channel(self.rank, dest, tag).put(_Message(obj, arrival))
 
     def recv(self, source: int, tag: int = 0,
-             timeout: float = RECV_TIMEOUT_S) -> Any:
-        """Blocking receive from a specific source PE and tag."""
+             timeout: Optional[float] = None) -> Any:
+        """Blocking receive from a specific source PE and tag.
+
+        ``timeout`` defaults to the cluster's configured receive timeout
+        (``KappaConfig.recv_timeout_s`` / ``$REPRO_RECV_TIMEOUT_S``).
+        """
         if not (0 <= source < self.size):
             raise ValueError(f"bad source {source}")
+        if timeout is None:
+            timeout = self.shared.recv_timeout_s
         ch = self.shared.channel(source, self.rank, tag)
         try:
             msg = ch.get(timeout=timeout)
         except queue.Empty:
+            pending = self.shared.pending_for(self.rank)
+            detail = (
+                "; undelivered messages addressed to this PE: "
+                + ", ".join(f"(src={s}, tag={t}) x{n}" for s, t, n in pending)
+                if pending else "; no messages are queued for this PE"
+            )
             raise DeadlockError(
-                f"PE {self.rank}: recv(source={source}, tag={tag}) timed out"
+                f"PE {self.rank}: recv(source={source}, tag={tag}) timed "
+                f"out after {timeout:g}s (engine=sim){detail}"
             ) from None
         self.clock.sync_to(msg.arrival)
         return msg.payload
@@ -157,10 +205,10 @@ class Comm:
         sh = self.shared
         sh.slots[self.rank] = value
         sh.clock_slots[self.rank] = self.clock.time
-        sh.barrier_a.wait(timeout=RECV_TIMEOUT_S)
+        sh.barrier_a.wait(timeout=sh.recv_timeout_s)
         result = list(sh.slots)
         t = float(sh.clock_slots.max())
-        sh.barrier_b.wait(timeout=RECV_TIMEOUT_S)
+        sh.barrier_b.wait(timeout=sh.recv_timeout_s)
         self.clock.sync_to(t)
         return result
 
@@ -222,6 +270,8 @@ class ClusterResult:
     clocks: List[float] = field(default_factory=list)
     bytes_sent: int = 0
     messages_sent: int = 0
+    #: per-PE {phase: wall seconds} from ``comm.timed(...)`` blocks
+    phase_times: List[Dict[str, float]] = field(default_factory=list)
 
 
 class SimCluster:
@@ -234,11 +284,13 @@ class SimCluster:
     [6, 6, 6, 6]
     """
 
-    def __init__(self, p: int, machine: MachineModel = DEFAULT_MACHINE) -> None:
+    def __init__(self, p: int, machine: MachineModel = DEFAULT_MACHINE,
+                 recv_timeout_s: Optional[float] = None) -> None:
         if p < 1:
             raise ValueError("need at least one PE")
         self.p = p
         self.machine = machine
+        self.recv_timeout_s = resolve_recv_timeout(recv_timeout_s)
 
     def run(self, fn: Callable[..., Any], *args, **kwargs) -> ClusterResult:
         """Execute ``fn(comm, *args, **kwargs)`` on every PE.
@@ -246,7 +298,7 @@ class SimCluster:
         The first PE exception (by rank) is re-raised in the caller after
         all threads stop.
         """
-        shared = _Shared(self.p, self.machine)
+        shared = _Shared(self.p, self.machine, self.recv_timeout_s)
         results: List[Any] = [None] * self.p
         errors: List[Optional[BaseException]] = [None] * self.p
         comms = [Comm(r, shared) for r in range(self.p)]
@@ -270,7 +322,7 @@ class SimCluster:
             for t in threads:
                 t.start()
             for t in threads:
-                t.join(timeout=10 * RECV_TIMEOUT_S)
+                t.join(timeout=10 * shared.recv_timeout_s)
         for err in errors:
             if err is not None and not isinstance(err, threading.BrokenBarrierError):
                 raise err
@@ -283,6 +335,7 @@ class SimCluster:
             clocks=[c.clock.time for c in comms],
             bytes_sent=sum(c.bytes_sent for c in comms),
             messages_sent=sum(c.messages_sent for c in comms),
+            phase_times=[dict(c.phase_times) for c in comms],
         )
 
 

@@ -16,9 +16,10 @@ exceeded."
 Two drivers share the :func:`refine_pair` kernel:
 
 * :func:`pairwise_refinement` — deterministic sequential execution;
-* :func:`pairwise_refinement_spmd` — virtual PEs on a simulated cluster
-  (one block per PE, or several when k > P), with real band exchange
-  between partners.
+* :func:`pairwise_refinement_spmd` — the same algorithm as an SPMD
+  program against the :class:`~repro.engine.base.Comm` protocol (one
+  block per PE, or several when k > P; runs on any execution engine),
+  with real band exchange between partners.
 
 With the distributed coloring selected on the sequential side, both
 drivers produce identical partitions for identical seeds, for any PE
@@ -32,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.base import Comm
 from ..graph.csr import Graph
 from ..graph.quotient import quotient_graph
 from ..core import metrics
@@ -245,7 +247,7 @@ def pairwise_refinement(
 
 
 def pairwise_refinement_spmd(
-    comm,
+    comm: Comm,
     g: Graph,
     part_in: np.ndarray,
     epsilon: float = 0.03,

@@ -82,6 +82,38 @@ class TestDistributedColoring:
         verify_edge_coloring(q, distributed_edge_coloring(q, seed=7))
 
 
+class TestDistributedColoringProperties:
+    """Property-based guarantees of the paper's §5.1 coloring: on any
+    quotient graph, no two adjacent edges share a color and the palette
+    stays within twice the maximum degree."""
+
+    @given(q=random_graphs(max_n=12), seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_proper_and_within_two_delta(self, q, seed):
+        colors = distributed_edge_coloring(q, seed=seed)
+        assert len(colors) == q.m  # every quotient edge is scheduled
+        # no two adjacent edges (sharing an endpoint) get the same color
+        per_node = [set() for _ in range(q.n)]
+        for (u, v), c in colors.items():
+            assert c not in per_node[u] and c not in per_node[v]
+            per_node[u].add(c)
+            per_node[v].add(c)
+        if colors:
+            max_degree = int(q.degrees().max())
+            assert max(colors.values()) + 1 <= 2 * max_degree
+
+    @given(q=random_graphs(max_n=10), seed=st.integers(0, 1_000))
+    @settings(max_examples=10, deadline=None)
+    def test_engine_independent(self, q, seed):
+        """The coloring is a pure function of (graph, seed), whatever
+        engine runs the SPMD kernel."""
+        by_engine = [
+            distributed_edge_coloring(q, seed=seed, engine=engine)
+            for engine in ("sim", "sequential")
+        ]
+        assert by_engine[0] == by_engine[1]
+
+
 class TestMatchingsFromColoring:
     def test_groups_are_matchings(self):
         q = complete_graph(5)

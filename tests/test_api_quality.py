@@ -24,6 +24,13 @@ MODULES = [
     "repro.parallel.comm",
     "repro.parallel.costmodel",
     "repro.parallel.coloring",
+    "repro.engine",
+    "repro.engine.base",
+    "repro.engine.wire",
+    "repro.engine.shm",
+    "repro.engine.sequential",
+    "repro.engine.simulated",
+    "repro.engine.process",
     "repro.coarsening",
     "repro.coarsening.ratings",
     "repro.coarsening.contract",
@@ -48,6 +55,7 @@ MODULES = [
     "repro.kernels.numpy_backend",
     "repro.core",
     "repro.core.config",
+    "repro.core.spmd",
     "repro.core.metrics",
     "repro.core.objectives",
     "repro.core.partitioner",

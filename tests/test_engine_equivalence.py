@@ -1,0 +1,91 @@
+"""Cross-engine equivalence: the SPMD pipeline must produce bit-identical
+partitions on every execution engine for the same master seed.
+
+This is the tentpole guarantee of the engine layer: ``sequential`` (token
+passing), ``sim`` (threads + cost model) and ``process`` (one OS process
+per PE) all run :func:`repro.core.spmd.kappa_spmd_program` unchanged, and
+all algorithmic decisions flow through ``comm.derive_rng`` plus
+deterministic collectives — so OS scheduling must not be able to change a
+single label.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MINIMAL
+from repro.core.partitioner import partition_graph
+from repro.engine import ENGINES
+from repro.generators import (
+    delaunay_graph,
+    preferential_attachment,
+    random_geometric_graph,
+)
+
+GRAPHS = {
+    "rgg": lambda: random_geometric_graph(420, seed=11),
+    "delaunay": lambda: delaunay_graph(380, seed=12),
+    "social": lambda: preferential_attachment(350, m_per_node=3, seed=13),
+}
+
+ALL_ENGINES = sorted(ENGINES)
+SEED = 9
+
+
+@pytest.fixture(scope="module")
+def reference_runs():
+    """Sequential-engine reference partition per (family, k)."""
+    out = {}
+    for family, make in GRAPHS.items():
+        g = make()
+        for k in (2, 4, 8):
+            res = partition_graph(g, k, config=MINIMAL, seed=SEED,
+                                  execution="cluster", engine="sequential")
+            out[(family, k)] = (g, res)
+    return out
+
+
+@pytest.mark.parametrize("engine", [e for e in ALL_ENGINES
+                                    if e != "sequential"])
+@pytest.mark.parametrize("k", [2, 4, 8])
+@pytest.mark.parametrize("family", sorted(GRAPHS))
+def test_bit_identical_across_engines(reference_runs, family, k, engine):
+    g, ref = reference_runs[(family, k)]
+    res = partition_graph(g, k, config=MINIMAL, seed=SEED,
+                          execution="cluster", engine=engine)
+    assert res.cut == ref.cut
+    assert np.array_equal(res.partition.part, ref.partition.part)
+    assert res.partition.is_feasible()
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_engine_is_internally_deterministic(engine):
+    g = GRAPHS["rgg"]()
+    a = partition_graph(g, 4, config=MINIMAL, seed=SEED,
+                        execution="cluster", engine=engine)
+    b = partition_graph(g, 4, config=MINIMAL, seed=SEED,
+                        execution="cluster", engine=engine)
+    assert np.array_equal(a.partition.part, b.partition.part)
+
+
+def test_config_engine_field_selects_engine():
+    g = GRAPHS["rgg"]()
+    cfg = MINIMAL.derive(engine="sequential")
+    res = partition_graph(g, 4, config=cfg, seed=SEED, execution="cluster")
+    assert res.sim_time_s is None  # only the sim engine reports one
+    ref = partition_graph(g, 4, config=MINIMAL, seed=SEED,
+                          execution="cluster", engine="sim")
+    assert ref.sim_time_s is not None
+    assert np.array_equal(res.partition.part, ref.partition.part)
+
+
+def test_fewer_pes_than_blocks_still_agree():
+    """k > P multiplexing (Section 8) must also be engine-independent."""
+    g = GRAPHS["delaunay"]()
+    cfg = MINIMAL.derive(n_pes=3)
+    parts = []
+    for engine in ALL_ENGINES:
+        res = partition_graph(g, 8, config=cfg, seed=SEED,
+                              execution="cluster", engine=engine)
+        parts.append(res.partition.part)
+    for other in parts[1:]:
+        assert np.array_equal(other, parts[0])
