@@ -7,7 +7,7 @@ bit-identical across engines, so the comparison is pure runtime.  Writes
 
     {"schema": "repro.bench_engines/1",
      "meta":   {"graph", "n", "m", "k", "pes", "preset", "seed",
-                "cpus", "python", "repeats"},
+                "cpus", "python", "repeats", "git_sha", "timestamp"},
      "records": [{"engine", "wall_s", "best_wall_s", "makespan_s",
                   "cut", "phase_times"}, ...],
      "speedup_process_vs_sim": <sim wall / process wall>}
@@ -49,6 +49,7 @@ from repro.core import preset
 from repro.core.partitioner import KappaPartitioner
 from repro.engine import ENGINES
 from repro.generators import random_geometric_graph
+from repro.provenance import provenance
 from repro.generators.suite import load
 
 #: road16k is the largest graph of the generator suite
@@ -136,6 +137,7 @@ def main(argv=None) -> int:
             "repeats": args.repeats,
             "cpus": len(os.sched_getaffinity(0)),
             "python": platform.python_version(),
+            **provenance(),
         },
         "records": records,
         "speedup_process_vs_sim": speedup,

@@ -5,7 +5,7 @@ aggregation, FM gain/boundary construction, band BFS) on both backends
 over generator-suite instances and writes ``BENCH_kernels.json``::
 
     {"schema": "repro.bench_kernels/2",
-     "meta":   {"engine", "cpus", "python"},
+     "meta":   {"engine", "cpus", "python", "git_sha", "timestamp"},
      "records": [{"graph", "n", "m", "kernel", "backend", "engine",
                   "median_s", "speedup"}, ...]}
 
@@ -51,6 +51,7 @@ from repro import kernels
 from repro.engine import ENGINES
 from repro.coarsening.matching import dispatch as run_matching
 from repro.generators import random_geometric_graph
+from repro.provenance import provenance
 from repro.generators.suite import load
 from repro.graph.csr import Graph
 
@@ -151,6 +152,7 @@ def main(argv=None) -> int:
             "engine": args.engine,
             "cpus": len(os.sched_getaffinity(0)),
             "python": platform.python_version(),
+            **provenance(),
         },
         "records": records,
     }

@@ -20,6 +20,23 @@ per-level records; schema ``repro.trace/1``) and prints a per-level
 summary table; ``--check-invariants {off,sampled,strict}`` enables the
 runtime invariant checker.  With the flags given and no subcommand, a
 demo partitioning run on a generated graph is traced end to end.
+
+Discovery flags: ``repro --list-engines`` / ``repro
+--list-kernel-backends`` print the registered execution engines and
+kernel backends.
+
+Resilience / chaos flags on ``partition`` (see ``repro.resilience``)::
+
+    repro partition g.metis -k 4 --engine process \\
+        --faults "pe1:crash@refine:level0" --checkpoint-dir ckpts \\
+        --on-pe-failure restart --max-restarts 2
+
+``--faults SPEC`` injects deterministic failures (``peN:crash@PHASE``,
+``peN:hang@PHASE``, ``drop=P``, ``delay=5ms``, ``dup=P``);
+``--checkpoint-dir`` enables phase-boundary checkpoint/restart;
+``--on-pe-failure {fail,restart,degrade}``, ``--max-restarts``,
+``--heartbeat-timeout`` and ``--recv-retries`` tune the process-engine
+supervisor.  A recovered run is bit-identical to the fault-free one.
 """
 
 from __future__ import annotations
@@ -82,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--kernel-backend", default=None,
                         choices=KERNEL_BACKENDS, dest="kernel_backend",
                         help="hot-path kernel backend (default: numpy)")
+    parser.add_argument("--list-engines", action="store_true",
+                        help="list the registered execution engines and exit")
+    parser.add_argument("--list-kernel-backends", action="store_true",
+                        help="list the registered kernel backends and exit")
     sub = parser.add_subparsers(dest="command", required=False)
 
     p = sub.add_parser("partition", help="partition a graph into k blocks")
@@ -100,6 +121,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default="metis", choices=("metis", "dimacs"))
     p.add_argument("-o", "--output", default=None,
                    help="partition output file (default: <graph>.part.<k>)")
+    # resilience / chaos-testing flags (repro.resilience); each implies
+    # --execution cluster, since faults act on the SPMD pipeline
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault-injection spec, e.g. "
+                        "'pe1:crash@refine:level2,drop=0.01,delay=5ms'")
+    p.add_argument("--checkpoint-dir", default=None, dest="checkpoint_dir",
+                   metavar="DIR",
+                   help="write/resume phase-boundary checkpoints in DIR")
+    p.add_argument("--checkpoint-phases", default=None,
+                   dest="checkpoint_phases", metavar="PHASES",
+                   help="which boundaries checkpoint: 'all', 'none' or a "
+                        "comma list of coarsening,initial,refine,final")
+    p.add_argument("--on-pe-failure", default=None, dest="on_pe_failure",
+                   choices=("fail", "restart", "degrade"),
+                   help="supervisor reaction to a dead/hung PE "
+                        "(process engine)")
+    p.add_argument("--max-restarts", default=None, type=int,
+                   dest="max_restarts",
+                   help="gang restarts the supervisor may spend (default 2)")
+    p.add_argument("--heartbeat-timeout", default=None, type=float,
+                   dest="heartbeat_timeout_s", metavar="SECONDS",
+                   help="declare a PE hung after this heartbeat silence")
+    p.add_argument("--recv-retries", default=None, type=int,
+                   dest="recv_retries",
+                   help="extra recv attempts with doubled timeout")
     # SUPPRESS keeps a flag given before the subcommand from being reset
     # to the subparser default
     p.add_argument("--trace", default=argparse.SUPPRESS, metavar="PATH",
@@ -146,6 +192,14 @@ def _instrumented_run(g, args, k: int):
         # an explicit engine only makes sense for the SPMD cluster path
         execution = "cluster"
         overrides["engine"] = engine
+    for name in ("faults", "checkpoint_dir", "checkpoint_phases",
+                 "on_pe_failure", "max_restarts", "heartbeat_timeout_s",
+                 "recv_retries"):
+        value = getattr(args, name, None)
+        if value is not None:
+            # resilience acts on the SPMD pipeline's phase boundaries
+            overrides[name] = value
+            execution = "cluster"
     cfg = preset(args.preset).derive(epsilon=args.epsilon,
                                      check_invariants=check, **overrides)
     tracer = Tracer() if args.trace else None
@@ -211,6 +265,14 @@ def _cmd_partition(args) -> int:
     print(f"time: {elapsed:.2f}s")
     if res.sim_time_s is not None:
         print(f"simulated parallel time: {res.sim_time_s * 1e3:.3f}ms")
+    fault_stats = {
+        name: value for name, value in getattr(res, "stats", {}).items()
+        if name.startswith(("fault_", "checkpoint_", "recovery_"))
+    }
+    if fault_stats:
+        print("resilience: " + " ".join(
+            f"{name}={value:g}" for name, value in sorted(fault_stats.items())
+        ))
     print(f"partition written to {out}")
     if args.tool == "kappa":
         return _report_instrumentation(res, args)
@@ -294,10 +356,38 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_list_engines() -> int:
+    from .core.config import KappaConfig
+
+    default = KappaConfig().engine
+    print("registered engines:")
+    for name in sorted(ENGINES):
+        doc = (ENGINES[name].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        marker = " (default)" if name == default else ""
+        print(f"  {name}{marker}: {summary}")
+    return 0
+
+
+def _cmd_list_kernel_backends() -> int:
+    from .core.config import KappaConfig
+
+    default = KappaConfig().kernel_backend
+    print("registered kernel backends:")
+    for name in KERNEL_BACKENDS:
+        marker = " (default)" if name == default else ""
+        print(f"  {name}{marker}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "list_engines", False):
+        return _cmd_list_engines()
+    if getattr(args, "list_kernel_backends", False):
+        return _cmd_list_kernel_backends()
     if args.command is None:
         if args.trace or args.check_invariants:
             return _cmd_demo(args)

@@ -74,6 +74,28 @@ class KappaConfig:
     #: timeout (sim, process).  None → $REPRO_RECV_TIMEOUT_S → 60 s.
     recv_timeout_s: Optional[float] = None
 
+    # -- resilience (repro.resilience) ---------------------------------
+    #: fault-injection spec, e.g. "pe1:crash@refine:level2,drop=0.01"
+    #: (None → no injected faults); see repro.resilience.faults
+    faults: Optional[str] = None
+    #: directory for phase-boundary checkpoints (None → checkpointing
+    #: off); an existing directory from the same run resumes from it
+    checkpoint_dir: Optional[str] = None
+    #: which phase boundaries write checkpoints: "all", "none", or a
+    #: comma list of families from {"coarsening","initial","refine","final"}
+    checkpoint_phases: str = "all"
+    #: process-engine supervisor reaction to a dead/hung PE:
+    #: "fail" (raise), "restart" (relaunch the gang; checkpoints make it
+    #: cheap) or "degrade" (continue on the survivors)
+    on_pe_failure: str = "fail"
+    #: gang relaunches the supervisor may spend before giving up
+    max_restarts: int = 2
+    #: declare a PE hung after this many seconds without a heartbeat
+    #: (None → hang detection off; must exceed the longest phase)
+    heartbeat_timeout_s: Optional[float] = None
+    #: extra recv attempts with doubled timeout before DeadlockError
+    recv_retries: int = 0
+
     # -- hot-path kernels (repro.kernels) ------------------------------
     #: backend for the registered hot-path kernels: "numpy" (vectorised,
     #: the default) or "python" (reference loops, bit-identical, slow)
@@ -128,6 +150,34 @@ class KappaConfig:
                 f"unknown check_invariants mode {self.check_invariants!r}; "
                 "choose from ('off', 'sampled', 'strict')"
             )
+        # resilience knobs (validated eagerly so a bad --faults spec
+        # fails at config construction, not mid-run on every PE)
+        if self.faults:
+            from ..resilience.faults import FaultPlan
+            FaultPlan.parse(self.faults)
+        if self.checkpoint_phases not in ("all", "none"):
+            families = {p.strip()
+                        for p in self.checkpoint_phases.split(",") if p.strip()}
+            bad = families - {"coarsening", "initial", "refine", "final"}
+            if bad or not families:
+                raise ValueError(
+                    f"bad checkpoint_phases {self.checkpoint_phases!r}: "
+                    "expected 'all', 'none' or a comma list of "
+                    "{'coarsening','initial','refine','final'}"
+                )
+        from ..resilience.policy import ON_FAILURE_MODES
+        if self.on_pe_failure not in ON_FAILURE_MODES:
+            raise ValueError(
+                f"unknown on_pe_failure {self.on_pe_failure!r}; "
+                f"choose from {ON_FAILURE_MODES}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.recv_retries < 0:
+            raise ValueError("recv_retries must be >= 0")
+        if (self.heartbeat_timeout_s is not None
+                and self.heartbeat_timeout_s <= 0):
+            raise ValueError("heartbeat_timeout_s must be positive")
 
 
 MINIMAL = KappaConfig(

@@ -41,6 +41,7 @@ from ..refinement.balance import rebalance
 from ..refinement.pairwise import pairwise_refinement
 from ..engine import SimulatedEngine, get_engine
 from ..parallel.costmodel import DEFAULT_MACHINE, MachineModel
+from ..resilience.policy import ResiliencePolicy
 from . import metrics
 from .config import FAST, KappaConfig
 from .partition import Partition
@@ -268,9 +269,11 @@ class KappaPartitioner:
         cfg = self.config
         t0 = time.perf_counter()
         p = k if cfg.n_pes is None else min(cfg.n_pes, k)
+        policy = ResiliencePolicy.from_config(cfg, seed)
         eng = get_engine(engine if engine is not None else cfg.engine, p,
                          machine=self.machine,
-                         recv_timeout_s=cfg.recv_timeout_s)
+                         recv_timeout_s=cfg.recv_timeout_s,
+                         resilience=policy)
         with tracer.phase("cluster_run"):
             res = eng.run(kappa_spmd_program, g, k, seed, cfg)
         part, levels, coarsest_n = res.results[0]
@@ -286,18 +289,36 @@ class KappaPartitioner:
             for name, seconds in pe_phases.items():
                 key = f"phase_{name}_max_s"
                 phase_stats[key] = max(phase_stats.get(key, 0.0), seconds)
+        # resilience accounting: per-PE counters (checkpoint saves,
+        # injected message faults, recv retries — summed over PEs) plus
+        # run-level supervisor events (restarts, PEs lost, recovery time)
+        resilience_stats: Dict[str, float] = {}
+        for pe_counters in res.counters:
+            for name, value in pe_counters.items():
+                resilience_stats[name] = resilience_stats.get(name, 0.0) \
+                    + float(value)
+        for name, value in res.events.items():
+            resilience_stats[name] = resilience_stats.get(name, 0.0) \
+                + float(value)
         if tracer.enabled:
             tracer.meta["pes"] = p
             tracer.meta["engine"] = eng.name
+            if cfg.faults:
+                tracer.meta["faults"] = cfg.faults
+            if cfg.checkpoint_dir:
+                tracer.meta["checkpoint_dir"] = cfg.checkpoint_dir
             tracer.count("bytes_sent", float(res.bytes_sent))
             tracer.count("messages_sent", float(res.messages_sent))
             for key, seconds in sorted(phase_stats.items()):
                 tracer.count(f"pe_{key}", seconds)
+            for name, value in sorted(resilience_stats.items()):
+                tracer.count(name, value)
         elapsed = time.perf_counter() - t0
         stats = {
             "bytes_sent": float(res.bytes_sent),
             "messages_sent": float(res.messages_sent),
             **phase_stats,
+            **resilience_stats,
         }
         if res.makespan is not None:
             stats["makespan_s"] = res.makespan

@@ -164,6 +164,19 @@ def format_trace_summary(trace: Dict) -> str:
             refine_rows, ("level", "n", "m", "cut", "time")
         ))
 
+    totals = trace.get("counters", {})
+    resilience = {
+        name: value for name, value in totals.items()
+        if name.startswith(("fault_", "checkpoint_", "recovery_"))
+    }
+    if resilience:
+        lines.append("")
+        lines.append("resilience:")
+        for name in sorted(resilience):
+            value = resilience[name]
+            shown = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name}: {shown}")
+
     inv = trace.get("invariants")
     if inv is not None:
         lines.append("")

@@ -29,6 +29,11 @@ from ..graph.csr import Graph
 from ..initial.runner import initial_partition_spmd
 from ..refinement.balance import rebalance
 from ..refinement.pairwise import pairwise_refinement_spmd
+from ..resilience.runtime import (
+    pack_coarsening,
+    spmd_resilience,
+    unpack_coarsening,
+)
 from . import metrics
 from .config import KappaConfig
 
@@ -44,27 +49,63 @@ def kappa_spmd_program(comm: Comm, g: Graph, k: int, seed: int,
     collectives and ``comm.derive_rng``.  Phase wall-clock per PE is
     recorded through ``comm.timed`` and surfaces in
     ``EngineResult.phase_times``.
+
+    Resilience (``cfg.faults`` / ``cfg.checkpoint_dir``) threads through
+    the phase boundaries: each boundary heartbeats, fires any injected
+    crash/hang, and checkpoints the phase's output.  On resume, completed
+    phases are restored instead of recomputed; because every phase
+    derives its randomness fresh from the master seed (``seed``,
+    ``seed + level``), a resumed run is bit-identical to an uninterrupted
+    one.  With resilience off, ``rz`` is a shared no-op.
     """
+    rz = spmd_resilience(comm, g, k, seed, cfg)
+    final = rz.restore("final")
+    if final is not None:
+        return (np.asarray(final["part"]), int(final["depth"]),
+                int(final["coarsest_n"]))
     with kernels.use_backend(cfg.kernel_backend):
         with comm.timed("coarsening"):
-            hierarchy, owner = _coarsen_spmd(comm, g, k, seed, cfg)
+            state = rz.restore("coarsening")
+            if state is None:
+                hierarchy, owner = _coarsen_spmd(comm, g, k, seed, cfg)
+                rz.boundary("coarsening",
+                            state=(pack_coarsening(hierarchy, owner)
+                                   if rz.enabled else None))
+            else:
+                hierarchy, owner = unpack_coarsening(state, g)
         with comm.timed("initial_partitioning"):
-            part = initial_partition_spmd(
-                comm, hierarchy.coarsest, k, cfg.epsilon,
-                method=cfg.initial_partitioner,
-                repeats=cfg.init_repeats,
-                seed=seed,
-            )
+            state = rz.restore("initial")
+            if state is None:
+                part = initial_partition_spmd(
+                    comm, hierarchy.coarsest, k, cfg.epsilon,
+                    method=cfg.initial_partitioner,
+                    repeats=cfg.init_repeats,
+                    seed=seed,
+                )
+                rz.boundary("initial", state={"part": part})
+            else:
+                part = np.asarray(state["part"])
         with comm.timed("refinement"):
-            for level in range(hierarchy.depth - 1, 0, -1):
+            start_level = hierarchy.depth - 1
+            resume = rz.latest_refine()
+            if resume is not None:
+                start_level, state = resume
+                part = np.asarray(state["part"])
+            for level in range(start_level, 0, -1):
                 part = hierarchy.project(part, level)
                 part = _refine_spmd(comm, hierarchy.graphs[level - 1],
                                     part, k, seed + level, cfg)
-            if hierarchy.depth == 1:
+                rz.boundary(f"refine:level{level - 1}",
+                            state={"part": part, "level": level - 1})
+            if hierarchy.depth == 1 and resume is None:
                 part = _refine_spmd(comm, g, part, k, seed, cfg)
+                rz.boundary("refine:level0",
+                            state={"part": part, "level": 0})
             if not metrics.is_balanced(g, part, k, cfg.epsilon):
                 part = rebalance(g, part, k, cfg.epsilon,
                                  rng=np.random.default_rng(seed))
+    rz.boundary("final", state={"part": part, "depth": hierarchy.depth,
+                                "coarsest_n": hierarchy.coarsest.n})
     return part, hierarchy.depth, hierarchy.coarsest.n
 
 

@@ -61,11 +61,16 @@ ENGINES: Dict[str, Type[Engine]] = {
 
 
 def get_engine(name: str, p: int, machine=None,
-               recv_timeout_s: Optional[float] = None) -> Engine:
+               recv_timeout_s: Optional[float] = None,
+               resilience=None) -> Engine:
     """Instantiate the engine registered under ``name`` for ``p`` PEs.
 
     ``machine`` (a :class:`~repro.parallel.costmodel.MachineModel`) only
-    applies to the simulated engine and is ignored by the others.
+    applies to the simulated engine and is ignored by the others;
+    ``resilience`` (a :class:`~repro.resilience.policy.ResiliencePolicy`)
+    only applies to the process engine — the other engines run their PEs
+    in one OS process, so there is no independent failure to supervise
+    (their fault injection happens inside the SPMD program instead).
     """
     try:
         cls = ENGINES[name]
@@ -76,4 +81,7 @@ def get_engine(name: str, p: int, machine=None,
     if cls is SimulatedEngine:
         return SimulatedEngine(p, recv_timeout_s=recv_timeout_s,
                                machine=machine)
+    if cls is ProcessEngine:
+        return ProcessEngine(p, recv_timeout_s=recv_timeout_s,
+                             resilience=resilience)
     return cls(p, recv_timeout_s=recv_timeout_s)

@@ -65,13 +65,15 @@ RECV_TIMEOUT_ENV_VAR = "REPRO_RECV_TIMEOUT_S"
 
 
 def resolve_recv_timeout(explicit: Optional[float] = None) -> float:
-    """Receive-timeout resolution order: explicit argument (e.g. from
-    ``KappaConfig.recv_timeout_s``) → ``$REPRO_RECV_TIMEOUT_S`` →
-    :data:`DEFAULT_RECV_TIMEOUT_S`."""
-    if explicit is not None:
-        if explicit <= 0:
-            raise ValueError("recv timeout must be positive")
-        return float(explicit)
+    """Receive-timeout resolution order: ``$REPRO_RECV_TIMEOUT_S`` →
+    explicit argument (e.g. from ``KappaConfig.recv_timeout_s``) →
+    :data:`DEFAULT_RECV_TIMEOUT_S`.
+
+    The environment variable wins over the config value on purpose: it
+    is the operator's emergency override — CI and chaos harnesses shrink
+    or stretch the timeout for a whole test run without editing every
+    config under test.
+    """
     env = os.environ.get(RECV_TIMEOUT_ENV_VAR)
     if env is not None:
         try:
@@ -83,6 +85,10 @@ def resolve_recv_timeout(explicit: Optional[float] = None) -> float:
         if value <= 0:
             raise ValueError(f"{RECV_TIMEOUT_ENV_VAR} must be positive")
         return value
+    if explicit is not None:
+        if explicit <= 0:
+            raise ValueError("recv timeout must be positive")
+        return float(explicit)
     return DEFAULT_RECV_TIMEOUT_S
 
 
@@ -149,7 +155,11 @@ class EngineResult:
     (whose execution is serialised, so a per-PE makespan is meaningless).
     ``phase_times`` holds one ``{phase: seconds}`` dict per PE, filled by
     ``comm.timed(...)`` blocks inside the SPMD program and aggregated
-    into the Tracer by the partitioner driver.
+    into the Tracer by the partitioner driver.  ``counters`` holds one
+    ``{name: value}`` dict per PE (``comm.count`` — checkpoint saves,
+    injected message faults, recv retries); ``events`` carries run-level
+    occurrences recorded by the engine itself (supervisor restarts, PEs
+    lost, recovery time).
     """
 
     results: List[Any]
@@ -158,6 +168,8 @@ class EngineResult:
     bytes_sent: int = 0
     messages_sent: int = 0
     phase_times: List[Dict[str, float]] = field(default_factory=list)
+    counters: List[Dict[str, float]] = field(default_factory=list)
+    events: Dict[str, float] = field(default_factory=dict)
 
 
 class CommBase:
@@ -173,10 +185,31 @@ class CommBase:
 
     rank: int
 
+    #: gang attempt number under a supervised engine (0 = first try);
+    #: one-shot boundary faults key off this so restarts make progress
+    attempt: int = 0
+
     def __init__(self) -> None:
         self.bytes_sent = 0
         self.messages_sent = 0
         self.phase_times: Dict[str, float] = {}
+        self.counters: Dict[str, float] = {}
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Bump a per-PE named counter (returned to the driver via
+        ``EngineResult.counters`` and folded into the tracer)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def heartbeat(self, label: str) -> None:
+        """Liveness signal at a phase boundary.  The base implementation
+        is a no-op; supervised engines forward it to their parent so a
+        wedged PE can be detected by silence."""
+
+    def fault_event(self, name: str) -> None:
+        """Record an injected-fault occurrence.  Counted locally by
+        default; the process engine also pushes it to the supervisor
+        *before* dying, so crash events survive a hard exit."""
+        self.count(name)
 
     def derive_rng(self, seed: int) -> np.random.Generator:
         """Per-PE RNG: the paper runs identical components "each with a

@@ -245,4 +245,5 @@ class SequentialEngine(Engine):
             bytes_sent=sum(c.bytes_sent for c in comms),
             messages_sent=sum(c.messages_sent for c in comms),
             phase_times=[dict(c.phase_times) for c in comms],
+            counters=[dict(c.counters) for c in comms],
         )

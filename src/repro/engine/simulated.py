@@ -59,4 +59,5 @@ class SimulatedEngine(Engine):
             bytes_sent=res.bytes_sent,
             messages_sent=res.messages_sent,
             phase_times=res.phase_times,
+            counters=res.counters,
         )

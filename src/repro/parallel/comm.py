@@ -116,6 +116,11 @@ class Comm:
         self.bytes_sent = 0
         self.messages_sent = 0
         self.phase_times: Dict[str, float] = {}
+        self.counters: Dict[str, float] = {}
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Bump a per-PE named counter (mirrors ``CommBase.count``)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
 
     # ------------------------------------------------------------------
     @property
@@ -272,6 +277,8 @@ class ClusterResult:
     messages_sent: int = 0
     #: per-PE {phase: wall seconds} from ``comm.timed(...)`` blocks
     phase_times: List[Dict[str, float]] = field(default_factory=list)
+    #: per-PE named counters from ``comm.count(...)`` calls
+    counters: List[Dict[str, float]] = field(default_factory=list)
 
 
 class SimCluster:
@@ -336,6 +343,7 @@ class SimCluster:
             bytes_sent=sum(c.bytes_sent for c in comms),
             messages_sent=sum(c.messages_sent for c in comms),
             phase_times=[dict(c.phase_times) for c in comms],
+            counters=[dict(c.counters) for c in comms],
         )
 
 

@@ -1,0 +1,71 @@
+"""Resilience subsystem: fault injection, checkpointing, supervision.
+
+Three cooperating parts (see ``docs/API.md`` → *Resilience & chaos
+testing*):
+
+* :mod:`repro.resilience.faults` — deterministic fault injection from a
+  ``--faults`` spec string (``pe1:crash@refine:level2``, ``drop=0.01``,
+  ``delay=5ms``, ``dup=0.02``);
+* :mod:`repro.resilience.checkpoint` — phase-boundary checkpoints in the
+  engine wire codec, manifest keyed by config hash + master seed + graph
+  content hash;
+* :mod:`repro.resilience.supervisor` / :mod:`~repro.resilience.policy` —
+  engine-side gang supervision: heartbeats, recv retry, restart from
+  last checkpoint, graceful degradation onto surviving PEs.
+
+The headline guarantee: a run that crashes mid-pipeline and resumes from
+checkpoint produces a partition *bit-identical* to the fault-free run.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointMismatch,
+    CheckpointStore,
+    archive_manifest,
+    config_hash,
+    graph_signature,
+)
+from .faults import (
+    FaultClause,
+    FaultPlan,
+    FaultSpecError,
+    InjectedCrash,
+    MessageFaultInjector,
+    parse_duration,
+)
+from .policy import ON_FAILURE_MODES, ResiliencePolicy
+from .runtime import (
+    NULL_RESILIENCE,
+    NullResilience,
+    SpmdResilience,
+    pack_coarsening,
+    spmd_resilience,
+    unpack_coarsening,
+)
+from .supervisor import FailureReport, Supervisor, classify_statuses
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "FaultClause",
+    "FaultPlan",
+    "FaultSpecError",
+    "FailureReport",
+    "InjectedCrash",
+    "MessageFaultInjector",
+    "NULL_RESILIENCE",
+    "NullResilience",
+    "ON_FAILURE_MODES",
+    "ResiliencePolicy",
+    "SpmdResilience",
+    "Supervisor",
+    "archive_manifest",
+    "classify_statuses",
+    "config_hash",
+    "graph_signature",
+    "pack_coarsening",
+    "parse_duration",
+    "spmd_resilience",
+    "unpack_coarsening",
+]

@@ -1,0 +1,228 @@
+"""Phase-boundary checkpointing: the store, the manifest, the identity.
+
+A checkpoint directory holds one ``MANIFEST.json`` plus one wire-encoded
+state file per completed phase boundary of the SPMD program::
+
+    ckpts/
+      MANIFEST.json          identity + ordered list of completed phases
+      coarsening.ckpt        hierarchy levels 1.. + maps + owner array
+      initial.ckpt           coarsest-level partition
+      refine_level3.ckpt     partition after refining graphs[3]
+      ...
+      final.ckpt             finished partition
+
+State files use the engine's pickle-free wire codec
+(:mod:`repro.engine.wire`), so a checkpoint can be written by one engine
+and resumed by another.  Because every SPMD phase draws randomness from
+``comm.derive_rng(seed + offset)`` — fresh streams keyed by the master
+seed, never a carried-over generator — the manifest's ``seed`` field *is*
+the complete RNG state: a resume derives exactly the streams the original
+run would have.
+
+The manifest pins the run identity: config hash (algorithmic fields
+only — observability and resilience knobs excluded, so a crashed chaos
+run can be resumed without re-injecting the faults), master seed, ``k``,
+PE count and a content hash of the input graph.  Resuming against a
+mismatched identity raises :class:`CheckpointMismatch` naming every
+differing field — never a silent recompute, never a silently wrong reuse.
+
+All writes are atomic (temp file + ``os.replace``): a PE crashing
+mid-write can leave a stale temp file behind but never a torn manifest
+or state file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "MANIFEST_NAME",
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "config_hash",
+    "graph_signature",
+]
+
+CHECKPOINT_SCHEMA = "repro.checkpoint/1"
+MANIFEST_NAME = "MANIFEST.json"
+
+#: config fields that do not change the computed partition (observability,
+#: runtime selection, resilience knobs) — excluded from the identity hash
+#: so e.g. a run that crashed under fault injection can resume without the
+#: fault spec, and a sim-engine checkpoint can resume on the process
+#: engine.  ``n_pes`` is excluded because the manifest pins the effective
+#: PE count separately (as ``pes``).
+_HASH_EXCLUDED = frozenset({
+    "name",
+    "engine",
+    "kernel_backend",
+    "check_invariants",
+    "recv_timeout_s",
+    "recv_retries",
+    "n_pes",
+    "faults",
+    "checkpoint_dir",
+    "checkpoint_phases",
+    "max_restarts",
+    "on_pe_failure",
+    "heartbeat_timeout_s",
+})
+
+
+class CheckpointMismatch(RuntimeError):
+    """The checkpoint directory belongs to a different run.  The message
+    lists every mismatched identity field; delete the directory (or point
+    ``checkpoint_dir`` elsewhere) to start fresh."""
+
+
+def config_hash(cfg: Any) -> str:
+    """Stable 16-hex-digit hash of a config's *algorithmic* fields.
+
+    Two configs with the same hash produce bit-identical partitions for
+    the same graph, ``k`` and seed; fields that cannot change the result
+    (engine choice, kernel backend, tracing, resilience) are excluded.
+    """
+    fields = {
+        f.name: getattr(cfg, f.name)
+        for f in dataclasses.fields(cfg)
+        if f.name not in _HASH_EXCLUDED
+    }
+    blob = json.dumps(fields, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def graph_signature(g: Any) -> str:
+    """Content hash of a CSR graph (structure + weights), 16 hex digits."""
+    h = hashlib.sha256()
+    h.update(f"n={g.n};m={g.m};".encode("ascii"))
+    for arr in (g.xadj, g.adjncy, g.adjwgt, g.vwgt):
+        h.update(arr.tobytes())
+    if g.coords is not None:
+        h.update(g.coords.tobytes())
+    return h.hexdigest()[:16]
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+
+
+class CheckpointStore:
+    """Reads and writes one run's checkpoint directory.
+
+    The store is constructed with the run's identity; :meth:`validate`
+    checks an existing manifest against it (raising
+    :class:`CheckpointMismatch` on conflict) and returns the completed
+    phase keys in completion order.  :meth:`save` / :meth:`load` move
+    phase state through the wire codec.
+    """
+
+    def __init__(self, directory: str, *, config_digest: str, seed: int,
+                 k: int, pes: int, graph_sig: str) -> None:
+        self.directory = Path(directory)
+        self.identity: Dict[str, Any] = {
+            "config_hash": config_digest,
+            "seed": int(seed),
+            "k": int(k),
+            "pes": int(pes),
+            "graph": graph_sig,
+        }
+
+    # -- manifest -------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def read_manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.manifest_path) as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    def validate(self) -> List[str]:
+        """Completed phase keys of a matching manifest (``[]`` when the
+        directory is fresh); :class:`CheckpointMismatch` otherwise."""
+        man = self.read_manifest()
+        if man is None:
+            return []
+        if man.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointMismatch(
+                f"checkpoint manifest {self.manifest_path} has schema "
+                f"{man.get('schema')!r}, expected {CHECKPOINT_SCHEMA!r}"
+            )
+        mismatches = []
+        for field, want in self.identity.items():
+            got = man.get(field)
+            if got != want:
+                mismatches.append(f"{field}: checkpoint has {got!r}, "
+                                  f"this run has {want!r}")
+        if mismatches:
+            raise CheckpointMismatch(
+                f"checkpoint directory {self.directory} belongs to a "
+                "different run — refusing to resume ("
+                + "; ".join(mismatches)
+                + "). Delete the directory or point checkpoint_dir at a "
+                "fresh one."
+            )
+        keys = [p["key"] for p in man.get("phases", [])]
+        return [key for key in keys
+                if (self.directory / _phase_filename(key)).exists()]
+
+    # -- phase state ----------------------------------------------------
+    def save(self, key: str, state: Dict[str, Any]) -> None:
+        """Write ``state`` for phase ``key`` and record it in the
+        manifest.  Atomic: a torn write can never be observed."""
+        from ..engine import wire  # deferred: engine package is heavier
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = wire.encode(state)
+        fname = _phase_filename(key)
+        _atomic_write(self.directory / fname, payload)
+        man = self.read_manifest()
+        if man is None:
+            man = {"schema": CHECKPOINT_SCHEMA, **self.identity,
+                   "phases": []}
+        if all(p["key"] != key for p in man["phases"]):
+            man["phases"].append(
+                {"key": key, "file": fname, "bytes": len(payload)}
+            )
+        _atomic_write(self.manifest_path,
+                      (json.dumps(man, indent=2) + "\n").encode("utf-8"))
+
+    def load(self, key: str) -> Dict[str, Any]:
+        """Decode the stored state of phase ``key``."""
+        from ..engine import wire
+
+        with open(self.directory / _phase_filename(key), "rb") as fh:
+            return wire.decode(fh.read())
+
+    def archive(self, suffix: str) -> None:
+        """Move the manifest aside (e.g. before a degraded re-run with a
+        different PE count invalidates the stored phases)."""
+        try:
+            os.replace(self.manifest_path,
+                       self.directory / f"{MANIFEST_NAME}.{suffix}")
+        except FileNotFoundError:
+            pass
+
+
+def _phase_filename(key: str) -> str:
+    return key.replace(":", "_") + ".ckpt"
+
+
+def archive_manifest(directory: str, suffix: str) -> None:
+    """Module-level helper for supervisors that know only the path."""
+    try:
+        os.replace(Path(directory) / MANIFEST_NAME,
+                   Path(directory) / f"{MANIFEST_NAME}.{suffix}")
+    except FileNotFoundError:
+        pass

@@ -1,0 +1,93 @@
+"""The resilience policy: what the *engine* needs to know about a run.
+
+The SPMD program builds its own per-PE context from the config (see
+:mod:`repro.resilience.runtime`); the engine-side supervisor additionally
+needs the fault plan (to seed per-worker message-fault injectors), the
+restart budget, the failure mode and the heartbeat timeout.  This module
+packages exactly that, picklable so the process engine can ship it to
+spawned workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .faults import FaultPlan
+
+__all__ = ["ResiliencePolicy"]
+
+#: failure modes of the supervised process engine
+ON_FAILURE_MODES = ("fail", "restart", "degrade")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Engine-facing resilience settings for one run."""
+
+    #: parsed fault plan (empty plan = no injection)
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    #: checkpoint directory (None = checkpointing off); the engine only
+    #: uses it to archive stale manifests on degradation — reads/writes
+    #: happen inside the SPMD program
+    checkpoint_dir: Optional[str] = None
+    #: what the supervisor does when a PE dies or hangs
+    on_pe_failure: str = "fail"
+    #: gang restarts allowed before giving up (restart + degrade combined)
+    max_restarts: int = 2
+    #: declare a PE hung when it has not heartbeat for this long
+    #: (None = hang detection off; heartbeats fire at phase boundaries,
+    #: so the timeout must exceed the longest phase)
+    heartbeat_timeout_s: Optional[float] = None
+    #: extra recv attempts with doubled timeout before declaring deadlock
+    recv_retries: int = 0
+    #: master seed feeding the per-PE fault RNG streams
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.on_pe_failure not in ON_FAILURE_MODES:
+            raise ValueError(
+                f"unknown on_pe_failure {self.on_pe_failure!r}; choose "
+                f"from {ON_FAILURE_MODES}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.recv_retries < 0:
+            raise ValueError("recv_retries must be >= 0")
+        if (self.heartbeat_timeout_s is not None
+                and self.heartbeat_timeout_s <= 0):
+            raise ValueError("heartbeat_timeout_s must be positive")
+
+    @property
+    def supervised(self) -> bool:
+        """Whether the engine should attempt any recovery at all."""
+        return self.on_pe_failure != "fail" or self.recv_retries > 0 \
+            or self.heartbeat_timeout_s is not None
+
+    @classmethod
+    def from_config(cls, cfg: Any, seed: int) -> Optional["ResiliencePolicy"]:
+        """Build the policy for a run, or ``None`` when every resilience
+        feature is off (the engine then takes its zero-overhead path).
+
+        ``cfg`` is duck-typed (a :class:`~repro.core.config.KappaConfig`)
+        to keep this package independent of :mod:`repro.core`.
+        """
+        spec = getattr(cfg, "faults", None)
+        plan = FaultPlan.parse(spec)
+        checkpoint_dir = getattr(cfg, "checkpoint_dir", None)
+        on_pe_failure = getattr(cfg, "on_pe_failure", "fail")
+        heartbeat = getattr(cfg, "heartbeat_timeout_s", None)
+        recv_retries = int(getattr(cfg, "recv_retries", 0) or 0)
+        if (not plan and checkpoint_dir is None
+                and on_pe_failure == "fail" and heartbeat is None
+                and recv_retries == 0):
+            return None
+        return cls(
+            faults=plan,
+            checkpoint_dir=checkpoint_dir,
+            on_pe_failure=on_pe_failure,
+            max_restarts=int(getattr(cfg, "max_restarts", 2)),
+            heartbeat_timeout_s=heartbeat,
+            recv_retries=recv_retries,
+            fault_seed=int(seed),
+        )

@@ -1,0 +1,157 @@
+"""Engine-side supervision: classify gang failures, decide recovery.
+
+The process engine runs each attempt as a *gang* (all PEs together, BSP
+style).  When any PE dies, hangs, or raises a recoverable error, the
+whole gang is torn down and the :class:`Supervisor` decides what happens
+next:
+
+``restart``
+    relaunch the full gang; the SPMD program fast-forwards through its
+    checkpoints, so only the crashed phase is re-computed (and the
+    result stays bit-identical to a fault-free run);
+``degrade``
+    relaunch with the dead PEs removed — the SPMD layer's
+    fewer-PEs-than-blocks multiplexing path picks up their blocks.  The
+    old checkpoints describe a different PE count, so the manifest is
+    archived first;
+``fail``
+    re-raise, preserving the engine's original error reporting.
+
+Unrecoverable errors (assertion failures, codec errors — anything that
+would recur deterministically on restart) always fail: restarting a
+deterministic bug is an infinite loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .checkpoint import archive_manifest
+from .policy import ResiliencePolicy
+
+__all__ = ["FailureReport", "Supervisor", "classify_statuses"]
+
+#: exception names worth retrying: injected faults and transport-level
+#: failures.  Anything else (ValueError, AssertionError, WireError...)
+#: is a deterministic bug that a restart would simply replay.
+RECOVERABLE_ERRORS = frozenset({
+    "DeadlockError",
+    "EngineFailure",
+    "InjectedCrash",
+    "TimeoutError",
+    "BrokenPipeError",
+    "EOFError",
+    "ConnectionResetError",
+})
+
+
+@dataclass
+class FailureReport:
+    """What went wrong with one gang attempt."""
+
+    #: ranks that died (hard exit) or hung (heartbeat silence)
+    dead_ranks: List[int]
+    #: rank → short description, for the error message
+    reasons: Dict[int, str]
+    #: False when any PE failed with a deterministic (non-retryable) error
+    recoverable: bool
+
+    def describe(self) -> str:
+        parts = [f"PE {r}: {self.reasons.get(r, 'failed')}"
+                 for r in sorted(self.reasons)]
+        return "; ".join(parts) if parts else "unknown failure"
+
+
+def classify_statuses(
+    statuses: Sequence[Optional[Tuple]],
+) -> Optional[FailureReport]:
+    """Inspect per-PE worker statuses; ``None`` means the gang succeeded.
+
+    Statuses are the tuples the process engine collects per rank:
+    ``("ok", out, stats)``, ``("err", name, msg, tb, stats)``,
+    ``("died", detail)`` or ``("hung", detail)``.
+    """
+    dead: List[int] = []
+    reasons: Dict[int, str] = {}
+    recoverable = True
+    any_failure = False
+    for rank, status in enumerate(statuses):
+        if status is None or status[0] == "ok":
+            continue
+        any_failure = True
+        kind = status[0]
+        if kind in ("died", "hung"):
+            dead.append(rank)
+            reasons[rank] = f"{kind} ({status[1]})"
+        elif kind == "err":
+            name = status[1]
+            reasons[rank] = f"{name}: {status[2]}"
+            if name not in RECOVERABLE_ERRORS:
+                recoverable = False
+        else:  # pragma: no cover - unknown status kind
+            reasons[rank] = repr(status)
+            recoverable = False
+    if not any_failure:
+        return None
+    return FailureReport(dead_ranks=dead, reasons=reasons,
+                         recoverable=recoverable)
+
+
+class Supervisor:
+    """Tracks attempts, accumulates recovery events, decides next steps."""
+
+    def __init__(self, policy: ResiliencePolicy) -> None:
+        self.policy = policy
+        self.restarts_used = 0
+        self.events: Dict[str, float] = {}
+        self._failure_at: Optional[float] = None
+
+    # -- event accounting ----------------------------------------------
+    def event(self, name: str, value: float = 1.0) -> None:
+        self.events[name] = self.events.get(name, 0.0) + value
+
+    def mark_failure(self) -> None:
+        """Stamp the moment a failure was detected (recovery clock)."""
+        if self._failure_at is None:
+            self._failure_at = time.monotonic()
+
+    def mark_recovered(self) -> None:
+        """Close the recovery clock into ``recovery_time_s``."""
+        if self._failure_at is not None:
+            self.event("recovery_time_s",
+                       time.monotonic() - self._failure_at)
+            self._failure_at = None
+
+    # -- decisions ------------------------------------------------------
+    def decide(self, failure: FailureReport) -> str:
+        """``"restart"``, ``"degrade"`` or ``"fail"`` for this failure."""
+        if not failure.recoverable:
+            return "fail"
+        if self.restarts_used >= self.policy.max_restarts:
+            return "fail"
+        mode = self.policy.on_pe_failure
+        if mode == "fail":
+            return "fail"
+        if mode == "degrade" and failure.dead_ranks:
+            return "degrade"
+        # "restart", or "degrade" with no dead PE to shed (e.g. a
+        # recoverable error with all processes still accounted for)
+        return "restart"
+
+    def note_restart(self, failure: FailureReport) -> None:
+        self.restarts_used += 1
+        self.event("fault_pe_restarts")
+        self.mark_failure()
+
+    def note_degrade(self, failure: FailureReport, p_effective: int) -> None:
+        """Record a degradation and archive checkpoints written for the
+        old PE count (they no longer match the new gang's identity)."""
+        self.restarts_used += 1
+        self.event("fault_pes_lost", float(len(failure.dead_ranks)))
+        self.event("fault_degraded_pes", float(p_effective))
+        self.mark_failure()
+        if self.policy.checkpoint_dir is not None:
+            archive_manifest(self.policy.checkpoint_dir,
+                             f"pes{p_effective + len(failure.dead_ranks)}")

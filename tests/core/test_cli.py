@@ -148,3 +148,60 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["partition", "g", "-k", "2",
                                        "--tool", "patoh"])
+
+
+class TestListFlags:
+    def test_list_engines(self, capsys):
+        rc = main(["--list-engines"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        for name in ("sequential", "sim", "process"):
+            assert name in text
+        assert "(default)" in text
+
+    def test_list_kernel_backends(self, capsys):
+        rc = main(["--list-kernel-backends"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "python" in text and "numpy" in text
+        assert "(default)" in text
+
+    def test_list_flags_need_no_subcommand(self, capsys):
+        # unlike a bare `repro`, `repro --list-engines` must not exit 2
+        rc = main(["--list-engines"])
+        assert rc == 0
+
+
+class TestResilienceFlags:
+    def test_chaos_run_recovers_and_reports(self, graph_file, tmp_path,
+                                            capsys):
+        out = str(tmp_path / "g.part")
+        rc = main(["partition", graph_file, "-k", "2",
+                   "--preset", "minimal", "--engine", "process",
+                   "--faults", "pe1:crash@refine:level0",
+                   "--checkpoint-dir", str(tmp_path / "ckpts"),
+                   "--on-pe-failure", "restart", "--max-restarts", "2",
+                   "-o", out])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "resilience:" in text
+        assert "fault_injected_crashes=1" in text
+        assert len(read_partition(out)) == 300
+
+    def test_faults_flag_implies_cluster_execution(self, graph_file,
+                                                   tmp_path, capsys):
+        # message faults need a wire, so --faults flips the run onto the
+        # cluster path even without --execution cluster
+        out = str(tmp_path / "g.part")
+        rc = main(["partition", graph_file, "-k", "2",
+                   "--preset", "minimal", "--engine", "process",
+                   "--faults", "delay=100us", "-o", out])
+        assert rc == 0
+        assert "fault_messages_delayed" in capsys.readouterr().out
+
+    def test_bad_fault_spec_is_a_clean_error(self, graph_file, tmp_path,
+                                             capsys):
+        with pytest.raises(Exception):
+            main(["partition", graph_file, "-k", "2",
+                  "--preset", "minimal", "--faults", "explode@initial",
+                  "-o", str(tmp_path / "g.part")])

@@ -204,9 +204,39 @@ class TestTimeoutConfiguration:
     def test_default(self):
         assert resolve_recv_timeout(None) == DEFAULT_RECV_TIMEOUT_S
 
-    def test_explicit_wins(self, monkeypatch):
+    def test_env_wins_over_explicit(self, monkeypatch):
+        """The env var is the operator's emergency override: it beats
+        even an explicit ``Config.recv_timeout_s`` so CI/chaos harnesses
+        can shrink the timeout for a whole run without editing configs."""
         monkeypatch.setenv(RECV_TIMEOUT_ENV_VAR, "5")
+        assert resolve_recv_timeout(2.5) == 5.0
+
+    def test_explicit_wins_without_env(self, monkeypatch):
+        monkeypatch.delenv(RECV_TIMEOUT_ENV_VAR, raising=False)
         assert resolve_recv_timeout(2.5) == 2.5
+
+    def test_env_overrides_config_recv_timeout(self, monkeypatch):
+        from repro.core import FAST
+
+        cfg = FAST.derive(recv_timeout_s=30.0)
+        monkeypatch.setenv(RECV_TIMEOUT_ENV_VAR, "0.5")
+        eng = get_engine("sim", 2, recv_timeout_s=cfg.recv_timeout_s)
+        assert eng.recv_timeout_s == 0.5
+
+    def test_timeout_error_names_pe_peer_and_tag(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.recv(1, tag=77)
+            else:
+                comm.barrier()
+
+        for engine in ("process", "sim"):
+            with pytest.raises(DeadlockError) as exc_info:
+                get_engine(engine, 2, recv_timeout_s=1.0).run(program)
+            message = str(exc_info.value)
+            assert "PE 0" in message       # who was waiting
+            assert "1" in message          # on which peer
+            assert "tag=77" in message     # for which tag
 
     def test_env_var(self, monkeypatch):
         monkeypatch.setenv(RECV_TIMEOUT_ENV_VAR, "0.75")

@@ -1,0 +1,181 @@
+"""Checkpoint store: identity hashing, save/load, manifest validation.
+
+Satellite guarantee: resuming against a checkpoint directory written by a
+*different* run (different config hash, seed, k, PE count or graph) must
+raise :class:`CheckpointMismatch` with every differing field named —
+never silently recompute, never silently reuse wrong state.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FAST, MINIMAL
+from repro.core.config import KappaConfig
+from repro.generators import delaunay_graph, random_geometric_graph
+from repro.resilience import (
+    CHECKPOINT_SCHEMA,
+    CheckpointMismatch,
+    CheckpointStore,
+    archive_manifest,
+    config_hash,
+    graph_signature,
+)
+from repro.resilience.checkpoint import MANIFEST_NAME
+
+
+def make_store(tmp_path, **overrides):
+    identity = dict(config_digest="c" * 16, seed=9, k=4, pes=2,
+                    graph_sig="g" * 16)
+    identity.update(overrides)
+    return CheckpointStore(str(tmp_path), **identity)
+
+
+class TestConfigHash:
+    def test_stable_and_algorithmic(self):
+        assert config_hash(MINIMAL) == config_hash(MINIMAL)
+        assert config_hash(MINIMAL) != config_hash(FAST)
+        assert config_hash(MINIMAL.derive(epsilon=0.5)) \
+            != config_hash(MINIMAL)
+
+    def test_excluded_fields_do_not_change_identity(self):
+        """Observability/runtime/resilience knobs cannot change the
+        partition, so checkpoints stay resumable across them — e.g. a
+        chaos run resumes without re-injecting the faults, and a
+        sim-engine checkpoint resumes on the process engine."""
+        base = config_hash(MINIMAL)
+        for variant in (
+            MINIMAL.derive(engine="process"),
+            MINIMAL.derive(kernel_backend="python"),
+            MINIMAL.derive(faults="pe1:crash@initial"),
+            MINIMAL.derive(checkpoint_dir="/tmp/somewhere"),
+            MINIMAL.derive(on_pe_failure="restart", max_restarts=5),
+            MINIMAL.derive(recv_timeout_s=1.0, recv_retries=3),
+            MINIMAL.derive(n_pes=7),
+        ):
+            assert config_hash(variant) == base
+
+    def test_hash_is_short_hex(self):
+        digest = config_hash(KappaConfig())
+        assert len(digest) == 16
+        int(digest, 16)  # raises if not hex
+
+
+class TestGraphSignature:
+    def test_content_keyed(self):
+        g1 = random_geometric_graph(120, seed=1)
+        g2 = random_geometric_graph(120, seed=2)
+        assert graph_signature(g1) == graph_signature(g1)
+        assert graph_signature(g1) != graph_signature(g2)
+
+    def test_weights_matter(self):
+        g = delaunay_graph(100, seed=3)
+        sig = graph_signature(g)
+        g.adjwgt[0] += 1
+        assert graph_signature(g) != sig
+
+
+class TestSaveLoad:
+    def test_roundtrip_arrays(self, tmp_path):
+        store = make_store(tmp_path)
+        part = np.arange(50, dtype=np.int64) % 4
+        store.save("refine:level2", {"part": part, "level": 2})
+        state = store.load("refine:level2")
+        assert np.array_equal(np.asarray(state["part"]), part)
+        assert state["level"] == 2
+        # colon-keys map to filesystem-safe names
+        assert (tmp_path / "refine_level2.ckpt").exists()
+
+    def test_validate_fresh_directory(self, tmp_path):
+        assert make_store(tmp_path).validate() == []
+
+    def test_validate_returns_completion_order(self, tmp_path):
+        store = make_store(tmp_path)
+        store.save("coarsening", {"owner": np.zeros(3)})
+        store.save("initial", {"part": np.zeros(3)})
+        assert make_store(tmp_path).validate() == ["coarsening", "initial"]
+
+    def test_missing_state_file_not_reported_complete(self, tmp_path):
+        store = make_store(tmp_path)
+        store.save("coarsening", {"owner": np.zeros(3)})
+        store.save("initial", {"part": np.zeros(3)})
+        (tmp_path / "initial.ckpt").unlink()
+        assert make_store(tmp_path).validate() == ["coarsening"]
+
+    def test_resave_does_not_duplicate_manifest_entry(self, tmp_path):
+        store = make_store(tmp_path)
+        store.save("initial", {"part": np.zeros(3)})
+        store.save("initial", {"part": np.ones(3)})
+        assert make_store(tmp_path).validate() == ["initial"]
+        assert np.asarray(store.load("initial")["part"]).sum() == 3
+
+    def test_no_stale_temp_files(self, tmp_path):
+        store = make_store(tmp_path)
+        store.save("final", {"part": np.zeros(10)})
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+
+class TestManifestRejection:
+    """The satellite acceptance test: mismatched identity → clear error."""
+
+    def _populated(self, tmp_path):
+        store = make_store(tmp_path)
+        store.save("initial", {"part": np.zeros(4)})
+        return store
+
+    def test_mismatched_config_hash(self, tmp_path):
+        self._populated(tmp_path)
+        other = make_store(tmp_path, config_digest="d" * 16)
+        with pytest.raises(CheckpointMismatch) as exc_info:
+            other.validate()
+        message = str(exc_info.value)
+        assert "config_hash" in message
+        assert "c" * 16 in message and "d" * 16 in message
+        assert "Delete the directory" in message  # tells the user the fix
+
+    def test_mismatched_seed(self, tmp_path):
+        self._populated(tmp_path)
+        with pytest.raises(CheckpointMismatch, match="seed"):
+            make_store(tmp_path, seed=10).validate()
+
+    def test_mismatched_graph(self, tmp_path):
+        self._populated(tmp_path)
+        with pytest.raises(CheckpointMismatch, match="graph"):
+            make_store(tmp_path, graph_sig="h" * 16).validate()
+
+    def test_multiple_mismatches_all_named(self, tmp_path):
+        self._populated(tmp_path)
+        with pytest.raises(CheckpointMismatch) as exc_info:
+            make_store(tmp_path, seed=10, k=8, pes=5).validate()
+        message = str(exc_info.value)
+        for field in ("seed", "k", "pes"):
+            assert f"{field}:" in message
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        self._populated(tmp_path)
+        path = tmp_path / MANIFEST_NAME
+        man = json.loads(path.read_text())
+        man["schema"] = "repro.checkpoint/99"
+        path.write_text(json.dumps(man))
+        with pytest.raises(CheckpointMismatch, match="schema"):
+            make_store(tmp_path).validate()
+        assert CHECKPOINT_SCHEMA == "repro.checkpoint/1"
+
+
+class TestArchive:
+    def test_archive_moves_manifest_aside(self, tmp_path):
+        store = make_store(tmp_path)
+        store.save("initial", {"part": np.zeros(4)})
+        store.archive("pes4")
+        assert not store.manifest_path.exists()
+        assert (tmp_path / f"{MANIFEST_NAME}.pes4").exists()
+        # a fresh run in the same directory starts from scratch
+        assert make_store(tmp_path, pes=3).validate() == []
+
+    def test_module_level_helper_and_missing_manifest(self, tmp_path):
+        archive_manifest(str(tmp_path), "pes2")  # no manifest: no error
+        store = make_store(tmp_path)
+        store.save("final", {"part": np.zeros(4)})
+        archive_manifest(str(tmp_path), "pes2")
+        assert (tmp_path / f"{MANIFEST_NAME}.pes2").exists()

@@ -1,0 +1,146 @@
+"""Supervisor policy logic: failure classification and recovery decisions."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    CheckpointStore,
+    FaultPlan,
+    ResiliencePolicy,
+    Supervisor,
+    classify_statuses,
+)
+from repro.resilience.checkpoint import MANIFEST_NAME
+
+OK = ("ok", None, {})
+
+
+class TestPolicy:
+    def test_defaults_are_off(self):
+        policy = ResiliencePolicy()
+        assert not policy.supervised
+        assert not policy.faults
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="on_pe_failure"):
+            ResiliencePolicy(on_pe_failure="retry")
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_restarts=-1)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(recv_retries=-1)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(heartbeat_timeout_s=0.0)
+
+    def test_supervised_when_any_recovery_feature_on(self):
+        assert ResiliencePolicy(on_pe_failure="restart").supervised
+        assert ResiliencePolicy(recv_retries=1).supervised
+        assert ResiliencePolicy(heartbeat_timeout_s=5.0).supervised
+
+    def test_from_config_returns_none_when_all_off(self):
+        from repro.core import MINIMAL
+
+        assert ResiliencePolicy.from_config(MINIMAL, seed=0) is None
+
+    def test_from_config_carries_settings(self):
+        from repro.core import MINIMAL
+
+        cfg = MINIMAL.derive(faults="drop=0.1", on_pe_failure="restart",
+                             max_restarts=7, recv_retries=2)
+        policy = ResiliencePolicy.from_config(cfg, seed=42)
+        assert policy is not None
+        assert policy.faults.has_message_faults
+        assert policy.on_pe_failure == "restart"
+        assert policy.max_restarts == 7
+        assert policy.recv_retries == 2
+        assert policy.fault_seed == 42
+
+
+class TestClassifyStatuses:
+    def test_all_ok_is_success(self):
+        assert classify_statuses([OK, OK]) is None
+
+    def test_death_and_hang_are_recoverable(self):
+        report = classify_statuses(
+            [OK, ("died", "exitcode=43"), ("hung", "no heartbeat")])
+        assert report is not None
+        assert report.dead_ranks == [1, 2]
+        assert report.recoverable
+        assert "PE 1" in report.describe()
+        assert "exitcode=43" in report.describe()
+
+    def test_recoverable_error_names(self):
+        report = classify_statuses(
+            [OK, ("err", "InjectedCrash", "boom", "tb", {})])
+        assert report.recoverable and report.dead_ranks == []
+
+    def test_deterministic_bug_is_not_recoverable(self):
+        """Restarting a deterministic failure would loop forever."""
+        report = classify_statuses(
+            [("err", "AssertionError", "invariant", "tb", {}), OK])
+        assert not report.recoverable
+
+    def test_mixed_failure_is_not_recoverable(self):
+        report = classify_statuses(
+            [("died", "gone"), ("err", "ValueError", "bad", "tb", {})])
+        assert not report.recoverable
+        assert report.dead_ranks == [0]
+
+
+class TestSupervisorDecisions:
+    def _dead(self):
+        return classify_statuses([OK, ("died", "exitcode=43")])
+
+    def test_fail_mode_never_recovers(self):
+        sup = Supervisor(ResiliencePolicy(on_pe_failure="fail"))
+        assert sup.decide(self._dead()) == "fail"
+
+    def test_restart_until_budget_exhausted(self):
+        sup = Supervisor(ResiliencePolicy(on_pe_failure="restart",
+                                          max_restarts=2))
+        for _ in range(2):
+            failure = self._dead()
+            assert sup.decide(failure) == "restart"
+            sup.note_restart(failure)
+        assert sup.decide(self._dead()) == "fail"
+        assert sup.events["fault_pe_restarts"] == 2.0
+
+    def test_degrade_needs_a_dead_pe(self):
+        sup = Supervisor(ResiliencePolicy(on_pe_failure="degrade"))
+        assert sup.decide(self._dead()) == "degrade"
+        # a recoverable error with every process alive: nothing to shed
+        report = classify_statuses(
+            [("err", "DeadlockError", "stuck", "tb", {}), OK])
+        assert sup.decide(report) == "restart"
+
+    def test_unrecoverable_always_fails(self):
+        sup = Supervisor(ResiliencePolicy(on_pe_failure="restart",
+                                          max_restarts=99))
+        report = classify_statuses(
+            [("err", "ZeroDivisionError", "x", "tb", {}), OK])
+        assert sup.decide(report) == "fail"
+
+    def test_recovery_clock(self):
+        sup = Supervisor(ResiliencePolicy(on_pe_failure="restart"))
+        sup.mark_failure()
+        sup.mark_recovered()
+        assert sup.events["recovery_time_s"] >= 0.0
+        # without an open failure window, recovery is a no-op
+        before = dict(sup.events)
+        sup.mark_recovered()
+        assert sup.events == before
+
+    def test_degrade_archives_stale_checkpoints(self, tmp_path):
+        """Checkpoints written for p PEs describe a different run identity
+        than the degraded (p-1)-PE gang; the manifest must move aside."""
+        store = CheckpointStore(str(tmp_path), config_digest="c" * 16,
+                                seed=1, k=4, pes=3, graph_sig="g" * 16)
+        store.save("initial", {"part": np.zeros(4)})
+        policy = ResiliencePolicy(on_pe_failure="degrade",
+                                  checkpoint_dir=str(tmp_path))
+        sup = Supervisor(policy)
+        failure = self._dead()
+        sup.note_degrade(failure, p_effective=2)
+        assert not (tmp_path / MANIFEST_NAME).exists()
+        assert (tmp_path / f"{MANIFEST_NAME}.pes3").exists()
+        assert sup.events["fault_pes_lost"] == 1.0
+        assert sup.events["fault_degraded_pes"] == 2.0

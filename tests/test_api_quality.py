@@ -53,6 +53,13 @@ MODULES = [
     "repro.kernels.registry",
     "repro.kernels.python_backend",
     "repro.kernels.numpy_backend",
+    "repro.resilience",
+    "repro.resilience.faults",
+    "repro.resilience.checkpoint",
+    "repro.resilience.policy",
+    "repro.resilience.runtime",
+    "repro.resilience.supervisor",
+    "repro.provenance",
     "repro.core",
     "repro.core.config",
     "repro.core.spmd",
