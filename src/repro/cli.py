@@ -6,6 +6,8 @@ Subcommands::
     repro evaluate   graph.metis out.part -k 8 --epsilon 0.03
     repro generate   rgg --param n=4096 -o graph.metis
     repro info       graph.metis
+    repro report     trace.json -o report.html
+    repro compare    BENCH_engines.json BENCH_engines.new.json
 
 Graphs are read/written in METIS format (``--format dimacs`` for DIMACS);
 partition files hold one block id per line (METIS convention).
@@ -16,10 +18,25 @@ Observability flags (accepted before the subcommand or on ``partition``)::
     repro partition graph.metis -k 8 --trace out.json --check-invariants strict
 
 ``--trace PATH`` writes a structured JSON trace (phase timings, counters,
-per-level records; schema ``repro.trace/1``) and prints a per-level
+per-level records; schema ``repro.trace/2``) and prints a per-level
 summary table; ``--check-invariants {off,sampled,strict}`` enables the
 runtime invariant checker.  With the flags given and no subcommand, a
 demo partitioning run on a generated graph is traced end to end.
+
+Telemetry exports (``repro.observability``; each switches on per-PE
+recording for cluster runs)::
+
+    repro partition g.metis -k 4 --engine process --trace-events t.json
+    repro partition g.metis -k 4 --engine sim --metrics m.prom --journal runs.jsonl
+
+``--trace-events PATH`` writes a Chrome ``trace_event`` file (open at
+https://ui.perfetto.dev — one track per PE); ``--metrics PATH`` writes
+the run's metrics registry in Prometheus text exposition format;
+``--journal PATH`` appends one JSON line per run.  ``repro report``
+renders a trace into a single-file HTML (or markdown) report with a
+phase Gantt per PE, a communication heatmap and the per-level table;
+``repro compare`` diffs two trace/journal/benchmark files and exits
+non-zero on regressions beyond ``--threshold``.
 
 Discovery flags: ``repro --list-engines`` / ``repro
 --list-kernel-backends`` print the registered execution engines and
@@ -99,6 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--kernel-backend", default=None,
                         choices=KERNEL_BACKENDS, dest="kernel_backend",
                         help="hot-path kernel backend (default: numpy)")
+    parser.add_argument("--trace-events", default=None, dest="trace_events",
+                        metavar="PATH",
+                        help="write a Chrome trace_event JSON to PATH "
+                             "(open in Perfetto; implies per-PE telemetry)")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write run metrics in Prometheus text "
+                             "exposition format to PATH")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="append one JSON line per run to PATH")
     parser.add_argument("--list-engines", action="store_true",
                         help="list the registered execution engines and exit")
     parser.add_argument("--list-kernel-backends", action="store_true",
@@ -156,6 +182,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel-backend", default=argparse.SUPPRESS,
                    choices=KERNEL_BACKENDS, dest="kernel_backend",
                    help="hot-path kernel backend (default: numpy)")
+    p.add_argument("--trace-events", default=argparse.SUPPRESS,
+                   dest="trace_events", metavar="PATH",
+                   help="write a Chrome trace_event JSON to PATH "
+                        "(open in Perfetto; implies per-PE telemetry)")
+    p.add_argument("--metrics", default=argparse.SUPPRESS, metavar="PATH",
+                   help="write run metrics in Prometheus text "
+                        "exposition format to PATH")
+    p.add_argument("--journal", default=argparse.SUPPRESS, metavar="PATH",
+                   help="append one JSON line per run to PATH")
 
     e = sub.add_parser("evaluate", help="evaluate an existing partition")
     e.add_argument("graph")
@@ -176,6 +211,32 @@ def build_parser() -> argparse.ArgumentParser:
     i = sub.add_parser("info", help="print graph statistics")
     i.add_argument("graph")
     i.add_argument("--format", default="metis", choices=("metis", "dimacs"))
+
+    r = sub.add_parser("report",
+                       help="render a trace file into an HTML/markdown "
+                            "run report")
+    r.add_argument("trace", help="trace JSON file (repro.trace/1 or /2)")
+    r.add_argument("-o", "--output", default=None,
+                   help="output file (default: <trace>.report.<ext>)")
+    r.add_argument("--report-format", default=None, dest="report_format",
+                   choices=("html", "markdown"),
+                   help="report format (default: inferred from output "
+                        "suffix, else html)")
+
+    c = sub.add_parser("compare",
+                       help="diff two trace/journal/benchmark files and "
+                            "flag regressions")
+    c.add_argument("base", help="baseline file")
+    c.add_argument("new", help="candidate file")
+    c.add_argument("--threshold", type=float, default=0.25,
+                   help="relative change beyond which a bad-direction "
+                        "delta is a regression (default 0.25)")
+    c.add_argument("--require-provenance", default="none",
+                   dest="require_provenance", choices=("none", "new", "both"),
+                   help="require git_sha+timestamp meta on the candidate "
+                        "('new') or both files")
+    c.add_argument("--show-all", action="store_true", dest="show_all",
+                   help="print every compared metric, not just regressions")
     return parser
 
 
@@ -200,16 +261,89 @@ def _instrumented_run(g, args, k: int):
             # resilience acts on the SPMD pipeline's phase boundaries
             overrides[name] = value
             execution = "cluster"
+    if _obs_outputs(args):
+        # any telemetry export switches on per-PE recording (spans,
+        # comm matrix, metrics) for cluster runs; sequential runs still
+        # get driver phases + the metrics registry
+        overrides["observe"] = True
     cfg = preset(args.preset).derive(epsilon=args.epsilon,
                                      check_invariants=check, **overrides)
-    tracer = Tracer() if args.trace else None
+    # a Chrome trace is derived from the trace document, so --trace-events
+    # needs a live tracer even without --trace
+    tracer = (Tracer()
+              if (args.trace or getattr(args, "trace_events", None))
+              else None)
     res = KappaPartitioner(cfg).partition(
         g, k, seed=args.seed, execution=execution, tracer=tracer
     )
     return res, tracer
 
 
-def _report_instrumentation(res, args) -> int:
+def _obs_outputs(args) -> bool:
+    """True when any telemetry export flag was given."""
+    return bool(getattr(args, "trace_events", None)
+                or getattr(args, "metrics", None)
+                or getattr(args, "journal", None))
+
+
+def _run_meta(args, g, k: int):
+    """Provenance + run identity recorded on journal lines."""
+    from .provenance import provenance
+
+    meta = dict(provenance())
+    meta.update({
+        "graph": getattr(args, "graph", "<generated>"),
+        "n": g.n, "m": g.m, "k": k,
+        "preset": args.preset, "seed": args.seed,
+        "execution": getattr(args, "execution", "sequential"),
+    })
+    engine = getattr(args, "engine", None)
+    if engine:
+        meta["engine"] = engine
+    return meta
+
+
+def _report_instrumentation(res, args, g=None, k=None) -> int:
+    # guard against duplicate emission: under the process engine's
+    # "fork" start method worker PEs inherit the CLI module, so any
+    # module-level reporting must run on the primary process only
+    from .observability import is_primary_process
+
+    if not is_primary_process():  # pragma: no cover - worker-side guard
+        return 0
+    if getattr(args, "trace_events", None):
+        from .observability import write_chrome_trace
+
+        try:
+            write_chrome_trace(res.trace, args.trace_events)
+        except OSError as exc:
+            print(f"error: cannot write trace events to "
+                  f"{args.trace_events}: {exc}", file=sys.stderr)
+            return 1
+        print(f"chrome trace written to {args.trace_events} "
+              f"(open at https://ui.perfetto.dev)")
+    if getattr(args, "metrics", None):
+        from .observability import prometheus_text
+
+        try:
+            with open(args.metrics, "w") as fh:
+                fh.write(prometheus_text(res.metrics))
+        except OSError as exc:
+            print(f"error: cannot write metrics to {args.metrics}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"metrics written to {args.metrics} (Prometheus text format)")
+    if getattr(args, "journal", None):
+        from .observability import append_journal, journal_record
+
+        meta = _run_meta(args, g, k) if g is not None else None
+        try:
+            append_journal(args.journal, journal_record(res, meta=meta))
+        except OSError as exc:
+            print(f"error: cannot append journal to {args.journal}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"journal line appended to {args.journal}")
     if args.trace:
         tracer_doc = res.trace
         try:
@@ -234,10 +368,11 @@ def _report_instrumentation(res, args) -> int:
 
 def _cmd_partition(args) -> int:
     g = _read_graph(args.graph, args.format)
-    instrumented = bool(args.trace or args.check_invariants)
+    instrumented = bool(args.trace or args.check_invariants
+                        or _obs_outputs(args))
     if instrumented and args.tool != "kappa":
-        print("error: --trace/--check-invariants require --tool kappa",
-              file=sys.stderr)
+        print("error: --trace/--check-invariants/--trace-events/--metrics/"
+              "--journal require --tool kappa", file=sys.stderr)
         return 1
     t0 = time.perf_counter()
     if args.tool == "kappa":
@@ -275,7 +410,7 @@ def _cmd_partition(args) -> int:
         ))
     print(f"partition written to {out}")
     if args.tool == "kappa":
-        return _report_instrumentation(res, args)
+        return _report_instrumentation(res, args, g=g, k=args.k)
     return 0
 
 
@@ -293,7 +428,7 @@ def _cmd_demo(args) -> int:
     print(f"demo: rgg n={g.n} m={g.m}, k=8, preset={args.preset}")
     print(f"cut: {res.cut:g}")
     print(f"balance: {res.partition.balance:.4f}")
-    return _report_instrumentation(res, args)
+    return _report_instrumentation(res, args, g=g, k=8)
 
 
 def _cmd_evaluate(args) -> int:
@@ -356,6 +491,59 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from .observability import (
+        TraceSchemaError,
+        load_trace_file,
+        render_report,
+    )
+
+    fmt = args.report_format
+    out = args.output
+    if fmt is None:
+        fmt = ("markdown" if out and out.endswith((".md", ".markdown"))
+               else "html")
+    if out is None:
+        out = f"{args.trace}.report." + ("md" if fmt == "markdown" else "html")
+    try:
+        doc = load_trace_file(args.trace)
+    except (OSError, ValueError, TraceSchemaError) as exc:
+        print(f"error: cannot load trace {args.trace}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        with open(out, "w") as fh:
+            fh.write(render_report(doc, fmt=fmt))
+    except OSError as exc:
+        print(f"error: cannot write report to {out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{fmt} report written to {out}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .observability import (
+        CompareError,
+        assert_provenance,
+        compare_files,
+        format_comparison,
+    )
+
+    try:
+        if args.require_provenance in ("new", "both"):
+            assert_provenance(args.new)
+        if args.require_provenance == "both":
+            assert_provenance(args.base)
+        cmp = compare_files(args.base, args.new, threshold=args.threshold)
+    except (OSError, ValueError) as exc:
+        # CompareError is a ValueError; bad JSON raises ValueError too
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_comparison(cmp, base_path=args.base, new_path=args.new,
+                            show_all=args.show_all))
+    return 0 if cmp.ok else 1
+
+
 def _cmd_list_engines() -> int:
     from .core.config import KappaConfig
 
@@ -389,7 +577,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "list_kernel_backends", False):
         return _cmd_list_kernel_backends()
     if args.command is None:
-        if args.trace or args.check_invariants:
+        if args.trace or args.check_invariants or _obs_outputs(args):
             return _cmd_demo(args)
         parser.error("a subcommand is required "
                      "(or pass --trace/--check-invariants for a demo run)")
@@ -398,6 +586,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "generate": _cmd_generate,
         "info": _cmd_info,
+        "report": _cmd_report,
+        "compare": _cmd_compare,
     }[args.command]
     return handler(args)
 

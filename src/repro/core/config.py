@@ -101,11 +101,16 @@ class KappaConfig:
     #: the default) or "python" (reference loops, bit-identical, slow)
     kernel_backend: str = "numpy"
 
-    # -- observability (repro.instrument) ------------------------------
+    # -- observability (repro.instrument / repro.observability) --------
     #: runtime invariant checking: "off" (no cost) | "sampled" (subset of
     #: levels, violations collected) | "strict" (every level, first
     #: violation raises InvariantViolation)
     check_invariants: str = "off"
+    #: per-PE telemetry (span timelines, comm matrix, metrics registry)
+    #: on the cluster path; off by default — the hot paths then pay one
+    #: ``is None`` test per hook.  The CLI's ``--trace-events``/
+    #: ``--metrics``/``--journal`` flags switch it on.
+    observe: bool = False
 
     name: str = "fast"
 

@@ -37,6 +37,7 @@ from ..instrument import (
     Violation,
     ensure_tracer,
 )
+from ..observability import MetricsRegistry, merge_pe_obs, merge_registry_docs
 from ..refinement.balance import rebalance
 from ..refinement.pairwise import pairwise_refinement
 from ..engine import SimulatedEngine, get_engine
@@ -68,6 +69,13 @@ class KappaResult:
     #: invariant violations collected by the run's InvariantChecker
     #: (always empty in "strict" mode unless the run raised)
     violations: List[Violation] = field(default_factory=list)
+    #: metrics-registry export (counters/gauges/histograms) — the typed
+    #: view the flat ``stats`` dict is derived from; renders to
+    #: Prometheus text via ``repro.observability.prometheus_text``
+    metrics: Optional[Dict] = None
+    #: merged per-PE observability document (spans / comm_matrix /
+    #: metrics) when the run was observed (``config.observe``)
+    obs: Optional[Dict] = None
 
     @property
     def cut(self) -> float:
@@ -193,35 +201,50 @@ class KappaPartitioner:
                 part = self._refine(fine_g, part, k, seed + level, tracer)
                 cut = metrics.cut_value(fine_g, part)
                 level_cuts.append(cut)
-                tracer.add_level(
-                    level=level - 1, stage="refine", n=fine_g.n, m=fine_g.m,
-                    cut=cut, elapsed_s=time.perf_counter() - t_lvl,
-                )
+                if tracer.enabled:
+                    tracer.add_level(
+                        level=level - 1, stage="refine", n=fine_g.n,
+                        m=fine_g.m, cut=cut,
+                        balance=metrics.balance(fine_g, part, k),
+                        elapsed_s=time.perf_counter() - t_lvl,
+                    )
             if hierarchy.depth == 1:
                 t_lvl = time.perf_counter()
                 part = self._refine(g, part, k, seed, tracer)
                 cut = metrics.cut_value(g, part)
                 level_cuts.append(cut)
-                tracer.add_level(
-                    level=0, stage="refine", n=g.n, m=g.m, cut=cut,
-                    elapsed_s=time.perf_counter() - t_lvl,
-                )
+                if tracer.enabled:
+                    tracer.add_level(
+                        level=0, stage="refine", n=g.n, m=g.m, cut=cut,
+                        balance=metrics.balance(g, part, k),
+                        elapsed_s=time.perf_counter() - t_lvl,
+                    )
         with tracer.phase("feasibility"):
             part = self._ensure_feasible(g, part, k, seed, tracer)
         if checker is not None:
             checker.check_final(g, part, k, cfg.epsilon)
         t_refine = time.perf_counter()
+        stats = {
+            "time_coarsen_s": t_coarsen - t0,
+            "time_initial_s": t_initial - t_coarsen,
+            "time_refine_s": t_refine - t_initial,
+        }
+        partition_obj = Partition(g, part, k, cfg.epsilon)
+        registry = MetricsRegistry()
+        registry.count_all(stats)
+        registry.gauge("final_cut").set(float(partition_obj.cut))
+        registry.gauge("final_balance").set(float(partition_obj.balance))
+        metrics_doc = registry.export()
+        if tracer.enabled:
+            tracer.observability = {"metrics": metrics_doc}
         return KappaResult(
-            partition=Partition(g, part, k, cfg.epsilon),
+            partition=partition_obj,
             time_s=t_refine - t0,
             levels=hierarchy.depth,
             coarsest_n=hierarchy.coarsest.n,
             level_cuts=level_cuts,
-            stats={
-                "time_coarsen_s": t_coarsen - t0,
-                "time_initial_s": t_initial - t_coarsen,
-                "time_refine_s": t_refine - t_initial,
-            },
+            stats=stats,
+            metrics=metrics_doc,
         )
 
     def _refine(self, g: Graph, part: np.ndarray, k: int, seed: int,
@@ -300,6 +323,32 @@ class KappaPartitioner:
         for name, value in res.events.items():
             resilience_stats[name] = resilience_stats.get(name, 0.0) \
                 + float(value)
+        # metrics registry: the typed home of every ad-hoc stats counter.
+        # The flat ``stats`` dict below keeps its exact historical keys
+        # (derived from the same values), while the registry additionally
+        # carries instrument kinds for the Prometheus/trace exporters and
+        # absorbs the per-PE registries (recv-wait histograms etc.) when
+        # the run was observed.
+        partition_obj = Partition(g, part, k, cfg.epsilon)
+        registry = MetricsRegistry()
+        registry.counter("bytes_sent").inc(float(res.bytes_sent))
+        registry.counter("messages_sent").inc(float(res.messages_sent))
+        for key, seconds in phase_stats.items():
+            registry.gauge(key).set(seconds)
+        # resilience counters — including recovery_time_s — register here
+        # so they show up in Prometheus exposition, not only in stats
+        registry.count_all(resilience_stats)
+        if res.makespan is not None:
+            registry.gauge("makespan_s").set(res.makespan)
+        registry.gauge("final_cut").set(float(partition_obj.cut))
+        registry.gauge("final_balance").set(float(partition_obj.balance))
+        merged_obs = merge_pe_obs(list(res.obs))
+        metrics_doc = merge_registry_docs(
+            [registry.export(),
+             merged_obs["metrics"] if merged_obs else None]
+        )
+        if merged_obs is not None:
+            merged_obs["metrics"] = metrics_doc
         if tracer.enabled:
             tracer.meta["pes"] = p
             tracer.meta["engine"] = eng.name
@@ -313,6 +362,10 @@ class KappaPartitioner:
                 tracer.count(f"pe_{key}", seconds)
             for name, value in sorted(resilience_stats.items()):
                 tracer.count(name, value)
+            tracer.observability = (
+                merged_obs if merged_obs is not None
+                else {"metrics": metrics_doc}
+            )
         elapsed = time.perf_counter() - t0
         stats = {
             "bytes_sent": float(res.bytes_sent),
@@ -323,7 +376,7 @@ class KappaPartitioner:
         if res.makespan is not None:
             stats["makespan_s"] = res.makespan
         return KappaResult(
-            partition=Partition(g, part, k, cfg.epsilon),
+            partition=partition_obj,
             time_s=elapsed,
             # simulated parallel time is only meaningful on the sim
             # engine (Figure 3); process/sequential report wall time only
@@ -332,6 +385,8 @@ class KappaPartitioner:
             levels=levels,
             coarsest_n=coarsest_n,
             stats=stats,
+            metrics=metrics_doc,
+            obs=merged_obs,
         )
 
 
@@ -342,8 +397,9 @@ def partition_graph(
     seed: Optional[int] = None,
     execution: str = "sequential",
     engine: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
 ) -> KappaResult:
     """Convenience one-shot API: ``KappaPartitioner(config).partition(...)``."""
     return KappaPartitioner(config).partition(g, k, seed=seed,
                                               execution=execution,
-                                              engine=engine)
+                                              engine=engine, tracer=tracer)

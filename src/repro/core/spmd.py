@@ -27,6 +27,7 @@ from ..coarsening.prepartition import prepartition
 from ..engine.base import Comm
 from ..graph.csr import Graph
 from ..initial.runner import initial_partition_spmd
+from ..observability import maybe_span, observe_comm
 from ..refinement.balance import rebalance
 from ..refinement.pairwise import pairwise_refinement_spmd
 from ..resilience.runtime import (
@@ -58,6 +59,7 @@ def kappa_spmd_program(comm: Comm, g: Graph, k: int, seed: int,
     ``seed + level``), a resumed run is bit-identical to an uninterrupted
     one.  With resilience off, ``rz`` is a shared no-op.
     """
+    observe_comm(comm, cfg)  # attach per-PE telemetry when cfg.observe
     rz = spmd_resilience(comm, g, k, seed, cfg)
     final = rz.restore("final")
     if final is not None:
@@ -92,13 +94,15 @@ def kappa_spmd_program(comm: Comm, g: Graph, k: int, seed: int,
                 start_level, state = resume
                 part = np.asarray(state["part"])
             for level in range(start_level, 0, -1):
-                part = hierarchy.project(part, level)
-                part = _refine_spmd(comm, hierarchy.graphs[level - 1],
-                                    part, k, seed + level, cfg)
+                with maybe_span(comm, f"refine:level{level - 1}"):
+                    part = hierarchy.project(part, level)
+                    part = _refine_spmd(comm, hierarchy.graphs[level - 1],
+                                        part, k, seed + level, cfg)
                 rz.boundary(f"refine:level{level - 1}",
                             state={"part": part, "level": level - 1})
             if hierarchy.depth == 1 and resume is None:
-                part = _refine_spmd(comm, g, part, k, seed, cfg)
+                with maybe_span(comm, "refine:level0"):
+                    part = _refine_spmd(comm, g, part, k, seed, cfg)
                 rz.boundary("refine:level0",
                             state={"part": part, "level": 0})
             if not metrics.is_balanced(g, part, k, cfg.epsilon):

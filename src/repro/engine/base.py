@@ -170,6 +170,9 @@ class EngineResult:
     phase_times: List[Dict[str, float]] = field(default_factory=list)
     counters: List[Dict[str, float]] = field(default_factory=list)
     events: Dict[str, float] = field(default_factory=dict)
+    #: per-PE observability exports (``PeRecorder.export`` documents)
+    #: when the run was observed; empty/None entries otherwise
+    obs: List[Optional[Dict[str, Any]]] = field(default_factory=list)
 
 
 class CommBase:
@@ -194,6 +197,14 @@ class CommBase:
         self.messages_sent = 0
         self.phase_times: Dict[str, float] = {}
         self.counters: Dict[str, float] = {}
+        #: per-PE observability recorder (None by default — every hook
+        #: site is a single ``is None`` test, so the off path is free)
+        self.obs: Optional[Any] = None
+
+    def attach_obs(self, recorder: Any) -> None:
+        """Attach a per-PE observability recorder (see
+        :func:`repro.observability.observe_comm`)."""
+        self.obs = recorder
 
     def count(self, name: str, value: float = 1.0) -> None:
         """Bump a per-PE named counter (returned to the driver via
@@ -223,7 +234,12 @@ class CommBase:
     @contextmanager
     def timed(self, name: str):
         """Accumulate wall-clock time of a program phase on this PE; the
-        engine returns the per-PE totals in ``EngineResult.phase_times``."""
+        engine returns the per-PE totals in ``EngineResult.phase_times``.
+        With an observability recorder attached, the block also opens a
+        span that scopes comm-matrix phase attribution."""
+        obs = self.obs
+        if obs is not None:
+            obs.phase_begin(name)
         t0 = time.perf_counter()
         try:
             yield
@@ -231,30 +247,48 @@ class CommBase:
             self.phase_times[name] = (
                 self.phase_times.get(name, 0.0) + time.perf_counter() - t0
             )
+            if obs is not None:
+                obs.phase_end()
 
     # -- collective folds over _exchange --------------------------------
     def _exchange(self, value: Any) -> List[Any]:
         raise NotImplementedError
 
+    def _exchange_recorded(self, value: Any) -> List[Any]:
+        """``_exchange`` plus comm-matrix accounting when observed.
+
+        The recorder books each collective under the deterministic
+        rank-0 star model, so matrices agree across engines regardless
+        of how the rendezvous physically happens."""
+        obs = self.obs
+        if obs is None:
+            return self._exchange(value)
+        t0 = time.perf_counter()
+        slots = self._exchange(value)
+        obs.on_collective(self.rank, len(slots), value, slots,
+                          time.perf_counter() - t0)
+        return slots
+
     def barrier(self) -> None:
-        self._exchange(None)
+        self._exchange_recorded(None)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
-        return self._exchange(obj if self.rank == root else None)[root]
+        return self._exchange_recorded(
+            obj if self.rank == root else None)[root]
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
-        vals = self._exchange(obj)
+        vals = self._exchange_recorded(obj)
         return vals if self.rank == root else None
 
     def allgather(self, obj: Any) -> List[Any]:
-        return self._exchange(obj)
+        return self._exchange_recorded(obj)
 
     def allreduce(self, value: Any,
                   op: Optional[Callable[[Any, Any], Any]] = None) -> Any:
         """All-reduce with a binary ``op`` (default: addition), folded in
         rank order on every PE — the same fold as the simulated comm, so
         non-associative ops cannot diverge between engines."""
-        vals = self._exchange(value)
+        vals = self._exchange_recorded(value)
         acc = vals[0]
         for v in vals[1:]:
             acc = (acc + v) if op is None else op(acc, v)
@@ -264,7 +298,7 @@ class CommBase:
         """Personalised all-to-all: ``objs[d]`` goes to PE ``d``."""
         if len(objs) != self.size:  # type: ignore[attr-defined]
             raise ValueError("alltoall needs one payload per PE")
-        vals = self._exchange(list(objs))
+        vals = self._exchange_recorded(list(objs))
         return [vals[src][self.rank]
                 for src in range(self.size)]  # type: ignore[attr-defined]
 

@@ -150,12 +150,14 @@ class ProcessComm(CommBase):
             box = self._inbox.setdefault(dest, {})
             box.setdefault(tag, deque()).append(obj)
             self.messages_sent += 1
+            if self.obs is not None and tag >= 0:
+                self.obs.on_send(self.rank, dest, tag, obj)
             return
+        copies = 1
         if self._seq_mode:
             seq = self._send_seq.get(dest, 0)
             self._send_seq[dest] = seq + 1
             data = wire.encode((tag, seq, obj))
-            copies = 1
             if self._injector is not None and self._injector.active:
                 sleep_s, copies = self._injector.plan_send()
                 self._injector.apply_send_latency(sleep_s)
@@ -167,6 +169,11 @@ class ProcessComm(CommBase):
             self._peers[dest].send_bytes(data)
             self.bytes_sent += len(data)
         self.messages_sent += 1
+        # system-tag traffic (collectives over rank 0) is booked by the
+        # recorder's collective model instead, so it must not be counted
+        # again here; retry/duplicate frames surface as extra ``copies``
+        if self.obs is not None and tag >= 0:
+            self.obs.on_send(self.rank, dest, tag, obj, copies=copies)
 
     def recv(self, source: int, tag: int = 0,
              timeout: Optional[float] = None) -> Any:
@@ -180,9 +187,14 @@ class ProcessComm(CommBase):
             raise ValueError(f"bad source {source}")
         if timeout is None:
             timeout = self.recv_timeout_s
+        obs = self.obs if tag >= 0 else None
+        t0 = time.perf_counter() if obs is not None else 0.0
         box = self._inbox.setdefault(source, {})
         q = box.get(tag)
         if q:
+            if obs is not None:
+                obs.on_recv_wait(source, self.rank, tag,
+                                 time.perf_counter() - t0)
             return q.popleft()
         if source == self.rank:
             raise DeadlockError(
@@ -196,6 +208,9 @@ class ProcessComm(CommBase):
         for retry in range(self.recv_retries + 1):
             obj = self._wait_for(source, tag, box, attempt_timeout)
             if obj is not _NOTHING:
+                if obs is not None:
+                    obs.on_recv_wait(source, self.rank, tag,
+                                     time.perf_counter() - t0)
                 return obj
             if retry < self.recv_retries:
                 self.count("fault_recv_retries")
@@ -302,6 +317,9 @@ def _worker_main(rank: int, size: int, peers: Dict[int, Any], result_conn,
             "messages_sent": comm.messages_sent,
             "phase_times": dict(comm.phase_times),
             "counters": dict(comm.counters),
+            # per-PE observability export (wire-codec-friendly dict of
+            # spans/comm cells/metrics) rides home with the stats
+            "obs": comm.obs.export() if comm.obs is not None else None,
         }
 
     try:
@@ -578,4 +596,5 @@ class ProcessEngine(Engine):
             phase_times=[dict(s["phase_times"]) for s in all_stats],
             counters=[dict(s.get("counters", {})) for s in all_stats],
             events=dict(supervisor.events) if supervisor is not None else {},
+            obs=[s.get("obs") for s in all_stats],
         )

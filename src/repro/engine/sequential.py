@@ -21,6 +21,7 @@ there is no concurrency and no data race by construction.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
@@ -134,6 +135,8 @@ class SequentialComm(CommBase):
             raise ValueError(f"bad destination {dest}")
         self.bytes_sent += payload_nbytes(obj)
         self.messages_sent += 1
+        if self.obs is not None:
+            self.obs.on_send(self.rank, dest, tag, obj)
         sh = self.shared
         with sh.cv:
             sh.mail.setdefault((self.rank, dest, tag), deque()).append(obj)
@@ -145,6 +148,8 @@ class SequentialComm(CommBase):
         the moment no PE can make progress."""
         if not (0 <= source < self.size):
             raise ValueError(f"bad source {source}")
+        obs = self.obs
+        t0 = time.perf_counter() if obs is not None else 0.0
         sh = self.shared
         with sh.cv:
             q = sh.mail.setdefault((source, self.rank, tag), deque())
@@ -152,6 +157,9 @@ class SequentialComm(CommBase):
                 self.rank, lambda: len(q) > 0,
                 f"recv(source={source}, tag={tag})",
             )
+            if obs is not None:
+                obs.on_recv_wait(source, self.rank, tag,
+                                 time.perf_counter() - t0)
             return q.popleft()
 
     # -- collectives ------------------------------------------------------
@@ -246,4 +254,6 @@ class SequentialEngine(Engine):
             messages_sent=sum(c.messages_sent for c in comms),
             phase_times=[dict(c.phase_times) for c in comms],
             counters=[dict(c.counters) for c in comms],
+            obs=[c.obs.export() if c.obs is not None else None
+                 for c in comms],
         )

@@ -60,4 +60,5 @@ class SimulatedEngine(Engine):
             messages_sent=res.messages_sent,
             phase_times=res.phase_times,
             counters=res.counters,
+            obs=res.obs,
         )

@@ -8,16 +8,29 @@ tuning loop: every phase is timed on a stack of nested spans, counters
 accumulate in the innermost open span, and each coarsening/uncoarsening
 level appends one record to a flat ``levels`` table.
 
-The emitted JSON document (``schema: "repro.trace/1"``) has the shape::
+The emitted JSON document (``schema: "repro.trace/2"``) has the shape::
 
     {
-      "schema": "repro.trace/1",
+      "schema": "repro.trace/2",
       "meta":     {...},               # graph size, k, config name, seed
-      "phases":   [{"name", "elapsed_s", "counters", "children"}, ...],
+      "phases":   [{"name", "t0_s", "elapsed_s", "counters",
+                    "children"}, ...],
       "levels":   [{"level", "stage", ...free-form numeric fields}, ...],
       "counters": {...},               # grand totals over all phases
-      "invariants": {"mode", "checks_run", "violations": [...]}
+      "invariants": {"mode", "checks_run", "violations": [...]},
+      # observability sections (repro.observability; empty when the run
+      # was not observed):
+      "spans":       [{"pe", "name", "t0_s", "dur_s", "cpu_s", "depth"}],
+      "comm_matrix": [{"src", "dst", "tag", "phase", "messages",
+                       "bytes", "wait_s"}],
+      "metrics":     {"counters", "gauges", "histograms"}
     }
+
+Schema ``/1`` files (pre-observability) are still readable:
+:func:`repro.observability.load_trace` upgrades them to the ``/2`` shape
+with empty observability sections.  Phase spans carry the wall-clock
+start ``t0_s`` (``time.time()``) so exporters can place driver phases on
+the same absolute timeline as per-PE spans from other OS processes.
 
 Cost discipline: the hot paths are instrumented unconditionally but
 against :data:`NULL_TRACER` by default, whose methods are no-ops (a
@@ -38,18 +51,21 @@ __all__ = ["Tracer", "NullTracer", "NULL_TRACER", "ensure_tracer"]
 class _Span:
     """One timed phase: a node of the phase tree."""
 
-    __slots__ = ("name", "t0", "elapsed_s", "counters", "values", "children")
+    __slots__ = ("name", "t0", "t0_s", "elapsed_s", "counters", "values",
+                 "children")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.t0 = 0.0
+        self.t0 = 0.0      # monotonic (perf_counter) — duration measure
+        self.t0_s = 0.0    # wall epoch (time.time()) — timeline placement
         self.elapsed_s = 0.0
         self.counters: Dict[str, float] = {}
         self.values: Dict[str, Any] = {}
         self.children: List["_Span"] = []
 
     def to_dict(self) -> Dict[str, Any]:
-        out: Dict[str, Any] = {"name": self.name, "elapsed_s": self.elapsed_s}
+        out: Dict[str, Any] = {"name": self.name, "t0_s": self.t0_s,
+                               "elapsed_s": self.elapsed_s}
         if self.counters:
             out["counters"] = dict(self.counters)
         if self.values:
@@ -82,6 +98,10 @@ class Tracer:
         self.levels: List[Dict[str, Any]] = []
         self.meta: Dict[str, Any] = {}
         self.invariants: Optional[Dict[str, Any]] = None
+        #: merged per-PE observability document (spans / comm_matrix /
+        #: metrics), attached by the partitioner driver when the run was
+        #: observed (repro.observability.merge_pe_obs)
+        self.observability: Optional[Dict[str, Any]] = None
 
     # -- phases --------------------------------------------------------
     @contextmanager
@@ -89,6 +109,7 @@ class Tracer:
         """Time a (possibly nested) pipeline phase."""
         span = _Span(name)
         span.t0 = self._clock()
+        span.t0_s = time.time()
         self._stack[-1].children.append(span)
         self._stack.append(span)
         try:
@@ -131,12 +152,16 @@ class Tracer:
         return totals
 
     def to_dict(self) -> Dict[str, Any]:
+        obs = self.observability or {}
         doc: Dict[str, Any] = {
-            "schema": "repro.trace/1",
+            "schema": "repro.trace/2",
             "meta": dict(self.meta),
             "phases": [s.to_dict() for s in self._root.children],
             "levels": list(self.levels),
             "counters": self.counters(),
+            "spans": list(obs.get("spans", [])),
+            "comm_matrix": list(obs.get("comm_matrix", [])),
+            "metrics": dict(obs.get("metrics", {})),
         }
         if self.invariants is not None:
             doc["invariants"] = self.invariants
@@ -192,6 +217,7 @@ class NullTracer:
         self.levels: List[Dict[str, Any]] = []
         self.meta: Dict[str, Any] = {}
         self.invariants = None
+        self.observability = None
 
     def phase(self, name: str) -> _NullContext:
         return self._ctx
@@ -209,8 +235,9 @@ class NullTracer:
         return {}
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"schema": "repro.trace/1", "meta": {}, "phases": [],
-                "levels": [], "counters": {}}
+        return {"schema": "repro.trace/2", "meta": {}, "phases": [],
+                "levels": [], "counters": {}, "spans": [],
+                "comm_matrix": [], "metrics": {}}
 
 
 #: Shared no-op tracer; algorithms default to this so tracing adds no

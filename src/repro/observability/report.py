@@ -1,0 +1,362 @@
+"""Single-file run reports: phase Gantt per PE, comm heatmap, levels.
+
+``python -m repro report trace.json -o report.html`` renders one
+self-contained HTML document (inline CSS + SVG, no external assets) from
+a trace file of either schema version:
+
+* a **Gantt timeline** — one row per PE built from the observability
+  spans (falling back to the driver's phase tree when the run was traced
+  without per-PE observability);
+* a **communication heatmap** — bytes per (src PE, dst PE) aggregated
+  over tags and phases, with the per-phase breakdown tabulated below;
+* the **per-level table** — n, m, cut (and balance where recorded) for
+  every coarsening/refinement level, the multilevel cut trajectory;
+* the merged **metrics registry** (counters, gauges, histograms).
+
+``--format markdown`` emits the same content as tables for terminals and
+PR comments.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .exporters import _walk_phases
+from .trace_io import load_trace
+
+__all__ = ["render_report", "render_html_report", "render_markdown_report"]
+
+#: deterministic span colour palette (name-hashed)
+_PALETTE = (
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+)
+
+
+def render_report(doc: Dict[str, Any], fmt: str = "html") -> str:
+    """Render a trace document as a report in ``fmt`` ("html"|"markdown")."""
+    if fmt == "html":
+        return render_html_report(doc)
+    if fmt == "markdown":
+        return render_markdown_report(doc)
+    raise ValueError(f"unknown report format {fmt!r}")
+
+
+# ---------------------------------------------------------------------------
+# shared data shaping
+# ---------------------------------------------------------------------------
+
+def _timeline_rows(doc: Dict[str, Any]) -> List[Tuple[str, List[Dict]]]:
+    """(track label, spans) rows for the Gantt; spans have t0_s/dur_s."""
+    spans = [s for s in doc.get("spans") or [] if "t0_s" in s]
+    rows: List[Tuple[str, List[Dict]]] = []
+    if spans:
+        for pe in sorted({int(s.get("pe", 0)) for s in spans}):
+            rows.append((f"PE {pe}",
+                         [s for s in spans if int(s.get("pe", 0)) == pe]))
+    driver = [
+        {**p, "dur_s": p.get("elapsed_s", 0.0)}
+        for p in _walk_phases(doc.get("phases") or []) if "t0_s" in p
+    ]
+    if driver:
+        rows.append(("driver", driver))
+    return rows
+
+
+def _pair_bytes(doc: Dict[str, Any]) -> Dict[Tuple[int, int], int]:
+    """bytes per (src, dst) over all tags and phases."""
+    pairs: Dict[Tuple[int, int], int] = {}
+    for cell in doc.get("comm_matrix") or []:
+        key = (int(cell["src"]), int(cell["dst"]))
+        pairs[key] = pairs.get(key, 0) + int(cell.get("bytes", 0))
+    return pairs
+
+
+def _level_rows(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return [lvl for lvl in doc.get("levels") or []
+            if isinstance(lvl, dict)]
+
+
+def _colour(name: str) -> str:
+    return _PALETTE[hash(name) % len(_PALETTE)]
+
+
+def _fmt_num(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# HTML
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2em auto; max-width: 70em;
+       color: #1a1a2e; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; font-size: 0.85em; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.6em; text-align: right; }
+th { background: #f0f0f5; }
+td.l, th.l { text-align: left; }
+.meta td { text-align: left; }
+svg text { font-family: system-ui, sans-serif; }
+"""
+
+
+def _html_meta(doc: Dict[str, Any]) -> str:
+    meta = doc.get("meta") or {}
+    if not meta:
+        return "<p>(no run metadata recorded)</p>"
+    rows = "".join(
+        f"<tr><th class='l'>{html.escape(str(k))}</th>"
+        f"<td>{html.escape(_fmt_num(v))}</td></tr>"
+        for k, v in sorted(meta.items())
+    )
+    return f"<table class='meta'>{rows}</table>"
+
+
+def _html_gantt(doc: Dict[str, Any]) -> str:
+    rows = _timeline_rows(doc)
+    if not rows:
+        return "<p>(no timeline spans recorded — run with observability " \
+               "on, e.g. <code>--trace-events</code>)</p>"
+    all_spans = [s for _, spans in rows for s in spans]
+    t_min = min(s["t0_s"] for s in all_spans)
+    t_max = max(s["t0_s"] + float(s.get("dur_s", 0.0)) for s in all_spans)
+    total = max(t_max - t_min, 1e-9)
+    width, row_h, label_w = 900, 26, 70
+    height = row_h * len(rows) + 30
+    parts = [
+        f"<svg viewBox='0 0 {width + label_w} {height}' "
+        f"width='{width + label_w}' height='{height}' "
+        "xmlns='http://www.w3.org/2000/svg'>"
+    ]
+    for i, (label, spans) in enumerate(rows):
+        y = 10 + i * row_h
+        parts.append(
+            f"<text x='0' y='{y + row_h * 0.65:.1f}' font-size='12'>"
+            f"{html.escape(label)}</text>"
+        )
+        parts.append(
+            f"<rect x='{label_w}' y='{y}' width='{width}' "
+            f"height='{row_h - 4}' fill='#f7f7fa'/>"
+        )
+        for s in sorted(spans, key=lambda s: s.get("depth", 0)):
+            x = label_w + (s["t0_s"] - t_min) / total * width
+            w = max(float(s.get("dur_s", 0.0)) / total * width, 0.5)
+            depth = int(s.get("depth", 0))
+            h = max(row_h - 4 - 4 * depth, 4)
+            name = str(s.get("name", "?"))
+            title = (f"{name}: {float(s.get('dur_s', 0.0)) * 1e3:.2f} ms"
+                     f" (t0 +{(s['t0_s'] - t_min) * 1e3:.2f} ms)")
+            parts.append(
+                f"<rect x='{x:.2f}' y='{y + 2 * depth}' width='{w:.2f}' "
+                f"height='{h}' fill='{_colour(name)}' fill-opacity='0.85'>"
+                f"<title>{html.escape(title)}</title></rect>"
+            )
+    parts.append(
+        f"<text x='{label_w}' y='{height - 6}' font-size='11' "
+        f"fill='#666'>0 ms</text>"
+        f"<text x='{label_w + width}' y='{height - 6}' font-size='11' "
+        f"fill='#666' text-anchor='end'>{total * 1e3:.1f} ms</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _html_heatmap(doc: Dict[str, Any]) -> str:
+    pairs = _pair_bytes(doc)
+    if not pairs:
+        return "<p>(no communication recorded)</p>"
+    pes = sorted({pe for key in pairs for pe in key})
+    peak = max(pairs.values()) or 1
+    head = "".join(f"<th>→{d}</th>" for d in pes)
+    body = []
+    for src in pes:
+        cells = []
+        for dst in pes:
+            b = pairs.get((src, dst), 0)
+            # white → deep blue with byte volume
+            frac = b / peak
+            bg = (f"background: rgba(43, 83, 160, {0.08 + 0.8 * frac:.2f});"
+                  f" color: {'#fff' if frac > 0.55 else '#1a1a2e'};"
+                  if b else "")
+            cells.append(f"<td style='{bg}'>{b or ''}</td>")
+        body.append(f"<tr><th>{src}→</th>{''.join(cells)}</tr>")
+    table = (f"<table><tr><th>bytes</th>{head}</tr>{''.join(body)}</table>")
+    phase_rows = []
+    for cell in doc.get("comm_matrix") or []:
+        phase_rows.append(
+            "<tr>"
+            f"<td>{cell['src']}</td><td>{cell['dst']}</td>"
+            f"<td class='l'>{html.escape(str(cell['tag']))}</td>"
+            f"<td class='l'>{html.escape(str(cell['phase']))}</td>"
+            f"<td>{cell.get('messages', 0)}</td>"
+            f"<td>{cell.get('bytes', 0)}</td>"
+            f"<td>{float(cell.get('wait_s', 0.0)) * 1e3:.3f}</td>"
+            "</tr>"
+        )
+    detail = ""
+    if phase_rows:
+        detail = (
+            "<details><summary>per (src, dst, tag, phase) cells</summary>"
+            "<table><tr><th>src</th><th>dst</th><th class='l'>tag</th>"
+            "<th class='l'>phase</th><th>messages</th><th>bytes</th>"
+            "<th>wait ms</th></tr>"
+            + "".join(phase_rows) + "</table></details>"
+        )
+    return table + detail
+
+
+def _html_levels(doc: Dict[str, Any]) -> str:
+    levels = _level_rows(doc)
+    if not levels:
+        return "<p>(no per-level records — the cluster path traces at " \
+               "run granularity)</p>"
+    cols: List[str] = []
+    for lvl in levels:
+        for key in lvl:
+            if key not in cols:
+                cols.append(key)
+    head = "".join(f"<th>{html.escape(c)}</th>" for c in cols)
+    body = "".join(
+        "<tr>" + "".join(
+            f"<td>{html.escape(_fmt_num(lvl.get(c, '')))}</td>" for c in cols
+        ) + "</tr>"
+        for lvl in levels
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _html_metrics(doc: Dict[str, Any]) -> str:
+    metrics = doc.get("metrics") or {}
+    rows = []
+    for kind in ("counters", "gauges"):
+        for name, value in sorted((metrics.get(kind) or {}).items()):
+            rows.append(
+                f"<tr><td class='l'>{html.escape(name)}</td>"
+                f"<td class='l'>{kind[:-1]}</td>"
+                f"<td>{_fmt_num(float(value))}</td></tr>"
+            )
+    for name, hist in sorted((metrics.get("histograms") or {}).items()):
+        rows.append(
+            f"<tr><td class='l'>{html.escape(name)}</td>"
+            f"<td class='l'>histogram</td>"
+            f"<td>n={hist.get('count', 0)} sum={_fmt_num(float(hist.get('sum', 0.0)))}"
+            "</td></tr>"
+        )
+    counters = doc.get("counters") or {}
+    for name, value in sorted(counters.items()):
+        rows.append(
+            f"<tr><td class='l'>{html.escape(name)}</td>"
+            f"<td class='l'>trace counter</td>"
+            f"<td>{_fmt_num(float(value))}</td></tr>"
+        )
+    if not rows:
+        return "<p>(no metrics recorded)</p>"
+    return ("<table><tr><th class='l'>name</th><th class='l'>kind</th>"
+            "<th>value</th></tr>" + "".join(rows) + "</table>")
+
+
+def render_html_report(doc: Dict[str, Any]) -> str:
+    """Self-contained HTML run report (inline CSS/SVG, no assets)."""
+    doc = load_trace(doc)
+    meta = doc.get("meta") or {}
+    title = "repro run report"
+    if meta.get("k") is not None:
+        title += (f" — n={meta.get('n', '?')} k={meta.get('k')}"
+                  f" engine={meta.get('engine', meta.get('execution', '?'))}")
+    return f"""<!doctype html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>{_CSS}</style></head><body>
+<h1>{html.escape(title)}</h1>
+<h2>Run metadata</h2>
+{_html_meta(doc)}
+<h2>Phase timeline (Gantt, one row per PE)</h2>
+{_html_gantt(doc)}
+<h2>Communication heatmap (bytes per PE pair)</h2>
+{_html_heatmap(doc)}
+<h2>Levels (cut / balance trajectory)</h2>
+{_html_levels(doc)}
+<h2>Metrics</h2>
+{_html_metrics(doc)}
+</body></html>
+"""
+
+
+# ---------------------------------------------------------------------------
+# markdown
+# ---------------------------------------------------------------------------
+
+def _md_table(header: Sequence[str], rows: List[Sequence[Any]]) -> str:
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt_num(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown_report(doc: Dict[str, Any]) -> str:
+    """Markdown run report (tables; timeline as per-PE phase lists)."""
+    doc = load_trace(doc)
+    meta = doc.get("meta") or {}
+    out: List[str] = ["# repro run report", ""]
+    if meta:
+        out.append(_md_table(
+            ["meta", "value"], sorted(meta.items())
+        ))
+        out.append("")
+    rows = _timeline_rows(doc)
+    if rows:
+        out.append("## Phase timeline")
+        out.append("")
+        flat = []
+        for label, spans in rows:
+            for s in sorted(spans, key=lambda s: s["t0_s"]):
+                flat.append([
+                    label,
+                    "· " * int(s.get("depth", 0)) + str(s.get("name", "?")),
+                    f"{float(s.get('dur_s', 0.0)) * 1e3:.3f}",
+                ])
+        out.append(_md_table(["track", "span", "wall ms"], flat))
+        out.append("")
+    pairs = _pair_bytes(doc)
+    if pairs:
+        out.append("## Communication (bytes per PE pair)")
+        out.append("")
+        out.append(_md_table(
+            ["src", "dst", "bytes"],
+            [[s, d, b] for (s, d), b in sorted(pairs.items())],
+        ))
+        out.append("")
+    levels = _level_rows(doc)
+    if levels:
+        cols: List[str] = []
+        for lvl in levels:
+            for key in lvl:
+                if key not in cols:
+                    cols.append(key)
+        out.append("## Levels")
+        out.append("")
+        out.append(_md_table(cols,
+                             [[lvl.get(c, "") for c in cols]
+                              for lvl in levels]))
+        out.append("")
+    metrics = doc.get("metrics") or {}
+    scalar_rows = [
+        [name, kind[:-1], float(value)]
+        for kind in ("counters", "gauges")
+        for name, value in sorted((metrics.get(kind) or {}).items())
+    ] + [
+        [name, "trace counter", float(value)]
+        for name, value in sorted((doc.get("counters") or {}).items())
+    ]
+    if scalar_rows:
+        out.append("## Metrics")
+        out.append("")
+        out.append(_md_table(["name", "kind", "value"], scalar_rows))
+        out.append("")
+    return "\n".join(out)

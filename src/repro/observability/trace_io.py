@@ -1,0 +1,90 @@
+"""Trace-document schema versions and the version-tolerant loader.
+
+The Tracer emits ``repro.trace/2`` documents: everything schema ``/1``
+had (``meta`` / ``phases`` / ``levels`` / ``counters`` / ``invariants``)
+plus the observability sections ``spans`` (per-PE timeline records),
+``comm_matrix`` (per (src, dst, tag, phase) traffic cells) and
+``metrics`` (a registry export).  Phase spans now also carry a wall-clock
+``t0_s`` so the Chrome ``trace_event`` exporter can place them on an
+absolute timeline.
+
+:func:`load_trace` reads both versions: a ``/1`` document is upgraded in
+place to the ``/2`` shape (empty observability sections), so every
+consumer — the report renderer, the comparator, tests — handles exactly
+one schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+__all__ = [
+    "SCHEMA_V1",
+    "SCHEMA_V2",
+    "TRACE_SCHEMA",
+    "TraceSchemaError",
+    "load_trace",
+    "load_trace_file",
+    "upgrade_trace",
+]
+
+SCHEMA_V1 = "repro.trace/1"
+SCHEMA_V2 = "repro.trace/2"
+
+#: the schema current Tracers emit
+TRACE_SCHEMA = SCHEMA_V2
+
+#: sections the observability layer added in /2 (empty defaults on
+#: upgraded /1 documents)
+_V2_SECTIONS = ("spans", "comm_matrix", "metrics")
+
+
+class TraceSchemaError(ValueError):
+    """A document is not a readable repro trace."""
+
+
+def upgrade_trace(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Return ``doc`` in the ``/2`` shape (copied only when upgrading).
+
+    ``/1`` documents gain empty ``spans``/``comm_matrix`` lists and an
+    empty ``metrics`` registry export; ``/2`` documents pass through with
+    any missing observability section defaulted the same way (a run with
+    observability off emits the sections but leaves them empty).
+    """
+    schema = doc.get("schema")
+    if schema == SCHEMA_V2:
+        for section in _V2_SECTIONS:
+            doc.setdefault(section, {} if section == "metrics" else [])
+        return doc
+    if schema == SCHEMA_V1:
+        out = dict(doc)
+        out["schema"] = SCHEMA_V2
+        out["spans"] = []
+        out["comm_matrix"] = []
+        out["metrics"] = {}
+        return out
+    raise TraceSchemaError(
+        f"unknown trace schema {schema!r}; expected {SCHEMA_V1!r} or "
+        f"{SCHEMA_V2!r}"
+    )
+
+
+def load_trace(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate + normalise an in-memory trace document to ``/2``."""
+    if not isinstance(doc, dict):
+        raise TraceSchemaError(
+            f"trace document must be a JSON object, got "
+            f"{type(doc).__name__}"
+        )
+    return upgrade_trace(doc)
+
+
+def load_trace_file(path: str) -> Dict[str, Any]:
+    """Read a trace JSON file (either schema version), normalised to /2."""
+    with open(path) as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise TraceSchemaError(f"{path}: not valid JSON: {exc}") from None
+    return load_trace(doc)

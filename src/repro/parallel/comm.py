@@ -117,10 +117,18 @@ class Comm:
         self.messages_sent = 0
         self.phase_times: Dict[str, float] = {}
         self.counters: Dict[str, float] = {}
+        #: per-PE observability recorder (None by default; mirrors
+        #: ``CommBase.obs`` — every hook is one ``is None`` test)
+        self.obs: Optional[Any] = None
 
     def count(self, name: str, value: float = 1.0) -> None:
         """Bump a per-PE named counter (mirrors ``CommBase.count``)."""
         self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def attach_obs(self, recorder: Any) -> None:
+        """Attach a per-PE observability recorder (mirrors
+        ``CommBase.attach_obs``)."""
+        self.obs = recorder
 
     # ------------------------------------------------------------------
     @property
@@ -148,6 +156,9 @@ class Comm:
         wall timers overlap; the simulated ``makespan`` remains the
         meaningful parallel-time figure for this engine.
         """
+        obs = self.obs
+        if obs is not None:
+            obs.phase_begin(name)
         t0 = time.perf_counter()
         try:
             yield
@@ -155,6 +166,8 @@ class Comm:
             self.phase_times[name] = (
                 self.phase_times.get(name, 0.0) + time.perf_counter() - t0
             )
+            if obs is not None:
+                obs.phase_end()
 
     # -- point to point -------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -165,6 +178,8 @@ class Comm:
         arrival = self.clock.time + self.machine.message_time(nbytes)
         self.bytes_sent += nbytes
         self.messages_sent += 1
+        if self.obs is not None:
+            self.obs.on_send(self.rank, dest, tag, obj)
         self.shared.channel(self.rank, dest, tag).put(_Message(obj, arrival))
 
     def recv(self, source: int, tag: int = 0,
@@ -178,9 +193,14 @@ class Comm:
             raise ValueError(f"bad source {source}")
         if timeout is None:
             timeout = self.shared.recv_timeout_s
+        obs = self.obs
+        t0 = time.perf_counter() if obs is not None else 0.0
         ch = self.shared.channel(source, self.rank, tag)
         try:
             msg = ch.get(timeout=timeout)
+            if obs is not None:
+                obs.on_recv_wait(source, self.rank, tag,
+                                 time.perf_counter() - t0)
         except queue.Empty:
             pending = self.shared.pending_for(self.rank)
             detail = (
@@ -217,12 +237,27 @@ class Comm:
         self.clock.sync_to(t)
         return result
 
+    def _rendezvous_recorded(self, value: Any) -> List[Any]:
+        """``_rendezvous`` plus comm-matrix accounting when observed.
+
+        The recorder books each collective under the deterministic
+        rank-0 star model (mirrors ``CommBase._exchange_recorded``), so
+        sim matrices agree cell for cell with the other engines'."""
+        obs = self.obs
+        if obs is None:
+            return self._rendezvous(value)
+        t0 = time.perf_counter()
+        slots = self._rendezvous(value)
+        obs.on_collective(self.rank, self.size, value, slots,
+                          time.perf_counter() - t0)
+        return slots
+
     def barrier(self) -> None:
-        self._rendezvous(None)
+        self._rendezvous_recorded(None)
         self.clock.advance(self.machine.collective_time(self.size, 0))
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
-        vals = self._rendezvous(obj if self.rank == root else None)
+        vals = self._rendezvous_recorded(obj if self.rank == root else None)
         out = vals[root]
         self.clock.advance(
             self.machine.collective_time(self.size, payload_nbytes(out))
@@ -230,14 +265,14 @@ class Comm:
         return out
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
-        vals = self._rendezvous(obj)
+        vals = self._rendezvous_recorded(obj)
         self.clock.advance(
             self.machine.collective_time(self.size, payload_nbytes(obj))
         )
         return vals if self.rank == root else None
 
     def allgather(self, obj: Any) -> List[Any]:
-        vals = self._rendezvous(obj)
+        vals = self._rendezvous_recorded(obj)
         self.clock.advance(
             self.machine.collective_time(self.size, payload_nbytes(obj))
         )
@@ -245,7 +280,7 @@ class Comm:
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
         """All-reduce with a binary ``op`` (default: addition)."""
-        vals = self._rendezvous(value)
+        vals = self._rendezvous_recorded(value)
         self.clock.advance(
             self.machine.collective_time(self.size, payload_nbytes(value))
         )
@@ -258,7 +293,7 @@ class Comm:
         """Personalised all-to-all: ``objs[d]`` goes to PE ``d``."""
         if len(objs) != self.size:
             raise ValueError("alltoall needs one payload per PE")
-        vals = self._rendezvous(list(objs))
+        vals = self._rendezvous_recorded(list(objs))
         nbytes = max((payload_nbytes(o) for o in objs), default=0)
         self.clock.advance(
             self.machine.collective_time(self.size, nbytes) * 2
@@ -279,6 +314,8 @@ class ClusterResult:
     phase_times: List[Dict[str, float]] = field(default_factory=list)
     #: per-PE named counters from ``comm.count(...)`` calls
     counters: List[Dict[str, float]] = field(default_factory=list)
+    #: per-PE observability exports (``PeRecorder.export``) when observed
+    obs: List[Optional[Dict[str, Any]]] = field(default_factory=list)
 
 
 class SimCluster:
@@ -344,6 +381,8 @@ class SimCluster:
             messages_sent=sum(c.messages_sent for c in comms),
             phase_times=[dict(c.phase_times) for c in comms],
             counters=[dict(c.counters) for c in comms],
+            obs=[c.obs.export() if c.obs is not None else None
+                 for c in comms],
         )
 
 

@@ -1,0 +1,127 @@
+"""Satellite: comm-matrix guarantees across all three engines.
+
+Two layers of checks on a k=4 run (and on a dedicated traffic program):
+
+* collective message counts are symmetric per (worker, rank-0) pair —
+  the star model books one contribution up and one slot list down;
+* per-pair payload byte totals equal the wire codec's encoded sizes on
+  *every* engine, so sequential / sim / process matrices agree cell for
+  cell (wait times are wall-clock and engine-specific, so they are
+  excluded from equality).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MINIMAL
+from repro.core.partitioner import partition_graph
+from repro.engine import ENGINES, get_engine, wire
+from repro.generators import random_geometric_graph
+from repro.observability import COLLECTIVE_TAG, merge_pe_obs, observe_comm
+
+ALL_ENGINES = sorted(ENGINES)
+OBS_CFG = MINIMAL.derive(observe=True)
+
+
+def traffic_program(comm, cfg):
+    """Deterministic traffic: one p2p ring send + one collective."""
+    observe_comm(comm, cfg)
+    with comm.timed("exchange"):
+        nxt = (comm.rank + 1) % comm.size
+        prv = (comm.rank - 1) % comm.size
+        payload = {"rank": comm.rank, "data": np.arange(10, dtype=np.int64)}
+        comm.send(payload, nxt, tag=7)
+        comm.recv(prv, tag=7)
+    with comm.timed("collect"):
+        total = comm.allreduce(comm.rank)
+    return total
+
+
+def _strip_wait(comm_matrix):
+    """Matrix cells minus the engine-specific wall-clock wait column."""
+    return [{k: v for k, v in cell.items() if k != "wait_s"}
+            for cell in comm_matrix]
+
+
+def _ring_payload_bytes(rank):
+    payload = {"rank": rank, "data": np.arange(10, dtype=np.int64)}
+    return len(wire.encode(payload))
+
+
+class TestTrafficProgram:
+    @pytest.fixture(scope="class")
+    def matrices(self):
+        out = {}
+        for engine in ALL_ENGINES:
+            res = get_engine(engine, 4).run(traffic_program, OBS_CFG)
+            merged = merge_pe_obs(list(res.obs))
+            assert merged is not None and merged["pes"] == 4
+            out[engine] = merged["comm_matrix"]
+        return out
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_p2p_bytes_match_wire_codec(self, matrices, engine):
+        ring = [c for c in matrices[engine] if c["tag"] == 7]
+        assert len(ring) == 4  # one cell per ring edge
+        for cell in ring:
+            assert cell["phase"] == "exchange"
+            assert cell["messages"] == 1
+            assert cell["bytes"] == _ring_payload_bytes(cell["src"])
+            assert cell["dst"] == (cell["src"] + 1) % 4
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_collective_message_count_symmetry(self, matrices, engine):
+        coll = {(c["src"], c["dst"]): c for c in matrices[engine]
+                if c["tag"] == COLLECTIVE_TAG}
+        for worker in (1, 2, 3):
+            up = coll[(worker, 0)]
+            down = coll[(0, worker)]
+            assert up["messages"] == down["messages"] == 1
+            assert up["phase"] == down["phase"] == "collect"
+
+    def test_matrices_identical_across_engines(self, matrices):
+        reference = _strip_wait(matrices["sequential"])
+        for engine in ALL_ENGINES:
+            assert _strip_wait(matrices[engine]) == reference, engine
+
+
+class TestFullPipeline:
+    """The same guarantees on a real k=4 partitioning run."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        g = random_geometric_graph(300, seed=3)
+        out = {}
+        for engine in ALL_ENGINES:
+            res = partition_graph(g, 4, config=OBS_CFG, seed=1,
+                                  execution="cluster", engine=engine)
+            assert res.obs is not None
+            out[engine] = res
+        return out
+
+    def test_matrices_identical_across_engines(self, runs):
+        reference = _strip_wait(runs["sequential"].obs["comm_matrix"])
+        assert reference  # a real run produces traffic
+        for engine in ALL_ENGINES:
+            assert (_strip_wait(runs[engine].obs["comm_matrix"])
+                    == reference), engine
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_collective_symmetry(self, runs, engine):
+        cells = {}
+        for c in runs[engine].obs["comm_matrix"]:
+            if c["tag"] == COLLECTIVE_TAG:
+                key = (c["src"], c["dst"])
+                cells[key] = cells.get(key, 0) + c["messages"]
+        assert cells, "pipeline must run collectives"
+        for worker in (1, 2, 3):
+            assert cells[(worker, 0)] == cells[(0, worker)]
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_bytes_and_messages_totals_in_metrics(self, runs, engine):
+        obs = runs[engine].obs
+        total_bytes = sum(c["bytes"] for c in obs["comm_matrix"])
+        total_msgs = sum(c["messages"] for c in obs["comm_matrix"])
+        assert total_bytes > 0 and total_msgs > 0
+        # one span track per PE made it back to the driver
+        assert {s["pe"] for s in obs["spans"]} == {0, 1, 2, 3}

@@ -1,0 +1,124 @@
+"""Observability through the full pipeline: off by default, merged docs,
+resilience counters in the exposition, process-engine Chrome traces."""
+
+import pytest
+
+from repro.core import MINIMAL
+from repro.core.partitioner import partition_graph
+from repro.engine import get_engine
+from repro.generators import random_geometric_graph
+from repro.instrument import Tracer
+from repro.observability import chrome_trace, prometheus_text
+
+OBS_CFG = MINIMAL.derive(observe=True)
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return random_geometric_graph(300, seed=3)
+
+
+class TestOffByDefault:
+    def test_comm_carries_no_recorder(self):
+        def probe(comm):
+            return comm.obs is None
+
+        for engine in ("sequential", "sim"):
+            assert all(get_engine(engine, 2).run(probe).results)
+
+    def test_result_obs_is_none_without_opt_in(self, small_graph):
+        res = partition_graph(small_graph, 4, config=MINIMAL, seed=1,
+                              execution="cluster", engine="sequential")
+        assert res.obs is None
+        # metrics registry still populated (driver-side accounting)
+        assert res.metrics is not None
+        assert "bytes_sent" in res.metrics["counters"]
+
+    def test_stats_keys_unchanged(self, small_graph):
+        """The historical ad-hoc stats dict survives the registry
+        migration byte for byte."""
+        on = partition_graph(small_graph, 4, config=OBS_CFG, seed=1,
+                             execution="cluster", engine="sequential")
+        off = partition_graph(small_graph, 4, config=MINIMAL, seed=1,
+                              execution="cluster", engine="sequential")
+        assert set(on.stats) == set(off.stats)
+        assert on.cut == off.cut  # observing must not change the result
+
+
+class TestMergedDocument:
+    def test_sequential_path_metrics(self, small_graph):
+        res = partition_graph(small_graph, 4, config=MINIMAL, seed=1)
+        assert res.metrics["gauges"]["final_cut"] == res.cut
+        text = prometheus_text(res.metrics)
+        assert "repro_final_cut" in text
+
+    def test_cluster_obs_merged(self, small_graph):
+        res = partition_graph(small_graph, 4, config=OBS_CFG, seed=1,
+                              execution="cluster", engine="sim")
+        assert res.obs["pes"] == 4
+        assert res.obs["comm_matrix"]
+        # per-PE registries folded into the run-level metrics doc
+        assert res.metrics["histograms"]["recv_wait_s"]["count"] > 0
+        assert res.obs["metrics"] is res.metrics
+
+    def test_tracer_carries_obs_sections(self, small_graph):
+        tracer = Tracer()
+        partition_graph(small_graph, 4, config=OBS_CFG, seed=1,
+                        execution="cluster", engine="sim", tracer=tracer)
+        doc = tracer.to_dict()
+        assert doc["schema"] == "repro.trace/2"
+        assert doc["spans"] and doc["comm_matrix"]
+        assert doc["metrics"]["counters"]
+
+
+class TestProcessEngine:
+    """Acceptance: k=4 process run exports a Chrome trace with one named
+    track per PE, and the per-PE exports survive the wire codec."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        g = random_geometric_graph(300, seed=3)
+        tracer = Tracer()
+        res = partition_graph(g, 4, config=OBS_CFG, seed=1,
+                              execution="cluster", engine="process",
+                              tracer=tracer)
+        return res, tracer.to_dict()
+
+    def test_obs_survives_wire(self, traced_run):
+        res, _ = traced_run
+        assert res.obs["pes"] == 4
+        assert {s["pe"] for s in res.obs["spans"]} == {0, 1, 2, 3}
+
+    def test_chrome_trace_one_track_per_pe(self, traced_run):
+        _, doc = traced_run
+        ct = chrome_trace(doc)
+        tracks = {e["args"]["name"] for e in ct["traceEvents"]
+                  if e["ph"] == "M"}
+        assert {"PE 0", "PE 1", "PE 2", "PE 3", "driver"} <= tracks
+        per_pe = {pe: [e for e in ct["traceEvents"]
+                       if e["ph"] == "X" and e["tid"] == pe + 1]
+                  for pe in range(4)}
+        assert all(per_pe.values())  # every PE has spans on its track
+
+
+class TestResilienceCounters:
+    """Satellite: recovery/fault counters flow through the registry and
+    appear in the Prometheus exposition."""
+
+    def test_recovery_counters_exposed(self, small_graph, tmp_path):
+        cfg = MINIMAL.derive(
+            engine="process",
+            faults="pe1:crash@refine:level0",
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            on_pe_failure="restart",
+            max_restarts=2,
+        )
+        res = partition_graph(small_graph, 4, config=cfg, seed=1,
+                              execution="cluster")
+        assert res.stats["recovery_time_s"] > 0
+        counters = res.metrics["counters"]
+        assert counters["recovery_time_s"] == res.stats["recovery_time_s"]
+        assert counters["fault_pe_restarts"] >= 1
+        text = prometheus_text(res.metrics)
+        assert "repro_recovery_time_s" in text
+        assert "repro_fault_pe_restarts" in text

@@ -1,0 +1,179 @@
+"""Recorder primitives: spans, comm matrix, per-PE bundle, merging."""
+
+import numpy as np
+
+from repro.engine import wire
+from repro.observability import (
+    COLLECTIVE_TAG,
+    CommMatrix,
+    PeRecorder,
+    SpanRecorder,
+    maybe_span,
+    merge_pe_obs,
+    observe_comm,
+    wire_size,
+)
+
+
+class TestWireSize:
+    def test_matches_codec(self):
+        for payload in (None, 7, 2.5, "hello", b"raw", [1, 2, 3],
+                        {"a": np.arange(5)}, np.float64(3.0)):
+            assert wire_size(payload) == len(wire.encode(payload))
+
+    def test_fallback_outside_codec(self):
+        # in-process engines can carry arbitrary objects; the cost-model
+        # estimate steps in instead of raising
+        class Opaque:
+            pass
+
+        assert wire_size(Opaque()) > 0
+
+
+class TestSpanRecorder:
+    def test_nesting_depth_and_order(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        names = [(s["name"], s["depth"]) for s in rec.spans]
+        # inner closes first, at depth 1
+        assert names == [("inner", 1), ("outer", 0)]
+        for s in rec.spans:
+            assert s["dur_s"] >= 0.0
+            assert s["cpu_s"] >= 0.0
+            assert s["t0_s"] > 0.0  # wall epoch
+
+
+class TestCommMatrix:
+    def test_cells_accumulate(self):
+        m = CommMatrix()
+        m.add_send(0, 1, 7, "refine", 100)
+        m.add_send(0, 1, 7, "refine", 50, copies=2)
+        m.add_wait(0, 1, 7, "refine", 0.25)
+        (rec,) = m.export()
+        assert rec == {"src": 0, "dst": 1, "tag": 7, "phase": "refine",
+                       "messages": 3, "bytes": 200, "wait_s": 0.25}
+
+    def test_export_is_deterministically_ordered(self):
+        m = CommMatrix()
+        m.add_send(1, 0, 5, "b", 1)
+        m.add_send(0, 1, COLLECTIVE_TAG, "a", 1)
+        m.add_send(0, 1, 3, "a", 1)
+        keys = [(r["src"], r["dst"]) for r in m.export()]
+        assert keys == sorted(keys)
+
+
+class TestPeRecorder:
+    def test_phase_attribution(self):
+        rec = PeRecorder(rank=1)
+        assert rec.phase == "run"
+        rec.phase_begin("coarsening")
+        rec.on_send(1, 0, 4, "x")
+        rec.phase_end()
+        rec.on_send(1, 0, 4, "y")
+        phases = {r["phase"] for r in rec.matrix.export()}
+        assert phases == {"coarsening", "run"}
+
+    def test_recv_wait_feeds_histogram(self):
+        rec = PeRecorder(rank=0)
+        rec.on_recv_wait(1, 0, 4, 0.002)
+        hist = rec.metrics.export()["histograms"]["recv_wait_s"]
+        assert hist["count"] == 1
+        assert hist["sum"] == 0.002
+
+    def test_collective_star_model_symmetry(self):
+        # rank 0 and a worker each record their side; merged, every
+        # (i, 0) pair has equal message counts in both directions
+        size = 3
+        recs = [PeRecorder(rank=r) for r in range(size)]
+        slots = [10, 11, 12]
+        for r, rec in enumerate(recs):
+            rec.on_collective(r, size, r + 10, slots, wait_s=0.01)
+        merged = merge_pe_obs([r.export() for r in recs])
+        msgs = {(c["src"], c["dst"]): c["messages"]
+                for c in merged["comm_matrix"]}
+        for i in range(1, size):
+            assert msgs[(i, 0)] == msgs[(0, i)] == 1
+
+    def test_collective_single_pe_is_noop(self):
+        rec = PeRecorder(rank=0)
+        rec.on_collective(0, 1, 42, [42], wait_s=0.1)
+        assert rec.matrix.export() == []
+
+
+class TestAttachment:
+    def test_observe_comm_respects_config(self):
+        class FakeComm:
+            rank = 2
+
+            def __init__(self):
+                self.obs = None
+
+            def attach_obs(self, rec):
+                self.obs = rec
+
+        class Cfg:
+            observe = True
+
+        comm = FakeComm()
+        observe_comm(comm, Cfg())
+        assert comm.obs is not None and comm.obs.rank == 2
+        first = comm.obs
+        observe_comm(comm, Cfg())  # idempotent
+        assert comm.obs is first
+
+        off = FakeComm()
+
+        class Off:
+            observe = False
+
+        observe_comm(off, Off())
+        assert off.obs is None
+
+    def test_maybe_span_null_when_off(self):
+        class Bare:
+            obs = None
+
+        with maybe_span(Bare(), "x") as token:
+            assert token is None
+
+    def test_maybe_span_records_when_on(self):
+        rec = PeRecorder(rank=0)
+
+        class Holder:
+            obs = rec
+
+        with maybe_span(Holder(), "refine:level0"):
+            pass
+        assert rec.spans.spans[0]["name"] == "refine:level0"
+
+
+class TestMerge:
+    def test_merge_tags_spans_with_pe_and_sorts(self):
+        a = PeRecorder(rank=0)
+        with a.span("s"):
+            pass
+        b = PeRecorder(rank=1)
+        with b.span("s"):
+            pass
+        merged = merge_pe_obs([a.export(), b.export()])
+        assert merged["pes"] == 2
+        assert {s["pe"] for s in merged["spans"]} == {0, 1}
+        t0s = [s["t0_s"] for s in merged["spans"]]
+        assert t0s == sorted(t0s)
+
+    def test_merge_sums_cells_across_pes(self):
+        a = PeRecorder(rank=0)
+        a.on_send(0, 1, 4, "payload")          # sender's view
+        b = PeRecorder(rank=1)
+        b.on_recv_wait(0, 1, 4, 0.5)           # receiver's view
+        merged = merge_pe_obs([a.export(), b.export()])
+        (cell,) = merged["comm_matrix"]
+        assert cell["messages"] == 1
+        assert cell["bytes"] == wire_size("payload")
+        assert cell["wait_s"] == 0.5
+
+    def test_merge_empty_is_none(self):
+        assert merge_pe_obs([]) is None
+        assert merge_pe_obs([None, None]) is None

@@ -49,6 +49,13 @@ MODULES = [
     "repro.instrument",
     "repro.instrument.tracer",
     "repro.instrument.invariants",
+    "repro.observability",
+    "repro.observability.recorder",
+    "repro.observability.registry",
+    "repro.observability.trace_io",
+    "repro.observability.exporters",
+    "repro.observability.report",
+    "repro.observability.compare",
     "repro.kernels",
     "repro.kernels.registry",
     "repro.kernels.python_backend",
