@@ -8,6 +8,15 @@ Subcommands::
     repro info       graph.metis
     repro report     trace.json -o report.html
     repro compare    BENCH_engines.json BENCH_engines.new.json
+    repro dynamic    graph.metis --mutations stream.jsonl -k 8
+
+``repro dynamic`` replays a mutation-batch stream (JSONL, one
+:class:`repro.graph.MutationBatch` per line) against a base graph and
+repartitions after every batch — incrementally by default
+(``--mode scratch`` repartitions from scratch instead, for comparison).
+``--drift-threshold`` and ``--band-width`` tune the incremental
+repartitioner; ``--metrics`` exports its registry (migrated weight,
+dirty-band sizes, fallbacks) in Prometheus format.
 
 Graphs are read/written in METIS format (``--format dimacs`` for DIMACS);
 partition files hold one block id per line (METIS convention).
@@ -191,6 +200,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "exposition format to PATH")
     p.add_argument("--journal", default=argparse.SUPPRESS, metavar="PATH",
                    help="append one JSON line per run to PATH")
+
+    d = sub.add_parser("dynamic",
+                       help="replay a mutation stream, repartitioning "
+                            "after every batch")
+    d.add_argument("graph", help="base graph file")
+    d.add_argument("--mutations", required=True, metavar="PATH",
+                   help="mutation-batch stream (JSONL, one batch per line)")
+    d.add_argument("-k", type=int, required=True, help="number of blocks")
+    d.add_argument("--mode", default="incremental",
+                   choices=("incremental", "scratch"),
+                   help="incremental repartitioning (default) or full "
+                        "multilevel from scratch per batch")
+    d.add_argument("--preset", default="fast",
+                   choices=("minimal", "fast", "strong", "walshaw"))
+    d.add_argument("--epsilon", type=float, default=0.03)
+    d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--drift-threshold", type=float, default=None,
+                   dest="drift_threshold",
+                   help="fall back to a full run when the incremental cut "
+                        "exceeds (1+threshold) x the last full run's cut "
+                        "(default 0.3)")
+    d.add_argument("--band-width", type=int, default=None, dest="band_width",
+                   help="BFS width of the dirty band around mutated nodes "
+                        "(default 3)")
+    d.add_argument("--format", default="metis", choices=("metis", "dimacs"))
+    d.add_argument("-o", "--output", default=None,
+                   help="final partition output file "
+                        "(default: <graph>.part.<k>)")
+    d.add_argument("--metrics", default=argparse.SUPPRESS, metavar="PATH",
+                   help="write the incremental metrics registry in "
+                        "Prometheus text exposition format to PATH")
+    d.add_argument("--journal", default=argparse.SUPPRESS, metavar="PATH",
+                   help="append one JSON line per batch to PATH")
 
     e = sub.add_parser("evaluate", help="evaluate an existing partition")
     e.add_argument("graph")
@@ -431,6 +473,97 @@ def _cmd_demo(args) -> int:
     return _report_instrumentation(res, args, g=g, k=8)
 
 
+def _cmd_dynamic(args) -> int:
+    from .core import IncrementalSession, metrics as core_metrics
+    from .core.partitioner import partition_graph
+    from .graph import DynamicGraph, read_mutation_stream
+
+    g = _read_graph(args.graph, args.format)
+    try:
+        batches = read_mutation_stream(args.mutations)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read mutation stream {args.mutations}: {exc}",
+              file=sys.stderr)
+        return 1
+    overrides = {"epsilon": args.epsilon, "incremental": True}
+    if args.drift_threshold is not None:
+        overrides["drift_threshold"] = args.drift_threshold
+    if args.band_width is not None:
+        overrides["incremental_band_width"] = args.band_width
+    cfg = preset(args.preset).derive(**overrides)
+
+    dyn = DynamicGraph(g)
+    t0 = time.perf_counter()
+    session = IncrementalSession.start(g, args.k, config=cfg, seed=args.seed)
+    print(f"graph: n={g.n} m={g.m}  k={args.k}  preset={args.preset}  "
+          f"mode={args.mode}")
+    print(f"initial: cut={session.reference_cut:g} "
+          f"t={time.perf_counter() - t0:.2f}s")
+
+    journal_path = getattr(args, "journal", None)
+    part = session.part
+    for i, batch in enumerate(batches):
+        br = dyn.apply(batch)
+        g2 = dyn.graph()
+        t1 = time.perf_counter()
+        if args.mode == "incremental":
+            res = session.apply(g2, br.dirty_nodes)
+            part = session.part
+            line = (f"batch {i}: n={g2.n} cut={res.cut:g} "
+                    f"migrated={res.migrated_nodes} "
+                    f"band={res.dirty_band_nodes} "
+                    f"t={time.perf_counter() - t1:.2f}s"
+                    + (f" FALLBACK({res.fallback_reason})"
+                       if res.used_fallback else ""))
+            record = {"batch": i, "mode": "incremental", "n": g2.n,
+                      "cut": res.cut, "migrated_nodes": res.migrated_nodes,
+                      "migrated_weight": res.migrated_weight,
+                      "band": res.dirty_band_nodes, "time_s": res.time_s,
+                      "fallback": res.fallback_reason}
+        else:
+            full = partition_graph(g2, args.k, config=cfg,
+                                   seed=args.seed + 1 + i)
+            span = min(len(part), g2.n)
+            migrated = int((full.partition.part[:span] != part[:span]).sum())
+            part = full.partition.part
+            line = (f"batch {i}: n={g2.n} cut={full.cut:g} "
+                    f"migrated={migrated} t={time.perf_counter() - t1:.2f}s")
+            record = {"batch": i, "mode": "scratch", "n": g2.n,
+                      "cut": full.cut, "migrated_nodes": migrated,
+                      "time_s": time.perf_counter() - t1}
+        print(line)
+        if journal_path:
+            from .observability import append_journal
+
+            try:
+                append_journal(journal_path, record)
+            except OSError as exc:
+                print(f"error: cannot append journal to {journal_path}: "
+                      f"{exc}", file=sys.stderr)
+                return 1
+
+    g_final = dyn.graph()
+    bal = core_metrics.balance(g_final, part, args.k)
+    print(f"final: n={g_final.n} "
+          f"cut={core_metrics.cut_value(g_final, part):g} "
+          f"balance={bal:.4f}")
+    out = args.output or f"{args.graph}.part.{args.k}"
+    write_partition(part, out)
+    print(f"partition written to {out}")
+    if getattr(args, "metrics", None):
+        from .observability import prometheus_text
+
+        try:
+            with open(args.metrics, "w") as fh:
+                fh.write(prometheus_text(session.registry.export()))
+        except OSError as exc:
+            print(f"error: cannot write metrics to {args.metrics}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"metrics written to {args.metrics} (Prometheus text format)")
+    return 0
+
+
 def _cmd_evaluate(args) -> int:
     g = _read_graph(args.graph, args.format)
     part = read_partition(args.partition)
@@ -583,6 +716,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                      "(or pass --trace/--check-invariants for a demo run)")
     handler = {
         "partition": _cmd_partition,
+        "dynamic": _cmd_dynamic,
         "evaluate": _cmd_evaluate,
         "generate": _cmd_generate,
         "info": _cmd_info,

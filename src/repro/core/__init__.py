@@ -38,6 +38,15 @@ from .repartition import RepartitionResult, repartition
 
 __all__ += ["RepartitionResult", "repartition"]
 
+from .incremental import (
+    IncrementalResult,
+    IncrementalSession,
+    incremental_repartition,
+)
+
+__all__ += ["IncrementalResult", "IncrementalSession",
+            "incremental_repartition"]
+
 from . import objectives
 from .objectives import ObjectiveReport, evaluate_objectives
 

@@ -63,6 +63,17 @@ class KappaConfig:
     fm_alpha: float = 0.05              # FM patience (fraction of min block)
     refine_algorithm: str = "fm"        # "fm" | "flow" | "fm_flow" (§8)
 
+    # -- incremental repartitioning (repro.core.incremental) -----------
+    #: reuse the previous partition across mutation batches instead of
+    #: repartitioning from scratch (CLI: ``repro dynamic --mode ...``)
+    incremental: bool = False
+    #: BFS width of the dirty band around mutated nodes; refinement (and
+    #: every node move) is confined to this band
+    incremental_band_width: int = 3
+    #: fall back to full multilevel when the incremental cut exceeds
+    #: ``(1 + drift_threshold) ×`` the cut of the last full run
+    drift_threshold: float = 0.3
+
     # -- parallel execution --------------------------------------------
     n_pes: Optional[int] = None  # None → one PE per block (paper setting)
     prepartition: str = "auto"   # "geometric" | "numbering" | "auto"
@@ -131,6 +142,10 @@ class KappaConfig:
             raise ValueError("iteration counts must be >= 1")
         if self.bfs_band_depth < 1:
             raise ValueError("bfs_band_depth must be >= 1")
+        if self.incremental_band_width < 1:
+            raise ValueError("incremental_band_width must be >= 1")
+        if self.drift_threshold < 0:
+            raise ValueError("drift_threshold must be non-negative")
         if self.refine_algorithm not in ("fm", "flow", "fm_flow"):
             raise ValueError(
                 f"unknown refine_algorithm {self.refine_algorithm!r}"

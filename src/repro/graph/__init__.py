@@ -1,7 +1,19 @@
 """Graph substrate: CSR graphs, builders, I/O, subgraphs, quotient graphs,
-the distributed per-PE structure, and validation helpers."""
+the distributed per-PE structure, dynamic (mutable) graphs, and
+validation helpers."""
 
 from .csr import Graph
+from .dynamic import (
+    BatchResult,
+    DynamicGraph,
+    MutationBatch,
+    MutationError,
+    VertexAdd,
+    generate_mutation_stream,
+    random_mutation_batch,
+    read_mutation_stream,
+    write_mutation_stream,
+)
 from .build import (
     from_edge_list,
     from_adjacency,
@@ -31,6 +43,15 @@ from .validate import validate_graph, validate_partition, validate_matching
 
 __all__ = [
     "Graph",
+    "BatchResult",
+    "DynamicGraph",
+    "MutationBatch",
+    "MutationError",
+    "VertexAdd",
+    "generate_mutation_stream",
+    "random_mutation_batch",
+    "read_mutation_stream",
+    "write_mutation_stream",
     "from_edge_list",
     "from_adjacency",
     "from_scipy_sparse",

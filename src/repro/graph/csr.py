@@ -45,7 +45,8 @@ class Graph:
         graphs from already-validated arrays.
     """
 
-    __slots__ = ("xadj", "adjncy", "adjwgt", "vwgt", "coords", "_out_cache")
+    __slots__ = ("xadj", "adjncy", "adjwgt", "vwgt", "coords", "_out_cache",
+                 "_sig_cache")
 
     def __init__(
         self,
@@ -62,6 +63,7 @@ class Graph:
         self.vwgt = np.ascontiguousarray(vwgt, dtype=np.float64)
         self.coords = None if coords is None else np.asarray(coords, dtype=np.float64)
         self._out_cache: Optional[np.ndarray] = None
+        self._sig_cache: Optional[str] = None
         if validate:
             self._check_structure()
 
@@ -276,6 +278,44 @@ class Graph:
             raise ValueError("adjacency is not symmetric")
         if not np.allclose(self.adjwgt[order], self.adjwgt[rorder]):
             raise ValueError("edge weights are not symmetric")
+
+    # ------------------------------------------------------------------
+    # content identity
+    # ------------------------------------------------------------------
+    def compute_signature(self) -> str:
+        """Content hash of the CSR arrays (structure + weights + coords),
+        16 hex digits.  Always recomputed from the current bytes — never
+        served from a cache — so the value reflects any in-place
+        mutation of the arrays."""
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(f"n={self.n};m={self.m};".encode("ascii"))
+        for arr in (self.xadj, self.adjncy, self.adjwgt, self.vwgt):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        if self.coords is not None:
+            h.update(np.ascontiguousarray(self.coords).tobytes())
+        return h.hexdigest()[:16]
+
+    def signature(self) -> str:
+        """Content signature, recorded for staleness detection.
+
+        Every call rehashes the current bytes (so in-place mutation can
+        never yield a stale value) and records the digest; the recorded
+        value lets ``validate_graph`` / :meth:`signature_is_stale` detect
+        that a graph was mutated *after* it was signed — the scenario
+        where checkpoint identity or cache keys computed from the old
+        signature would silently belong to a different graph.
+        """
+        fresh = self.compute_signature()
+        self._sig_cache = fresh
+        return fresh
+
+    def signature_is_stale(self) -> bool:
+        """True when a signature was cached and the CSR arrays have been
+        mutated in place since (the invariant ``validate_graph`` rejects)."""
+        return (self._sig_cache is not None
+                and self._sig_cache != self.compute_signature())
 
     # ------------------------------------------------------------------
     # misc

@@ -17,10 +17,32 @@ __all__ = ["validate_graph", "validate_partition", "validate_matching"]
 
 def validate_graph(g: Graph) -> None:
     """Full structural validation: CSR invariants plus symmetry,
-    no self-loops, and no parallel edges.  Raises ``ValueError`` on any
-    violation."""
+    no self-loops, no parallel edges, and no stale derived state.
+    Raises ``ValueError`` on any violation.
+
+    The staleness checks guard against in-place mutation of a graph that
+    was already *signed* (checkpoint identity, result caching) or whose
+    weighted-degree cache was populated: graphs are immutable by
+    convention, and a mutated graph carrying stale derived values would
+    silently corrupt anything keyed on them.
+    """
     g._check_structure()
     g.check_symmetry()
+    if g.signature_is_stale():
+        raise ValueError(
+            "graph CSR arrays were mutated in place after the graph was "
+            f"signed (recorded signature {g._sig_cache}, current "
+            f"{g.compute_signature()}); rebuild the Graph (or re-sign via "
+            "Graph.signature()) instead of mutating arrays"
+        )
+    if g._out_cache is not None:
+        fresh = np.bincount(g.directed_sources(), weights=g.adjwgt,
+                            minlength=g.n)
+        if not np.array_equal(g._out_cache, fresh):
+            raise ValueError(
+                "stale weighted-degree cache: CSR arrays were mutated in "
+                "place after weighted_degrees() was computed"
+            )
 
 
 def validate_partition(

@@ -16,7 +16,7 @@ move between A and B, so they are irrelevant to the pair's local search.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -44,22 +44,32 @@ def extract_band(
     a: int,
     b: int,
     depth: int,
+    within: Optional[np.ndarray] = None,
 ) -> Tuple[Band, np.ndarray]:
     """Extract the depth-``d`` boundary band between blocks ``a`` and ``b``.
 
     Returns ``(band, pair_nodes)`` where ``pair_nodes`` are all parent
     nodes of the two blocks (used for block bookkeeping).  The band may be
     empty when the blocks share no edge.
+
+    ``within`` (optional boolean node mask) further restricts the band:
+    the bounded BFS only visits (and FM only moves) nodes inside the
+    mask — the incremental repartitioner passes its dirty band here so
+    local search cannot wander into clean regions.  The one-hop halo is
+    still drawn from the full pair so FM sees every affected edge.
     """
     part = np.asarray(part)
     in_pair = (part == a) | (part == b)
     pair_nodes = np.nonzero(in_pair)[0]
+    region = in_pair if within is None else (in_pair & within)
 
     # pair boundary: nodes of a adjacent to b and vice versa
     src = g.directed_sources()
     mask_ab = (part[src] == a) & (part[g.adjncy] == b)
     mask_ba = (part[src] == b) & (part[g.adjncy] == a)
     seeds = np.unique(src[mask_ab | mask_ba])
+    if within is not None and len(seeds):
+        seeds = seeds[within[seeds]]
     if len(seeds) == 0:
         empty = Band(
             graph=induced_subgraph(g, [])[0],
@@ -70,8 +80,9 @@ def extract_band(
         )
         return empty, pair_nodes
 
-    # bounded BFS inside the two blocks (the ``band_bfs`` kernel)
-    level = dispatch("band_bfs", g, seeds, in_pair, depth)
+    # bounded BFS inside the two blocks (the ``band_bfs`` kernel),
+    # additionally clipped to ``within`` when given
+    level = dispatch("band_bfs", g, seeds, region, depth)
     band_nodes = np.nonzero(level >= 0)[0]
 
     # halo: neighbours of band nodes that are in the pair but not the band

@@ -73,6 +73,7 @@ def refine_pair(
     seed_b: int,
     block_sizes: Tuple[int, int],
     algorithm: str = "fm",
+    within: Optional[np.ndarray] = None,
 ) -> PairResult:
     """Refine the pair (a, b): extract the band, run the local searches,
     and adopt the best result.  ``part`` and ``block_w`` are updated in
@@ -81,10 +82,12 @@ def refine_pair(
     ``algorithm`` selects the pair-local search: ``"fm"`` (the paper's
     two seeded FM runs), ``"flow"`` (the Section 8 min-cut-through-the-
     band refiner), or ``"fm_flow"`` (all three candidates compete).
+    ``within`` optionally restricts the extracted band (and hence every
+    move) to a node mask — the incremental repartitioner's dirty band.
     """
     if algorithm not in ("fm", "flow", "fm_flow"):
         raise ValueError(f"unknown pair refinement algorithm {algorithm!r}")
-    band, _ = extract_band(g, part, a, b, depth)
+    band, _ = extract_band(g, part, a, b, depth, within=within)
     if band.graph.n == 0 or band.graph.m == 0 or not band.movable.any():
         return PairResult(0.0, 0.0, [], 0, band.n_boundary)
 

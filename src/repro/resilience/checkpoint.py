@@ -98,7 +98,18 @@ def config_hash(cfg: Any) -> str:
 
 
 def graph_signature(g: Any) -> str:
-    """Content hash of a CSR graph (structure + weights), 16 hex digits."""
+    """Content hash of a CSR graph (structure + weights), 16 hex digits.
+
+    Delegates to :meth:`repro.graph.csr.Graph.signature`, which rehashes
+    the current array bytes on every call and records the digest — so a
+    graph whose CSR was mutated in place always signs to its *current*
+    content, and a stale recorded signature can never match (it is
+    refreshed here, and rejected by ``validate_graph``).  Duck-typed
+    graph stand-ins without ``signature()`` are hashed directly.
+    """
+    sign = getattr(g, "signature", None)
+    if callable(sign):
+        return sign()
     h = hashlib.sha256()
     h.update(f"n={g.n};m={g.m};".encode("ascii"))
     for arr in (g.xadj, g.adjncy, g.adjwgt, g.vwgt):

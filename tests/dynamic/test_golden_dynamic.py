@@ -1,0 +1,95 @@
+"""Golden determinism test for the dynamic/incremental pipeline.
+
+A fixed 20-batch mutation stream on ``road16k`` (the suite's street
+network, the paper's 'road' instance class) with a fixed seed must
+reproduce the committed ``(cut, migrated_weight)`` sequence exactly,
+with every intermediate graph and partition passing strict validation.
+Update the constants deliberately when an algorithm changes — never just
+to make a red test green.
+"""
+
+import pytest
+
+from repro.core import FAST
+from repro.core.incremental import IncrementalSession
+from repro.generators.suite import load
+from repro.graph import DynamicGraph, validate_graph, validate_partition
+from repro.graph.dynamic import generate_mutation_stream
+
+K = 8
+STREAM_SEED = 42
+SESSION_SEED = 0
+
+#: pinned initial full-run cut on road16k, k=8, fast preset, seed 0
+GOLDEN_INITIAL_CUT = 411.0
+
+#: pinned (cut, migrated_weight) after each of the 20 batches
+GOLDEN = [
+    (421.0, 2.0),
+    (420.0, 4.0),
+    (430.0, 2.0),
+    (448.0, 0.0),
+    (452.0, 0.0),
+    (461.0, 0.0),
+    (466.0, 2.0),
+    (474.0, 0.0),
+    (480.0, 1.0),
+    (480.0, 0.0),
+    (483.0, 0.0),
+    (488.0, 0.0),
+    (496.0, 0.0),
+    (498.0, 1.0),
+    (501.0, 1.0),
+    (504.0, 4.0),
+    (514.0, 0.0),
+    (523.0, 1.0),
+    (529.0, 0.0),
+    (531.0, 0.0),
+]
+
+
+@pytest.fixture(scope="module")
+def replay():
+    g = load("road16k")
+    cfg = FAST.derive(incremental=True)
+    stream = generate_mutation_stream(g, len(GOLDEN), seed=STREAM_SEED)
+    session = IncrementalSession.start(g, K, config=cfg,
+                                       seed=SESSION_SEED)
+    initial_cut = session.reference_cut
+    dyn = DynamicGraph(g)
+    rows = []
+    for batch in stream:
+        br = dyn.apply(batch)
+        g2 = dyn.graph()
+        res = session.apply(g2, br.dirty_nodes)
+        # strict invariants on every intermediate state
+        validate_graph(g2)
+        validate_partition(g2, res.partition.part, K, epsilon=cfg.epsilon)
+        rows.append((res.cut, res.migrated_weight))
+    return initial_cut, rows, session
+
+
+def test_initial_full_run_cut_pinned(replay):
+    initial_cut, _, _ = replay
+    assert initial_cut == GOLDEN_INITIAL_CUT
+
+
+def test_cut_and_migration_sequence_pinned(replay):
+    _, rows, _ = replay
+    assert rows == GOLDEN
+
+
+def test_no_fallback_on_golden_stream(replay):
+    # the committed sequence was produced without a single drift
+    # fallback; a fallback changes the numbers wholesale, so pin it
+    _, _, session = replay
+    assert session.registry.counter("incremental_fallbacks").value == 0
+
+
+def test_cut_drift_stays_below_threshold(replay):
+    # consequence of no-fallback: every cut is within the configured
+    # drift threshold of the initial full run
+    initial_cut, rows, _ = replay
+    threshold = FAST.derive(incremental=True).drift_threshold
+    for cut, _ in rows:
+        assert cut <= (1.0 + threshold) * initial_cut + 1e-9

@@ -1,0 +1,220 @@
+"""Differential suite: incremental repartitioning vs from-scratch.
+
+Replays seeded mutation streams on two graph families and checks, batch
+by batch, that the incremental path (seed from previous partition +
+dirty-band FM) stays within a quality tolerance of a full multilevel run
+on the same mutated graph, keeps the balance constraint, and falls back
+(counted in the metrics registry) when drift is forced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FAST, MINIMAL, metrics
+from repro.core.incremental import (
+    IncrementalSession,
+    dirty_band_mask,
+    incremental_repartition,
+    seed_from_previous,
+)
+from repro.core.partitioner import partition_graph
+from repro.graph import DynamicGraph, from_edge_list, validate_partition
+from repro.graph.dynamic import generate_mutation_stream
+
+#: incremental cut must stay within (1 + TOL) x the scratch cut per batch
+TOL = 0.5
+K = 4
+CFG = FAST.derive(incremental=True)
+
+
+def _replay(g, n_batches, seed):
+    """(incremental results, scratch cuts) over one stream."""
+    stream = generate_mutation_stream(g, n_batches, seed=seed)
+    session = IncrementalSession.start(g, K, config=CFG, seed=seed)
+    dyn = DynamicGraph(g)
+    results, scratch_cuts = [], []
+    for i, batch in enumerate(stream):
+        br = dyn.apply(batch)
+        g2 = dyn.graph()
+        results.append((g2, session.apply(g2, br.dirty_nodes)))
+        scratch_cuts.append(
+            partition_graph(g2, K, config=CFG, seed=seed + 1 + i).cut)
+    return results, scratch_cuts
+
+
+@pytest.mark.parametrize("family", ["delaunay", "rgg"])
+class TestDifferential:
+    def test_cut_within_tolerance_of_scratch(self, family, seeded_graph):
+        g = seeded_graph(family, 400, seed=3)
+        results, scratch_cuts = _replay(g, 4, seed=11)
+        for (g2, res), scratch_cut in zip(results, scratch_cuts):
+            assert res.cut <= (1.0 + TOL) * scratch_cut + 1e-9
+
+    def test_balance_within_epsilon(self, family, seeded_graph):
+        g = seeded_graph(family, 400, seed=3)
+        results, _ = _replay(g, 4, seed=11)
+        for g2, res in results:
+            validate_partition(g2, res.partition.part, K,
+                               epsilon=CFG.epsilon)
+            assert res.partition.is_feasible()
+
+    def test_migration_far_below_scratch(self, family, seeded_graph):
+        # the point of incrementality: the overwhelming majority of nodes
+        # keep their block, whereas scratch reassigns wholesale
+        g = seeded_graph(family, 400, seed=3)
+        results, _ = _replay(g, 4, seed=11)
+        for g2, res in results:
+            if not res.used_fallback:
+                assert res.migrated_nodes <= g2.n // 10
+
+
+class TestFallback:
+    def test_zero_drift_threshold_forces_and_counts_fallback(
+            self, delaunay400):
+        # drift_threshold=0 makes any cut above the reference a drift
+        # fallback; a mutation stream almost always worsens the cut at
+        # least once, so fallbacks must trigger and be counted
+        cfg = MINIMAL.derive(incremental=True, drift_threshold=0.0)
+        session = IncrementalSession.start(delaunay400, K, config=cfg,
+                                           seed=2)
+        dyn = DynamicGraph(delaunay400)
+        stream = generate_mutation_stream(delaunay400, 5, seed=21)
+        fell_back = []
+        for batch in stream:
+            br = dyn.apply(batch)
+            fell_back.append(session.apply(dyn.graph(), br.dirty_nodes))
+        n_fallbacks = sum(r.used_fallback for r in fell_back)
+        assert n_fallbacks >= 1
+        reg = session.registry
+        assert reg.counter("incremental_fallbacks").value == n_fallbacks
+        assert (reg.counter("incremental_fallbacks_drift").value
+                + reg.counter("incremental_fallbacks_balance").value
+                == n_fallbacks)
+        for r in fell_back:
+            if r.used_fallback:
+                assert r.fallback_reason in ("drift", "balance")
+
+    def test_fallback_refreshes_reference_cut(self, delaunay400):
+        cfg = MINIMAL.derive(incremental=True, drift_threshold=0.0)
+        session = IncrementalSession.start(delaunay400, K, config=cfg,
+                                           seed=2)
+        dyn = DynamicGraph(delaunay400)
+        for batch in generate_mutation_stream(delaunay400, 5, seed=21):
+            br = dyn.apply(batch)
+            res = session.apply(dyn.graph(), br.dirty_nodes)
+            if res.used_fallback:
+                assert session.reference_cut == res.cut
+                return
+        pytest.skip("stream produced no fallback")
+
+
+class TestSeeding:
+    def test_surviving_nodes_keep_blocks(self, delaunay300):
+        old = partition_graph(delaunay300, K, config=FAST, seed=0)
+        part = seed_from_previous(delaunay300, old.partition.part, K)
+        assert np.array_equal(part, old.partition.part)
+
+    def test_new_vertex_gets_majority_neighbor_block(self):
+        # star: center 0 + leaves 1..3 in block 1, new vertex 4 wired to
+        # all of them -> must land in block 1
+        g = from_edge_list(5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 4),
+                               (2, 4)])
+        old = np.array([1, 1, 1, 0], dtype=np.int64)  # old graph had n=4
+        part = seed_from_previous(g, old, 2)
+        assert part[4] == 1
+
+    def test_majority_is_edge_weight_weighted(self):
+        g = from_edge_list(3, [(0, 2), (1, 2)], weights=[1.0, 10.0])
+        old = np.array([0, 1], dtype=np.int64)
+        part = seed_from_previous(g, old, 2)
+        assert part[2] == 1  # the weight-10 edge wins over the weight-1
+
+    def test_isolated_new_vertex_goes_to_lightest_block(self):
+        g = from_edge_list(4, [(0, 1)], vwgt=[5.0, 5.0, 1.0, 1.0])
+        old = np.array([0, 0, 1], dtype=np.int64)
+        part = seed_from_previous(g, old, 2)
+        assert part[3] == 1  # block 1 holds weight 1, block 0 holds 10
+
+    def test_deterministic(self, delaunay300):
+        old = partition_graph(delaunay300, K, config=FAST, seed=0)
+        dyn = DynamicGraph(delaunay300)
+        for batch in generate_mutation_stream(delaunay300, 2, seed=5):
+            dyn.apply(batch)
+        g2 = dyn.graph()
+        a = seed_from_previous(g2, old.partition.part, K)
+        b = seed_from_previous(g2, old.partition.part, K)
+        assert np.array_equal(a, b)
+
+
+class TestDirtyBand:
+    def test_band_grows_with_width(self, delaunay300):
+        seeds = np.array([0], dtype=np.int64)
+        sizes = [int(dirty_band_mask(delaunay300, seeds, w).sum())
+                 for w in (1, 2, 4)]
+        assert sizes[0] >= 1
+        assert sizes[0] <= sizes[1] <= sizes[2]
+        # width 1 is just the seeds themselves
+        assert sizes[0] == 1
+
+    def test_empty_dirty_set_empty_band(self, delaunay300):
+        band = dirty_band_mask(delaunay300, np.empty(0, dtype=np.int64), 3)
+        assert not band.any()
+
+    def test_out_of_range_seeds_ignored(self, delaunay300):
+        band = dirty_band_mask(delaunay300,
+                               np.array([-4, 0, 10**6]), 1)
+        assert band.sum() == 1 and band[0]
+
+    def test_moves_confined_to_band(self, delaunay400):
+        # refinement restricted to a band around one node must not move
+        # nodes outside it
+        old = partition_graph(delaunay400, K, config=FAST, seed=0)
+        dirty = np.array([0], dtype=np.int64)
+        res = incremental_repartition(
+            delaunay400, old.partition.part, K, dirty,
+            config=CFG.derive(drift_threshold=10.0), seed=1)
+        band = dirty_band_mask(delaunay400, dirty,
+                               CFG.incremental_band_width)
+        moved = res.partition.part != old.partition.part
+        assert not (moved & ~band).any()
+
+
+class TestSessionDeterminism:
+    def test_same_stream_same_partitions(self, delaunay400):
+        outs = []
+        for _ in range(2):
+            session = IncrementalSession.start(delaunay400, K, config=CFG,
+                                               seed=7)
+            dyn = DynamicGraph(delaunay400)
+            parts = []
+            for batch in generate_mutation_stream(delaunay400, 3, seed=13):
+                br = dyn.apply(batch)
+                parts.append(session.apply(dyn.graph(),
+                                           br.dirty_nodes).partition.part)
+            outs.append(parts)
+        for pa, pb in zip(*outs):
+            assert np.array_equal(pa, pb)
+
+    def test_registry_tracks_batches_and_migration(self, delaunay400):
+        session = IncrementalSession.start(delaunay400, K, config=CFG,
+                                           seed=7)
+        dyn = DynamicGraph(delaunay400)
+        total_mig = 0.0
+        for batch in generate_mutation_stream(delaunay400, 3, seed=13):
+            br = dyn.apply(batch)
+            total_mig += session.apply(dyn.graph(),
+                                       br.dirty_nodes).migrated_weight
+        scalars = session.registry.scalars()
+        assert scalars["incremental_batches"] == 3
+        assert scalars["incremental_migrated_weight"] == total_mig
+        assert "incremental_dirty_band_nodes" in scalars
+        assert "incremental_last_cut" in scalars
+
+    def test_empty_dirty_set_moves_nothing(self, delaunay400):
+        old = partition_graph(delaunay400, K, config=FAST, seed=0)
+        res = incremental_repartition(
+            delaunay400, old.partition.part, K,
+            np.empty(0, dtype=np.int64), config=CFG, seed=1)
+        assert res.migrated_nodes == 0
+        assert res.dirty_band_nodes == 0
+        assert np.array_equal(res.partition.part, old.partition.part)

@@ -15,6 +15,58 @@ class TestValidateGraph:
         validate_graph(grid8)
 
 
+class TestSignatureStaleness:
+    """A graph whose CSR arrays were mutated in place after being signed
+    carries a stale recorded signature; validation must reject it, and a
+    fresh signing must always rehash (a stale digest can never escape
+    into a checkpoint manifest)."""
+
+    def test_unsigned_mutation_passes(self, grid8):
+        # never signed -> no recorded digest to be stale against; the
+        # symmetric weight bump keeps the structure valid
+        grid8 = grid8.copy()
+        grid8.adjwgt += 1.0
+        validate_graph(grid8)
+
+    def test_signed_then_mutated_rejected(self, grid8):
+        g = grid8.copy()
+        g.signature()
+        g.adjwgt += 1.0
+        assert g.signature_is_stale()
+        with pytest.raises(ValueError, match="mutated in place"):
+            validate_graph(g)
+
+    def test_vertex_weight_mutation_rejected(self, grid8):
+        g = grid8.copy()
+        g.signature()
+        g.vwgt[0] += 5.0
+        with pytest.raises(ValueError, match="mutated in place"):
+            validate_graph(g)
+
+    def test_resigning_clears_staleness(self, grid8):
+        g = grid8.copy()
+        g.signature()
+        g.adjwgt += 1.0
+        g.signature()  # rehash records the current content
+        assert not g.signature_is_stale()
+        validate_graph(g)
+
+    def test_signature_always_reflects_current_content(self, grid8):
+        g = grid8.copy()
+        before = g.signature()
+        g.adjwgt += 1.0
+        after = g.signature()  # must rehash, never serve the recording
+        assert after != before
+        assert after == g.compute_signature()
+
+    def test_stale_weighted_degree_cache_rejected(self, grid8):
+        g = grid8.copy()
+        g.weighted_degrees()
+        g.adjwgt += 1.0
+        with pytest.raises(ValueError, match="stale weighted-degree"):
+            validate_graph(g)
+
+
 class TestValidatePartition:
     def test_good(self, two_triangles):
         validate_partition(two_triangles, np.array([0, 0, 0, 1, 1, 1]), 2)

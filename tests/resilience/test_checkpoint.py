@@ -75,6 +75,28 @@ class TestGraphSignature:
         g.adjwgt[0] += 1
         assert graph_signature(g) != sig
 
+    def test_in_place_mutation_cannot_reuse_stale_signature(self):
+        # graph_signature delegates to Graph.signature(), which rehashes
+        # on every call — so a graph mutated after signing always signs
+        # to its current content and the recorded digest is flagged stale
+        g = delaunay_graph(100, seed=3)
+        sig_before = graph_signature(g)
+        g.adjwgt[0] += 1
+        assert g.signature_is_stale()
+        assert graph_signature(g) == g.compute_signature() != sig_before
+
+    def test_duck_typed_graph_without_signature_method(self):
+        # stand-ins (e.g. wire-decoded shims) without .signature() fall
+        # back to direct hashing and stay digest-compatible
+        g = delaunay_graph(100, seed=3)
+
+        class Shim:
+            n, m = g.n, g.m
+            xadj, adjncy, adjwgt, vwgt = g.xadj, g.adjncy, g.adjwgt, g.vwgt
+            coords = g.coords
+
+        assert graph_signature(Shim()) == graph_signature(g)
+
 
 class TestSaveLoad:
     def test_roundtrip_arrays(self, tmp_path):

@@ -19,6 +19,7 @@ MODULES = [
     "repro.graph.quotient",
     "repro.graph.distributed",
     "repro.graph.validate",
+    "repro.graph.dynamic",
     "repro.generators",
     "repro.parallel",
     "repro.parallel.comm",
@@ -74,6 +75,7 @@ MODULES = [
     "repro.core.objectives",
     "repro.core.partitioner",
     "repro.core.repartition",
+    "repro.core.incremental",
     "repro.baselines",
     "repro.walshaw",
     "repro.experiments",
