@@ -1,4 +1,4 @@
-"""Execution-engine benchmark: sim vs process (vs sequential) wall clock.
+"""Execution-engine benchmark: sim vs process vs threads wall clock.
 
 Runs the full SPMD pipeline (``execution="cluster"``) on each engine and
 compares end-to-end wall-clock time; the partitions are asserted
@@ -10,22 +10,27 @@ bit-identical across engines, so the comparison is pure runtime.  Writes
                 "cpus", "python", "repeats", "git_sha", "timestamp"},
      "records": [{"engine", "wall_s", "best_wall_s", "makespan_s",
                   "cut", "phase_times"}, ...],
-     "speedup_process_vs_sim": <sim wall / process wall>}
+     "speedup_process_vs_sim": <sim wall / process wall>,
+     "speedup_threads_vs_sim": <sim wall / threads wall>}
 
 The process engine runs one OS process per virtual PE, so its speedup
 over the GIL-serialised sim engine scales with the machine's cores: the
 redundant per-PE work (initial partitioning on all PEs, both sides of
 every refinement pair) executes concurrently instead of interleaved.
-``meta.cpus`` records how many cores the run actually had — on a
-single-core host no wall-clock speedup is physically possible and the
-recorded ratio documents exactly that.
+The threads engine shares one process — zero graph-copy and zero
+pickling overhead — and parallelises wherever the GIL is released
+(numpy kernels, the ``numba`` backend's ``nogil`` kernels, blocking
+waits), with a work-stealing queue keeping idle PEs busy during
+refinement.  ``meta.cpus`` records how many cores the run actually had —
+on a single-core host no wall-clock speedup is physically possible and
+the recorded ratio documents exactly that.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engines.py            # road16k, k=8
     PYTHONPATH=src python benchmarks/bench_engines.py --smoke    # tiny, 2 PEs
     PYTHONPATH=src python benchmarks/bench_engines.py \
-        --graph rgg11 -k 4 --engines sim process --repeats 3
+        --graph rgg11 -k 4 --engines sim process threads --repeats 3
 """
 
 from __future__ import annotations
@@ -86,7 +91,8 @@ def main(argv=None) -> int:
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--repeats", type=int, default=1,
                     help="runs per engine (mean and best reported)")
-    ap.add_argument("--engines", nargs="+", default=["sim", "process"],
+    ap.add_argument("--engines", nargs="+",
+                    default=["sim", "process", "threads"],
                     choices=sorted(ENGINES))
     ap.add_argument("--smoke", action="store_true",
                     help="fast CI mode: rgg n=512, k=2 (2 PEs), minimal "
@@ -124,6 +130,8 @@ def main(argv=None) -> int:
     walls = {r["engine"]: r["wall_s"] for r in records}
     speedup = (walls["sim"] / walls["process"]
                if "sim" in walls and "process" in walls else None)
+    speedup_threads = (walls["sim"] / walls["threads"]
+                       if "sim" in walls and "threads" in walls else None)
     doc = {
         "schema": "repro.bench_engines/1",
         "meta": {
@@ -141,6 +149,7 @@ def main(argv=None) -> int:
         },
         "records": records,
         "speedup_process_vs_sim": speedup,
+        "speedup_threads_vs_sim": speedup_threads,
     }
     with open(args.output, "w") as fh:
         json.dump(doc, fh, indent=2)
@@ -152,6 +161,9 @@ def main(argv=None) -> int:
               f"{r['best_wall_s']:>8.2f} {r['cut']:>8g}")
     if speedup is not None:
         print(f"\nprocess-vs-sim wall-clock speedup: {speedup:.2f}x "
+              f"on {doc['meta']['cpus']} cpu(s)")
+    if speedup_threads is not None:
+        print(f"threads-vs-sim wall-clock speedup: {speedup_threads:.2f}x "
               f"on {doc['meta']['cpus']} cpu(s)")
     print(f"wrote {args.output}")
     return 0

@@ -79,10 +79,13 @@ class KappaConfig:
     prepartition: str = "auto"   # "geometric" | "numbering" | "auto"
     #: execution engine for the cluster path: "sequential" (deterministic
     #: token-passing), "sim" (threads + cost model, reports simulated
-    #: makespan — the paper default) or "process" (one OS process per PE)
+    #: makespan — the paper default), "process" (one OS process per PE)
+    #: or "threads" (one thread per PE over shared CSR views, with a
+    #: work-stealing queue for per-pair FM) — all bit-identical
     engine: str = "sim"
     #: receive timeout in seconds for engines that detect deadlocks by
-    #: timeout (sim, process).  None → $REPRO_RECV_TIMEOUT_S → 60 s.
+    #: timeout (sim, process, threads).  None → $REPRO_RECV_TIMEOUT_S
+    #: → 60 s.
     recv_timeout_s: Optional[float] = None
 
     # -- resilience (repro.resilience) ---------------------------------
@@ -109,7 +112,9 @@ class KappaConfig:
 
     # -- hot-path kernels (repro.kernels) ------------------------------
     #: backend for the registered hot-path kernels: "numpy" (vectorised,
-    #: the default) or "python" (reference loops, bit-identical, slow)
+    #: the default), "python" (reference loops, bit-identical, slow) or
+    #: "numba" (JIT'd reference loops when numba is installed — the
+    #: ``repro[numba]`` extra — warn-once numpy fallback when it is not)
     kernel_backend: str = "numpy"
 
     # -- observability (repro.instrument / repro.observability) --------

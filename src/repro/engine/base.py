@@ -122,6 +122,8 @@ class Comm(Protocol):
 
     def timed(self, name: str) -> ContextManager[None]: ...
 
+    def map_batch(self, tasks: Sequence[Callable[[], Any]]) -> List[Any]: ...
+
     # -- point to point -------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None: ...
 
@@ -301,6 +303,19 @@ class CommBase:
         vals = self._exchange_recorded(list(objs))
         return [vals[src][self.rank]
                 for src in range(self.size)]  # type: ignore[attr-defined]
+
+    def map_batch(self, tasks: Sequence[Callable[[], Any]]) -> List[Any]:
+        """Run a batch of independent zero-arg tasks and return their
+        results in submission order.
+
+        This is the engine's work-distribution hook: the base (and every
+        engine without true intra-PE parallelism) runs the tasks in order
+        on the calling PE, which keeps results bit-identical by
+        construction.  The threads engine overrides it with a
+        work-stealing pool, so tasks must be independent, must not touch
+        ``comm``, and must tolerate running concurrently with each other
+        (see :meth:`repro.engine.threads.ThreadsComm.map_batch`)."""
+        return [task() for task in tasks]
 
     def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
         """Exchange with a partner PE (both sides call this).  Rank order

@@ -1,7 +1,7 @@
 """Hot-path kernel registry with interchangeable backends.
 
 The four hottest inner loops of the multilevel pipeline are pluggable
-kernels with two implementations each:
+kernels with interchangeable implementations:
 
 =================  ====================================================
 kernel             computes
@@ -12,9 +12,11 @@ kernel             computes
 ``band_bfs``       §5.2 bounded BFS for boundary-band extraction
 =================  ====================================================
 
-Backends: ``python`` (reference per-node loops) and ``numpy``
-(vectorised, the default) — bit-identical by construction and by the
-differential test suite.  Select globally via :func:`set_backend` /
+Backends: ``python`` (reference per-node loops), ``numpy`` (vectorised,
+the default) and ``numba`` (the reference loops JIT-compiled with
+``nogil=True`` when numba is installed; a warn-once numpy delegation
+when it is not) — bit-identical by construction and by the differential
+test suite.  Select globally via :func:`set_backend` /
 :func:`use_backend`, per run via ``KappaConfig.kernel_backend``, or on
 the command line via ``--kernel-backend``.  Install a tracer with
 :func:`use_tracer` to surface per-kernel call counts and wall time in
@@ -38,10 +40,13 @@ from .registry import (
 # importing the backend modules registers every kernel implementation
 from . import python_backend  # noqa: F401  (registration side effect)
 from . import numpy_backend   # noqa: F401  (registration side effect)
+from . import numba_backend   # noqa: F401  (registration side effect)
+from .numba_backend import NUMBA_AVAILABLE
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "NUMBA_AVAILABLE",
     "dispatch",
     "get_backend",
     "get_kernel",

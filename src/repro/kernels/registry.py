@@ -3,12 +3,15 @@
 The four hottest inner loops of the multilevel scheme — edge-rating
 computation (§3.1), contraction edge-merging (§2), FM gain/boundary
 construction (§5.2) and the bounded band BFS (§5.2) — are registered
-here under two interchangeable backends:
+here under interchangeable backends:
 
 * ``python`` — straight-line per-node/per-edge reference loops, the
   executable specification of each kernel;
 * ``numpy``  — vectorised equivalents over the CSR arrays
-  (bincount / segment-reduce idioms), bit-identical to the reference.
+  (bincount / segment-reduce idioms), bit-identical to the reference;
+* ``numba``  — the reference loops compiled with ``@njit(nogil=True)``
+  when numba is installed, a warn-once delegation to ``numpy`` when it
+  is not (numba is an optional dependency, ``repro[numba]``).
 
 Call sites go through :func:`dispatch`, which resolves the active
 backend (see :func:`set_backend` / :func:`use_backend`) and, when a live
@@ -44,8 +47,8 @@ __all__ = [
     "use_tracer",
 ]
 
-#: the two interchangeable implementations of every kernel
-BACKENDS: Tuple[str, ...] = ("python", "numpy")
+#: the interchangeable implementations of every kernel
+BACKENDS: Tuple[str, ...] = ("python", "numpy", "numba")
 
 #: the fast path is the default; ``python`` is the reference/debug path
 DEFAULT_BACKEND: str = "numpy"

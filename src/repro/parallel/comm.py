@@ -169,6 +169,13 @@ class Comm:
             if obs is not None:
                 obs.phase_end()
 
+    def map_batch(self, tasks: Sequence[Callable[[], Any]]) -> List[Any]:
+        """Run a batch of independent zero-arg tasks in submission order
+        (mirrors ``CommBase.map_batch``).  The simulated engine has no
+        intra-PE parallelism to hand the tasks to — compute cost is
+        charged by the tasks' own ``comm.compute`` calls."""
+        return [task() for task in tasks]
+
     # -- point to point -------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Send (non-blocking buffered, like a small-message MPI_Send)."""

@@ -273,7 +273,11 @@ def pairwise_refinement_spmd(
     boundary bands (charged to the simulated clock), both run FM with the
     pair's two seeds, and the better result is adopted — the paper's
     protocol.  After each color, the node moves are shared so every PE
-    holds a consistent partition.  Returns the refined partition
+    holds a consistent partition.  Within a color the per-pair FM calls
+    are submitted through ``comm.map_batch`` — sequential (and therefore
+    order-identical) on most engines, a work-stealing batch on the
+    threads engine; the pairs of one color move disjoint node sets, so
+    stealing cannot change a single label.  Returns the refined partition
     (identical on every PE, and identical to :func:`pairwise_refinement`
     with ``coloring="distributed"`` for the same seed, for *any* PE
     count).
@@ -304,13 +308,32 @@ def pairwise_refinement_spmd(
         for color in range(n_colors):
             # pairs of this color with an endpoint block owned here,
             # processed in ascending order on every involved PE (buffered
-            # sends make the interleaved exchanges deadlock-free)
+            # sends make the interleaved exchanges deadlock-free).  The
+            # pairs of one color form a matching on the quotient graph,
+            # so their refinements touch disjoint blocks and commute
+            # bit-exactly — which lets each local iteration run the band
+            # exchanges pair by pair and then hand the refine_pair calls
+            # to ``comm.map_batch`` as one stealable batch (idle PEs of
+            # the threads engine pick pairs off the far end).
             mine = sorted(e for e, c in my_colors.items() if c == color)
             updates: List[Tuple[int, int]] = []
+            pairs = []
             for a, b in mine:
-                partner = owner(b) if owner(a) == comm.rank else owner(a)
-                sizes = (int((part == a).sum()), int((part == b).sum()))
-                for lit in range(local_iterations):
+                pairs.append({
+                    "edge": (a, b),
+                    "partner": (owner(b) if owner(a) == comm.rank
+                                else owner(a)),
+                    "sizes": (int((part == a).sum()),
+                              int((part == b).sum())),
+                    "log": [],       # PairResult per executed local iter
+                    "live": True,
+                })
+            for lit in range(local_iterations):
+                live = [p_ for p_ in pairs if p_["live"]]
+                if not live:
+                    break
+                for p_ in live:
+                    a, b = p_["edge"]
                     # exchange boundary bands (the communication the cost
                     # model must see — Figure 2's boundary exchange)
                     band, _ = extract_band(g, part, a, b, bfs_depth)
@@ -318,24 +341,38 @@ def pairwise_refinement_spmd(
                         band.graph.xadj, band.graph.adjncy,
                         band.graph.adjwgt, band.smap.to_parent,
                     )
-                    if partner != comm.rank:
-                        comm.sendrecv(payload, partner, tag=100 + lit)
+                    if p_["partner"] != comm.rank:
+                        comm.sendrecv(payload, p_["partner"], tag=100 + lit)
                     comm.compute(band.graph.m)
-                    # both owners perform both seeded searches and adopt
-                    # the same better result (deterministic agreement)
-                    pr = refine_pair(
+
+                # both owners perform both seeded searches and adopt the
+                # same better result (deterministic agreement)
+                def refine_task(p_, lit=lit):
+                    a, b = p_["edge"]
+                    return refine_pair(
                         g, part, block_w, a, b, lmax, bfs_depth, alpha,
                         queue_selection,
                         _pair_seed(seed, git, lit, a, b, 0),
                         _pair_seed(seed, git, lit, a, b, 1),
-                        sizes,
+                        p_["sizes"],
                         algorithm=pair_algorithm,
                     )
-                    if comm.rank == owner(a):  # count each pair once
+
+                prs = comm.map_batch(
+                    [lambda p_=p_: refine_task(p_) for p_ in live])
+                for p_, pr in zip(live, prs):
+                    p_["log"].append(pr)
+                    if not pr.changed:
+                        p_["live"] = False
+            # book gains and moves in pair-major order — the exact
+            # accumulation order of the unbatched loop, so sums and the
+            # allgather payload below stay bit-identical
+            for p_ in pairs:
+                a, b = p_["edge"]
+                if comm.rank == owner(a):  # count each pair once
+                    for pr in p_["log"]:
                         updates.extend(pr.changed)
                         total_gain += pr.gain
-                    if not pr.changed:
-                        break
             # share moves of this color class with all PEs
             all_updates = comm.allgather(updates)
             for lst in all_updates:

@@ -155,15 +155,29 @@ class TestListFlags:
         rc = main(["--list-engines"])
         assert rc == 0
         text = capsys.readouterr().out
-        for name in ("sequential", "sim", "process"):
+        for name in ("sequential", "sim", "process", "threads"):
             assert name in text
         assert "(default)" in text
+
+    def test_every_registered_engine_is_listed(self, capsys):
+        # regression: the listing iterates the registry, so adding an
+        # engine must never leave it invisible to `--list-engines`
+        from repro.engine import ENGINES
+
+        rc = main(["--list-engines"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        for name, cls in ENGINES.items():
+            assert name in text, f"engine {name!r} missing from listing"
+            doc = (cls.__doc__ or "").strip()
+            assert doc, f"engine {name!r} has no docstring to list"
+            assert doc.splitlines()[0] in text
 
     def test_list_kernel_backends(self, capsys):
         rc = main(["--list-kernel-backends"])
         assert rc == 0
         text = capsys.readouterr().out
-        assert "python" in text and "numpy" in text
+        assert "python" in text and "numpy" in text and "numba" in text
         assert "(default)" in text
 
     def test_list_flags_need_no_subcommand(self, capsys):

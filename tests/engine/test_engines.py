@@ -276,7 +276,7 @@ class TestTimeoutConfiguration:
         with pytest.raises(ValueError):
             FAST.derive(recv_timeout_s=-2.0)
         with pytest.raises(ValueError):
-            FAST.derive(engine="threads")
+            FAST.derive(engine="quantum")
 
 
 class TestCommProtocol:
@@ -295,7 +295,7 @@ class TestCommProtocol:
 
     def test_registry_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown engine"):
-            get_engine("threads", 2)
+            get_engine("quantum", 2)
 
     def test_engine_needs_a_pe(self):
         with pytest.raises(ValueError):

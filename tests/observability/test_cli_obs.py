@@ -105,6 +105,26 @@ class TestReportCommand:
         assert rc == 1
         assert "cannot load trace" in capsys.readouterr().err
 
+    def test_threads_engine_run_reports_per_pe_spans(self, graph_file,
+                                                     tmp_path):
+        # regression: the threads engine must flow through the report
+        # path like every other engine — named in the title, per-PE
+        # phase rows present
+        t = str(tmp_path / "trace.json")
+        out = str(tmp_path / "report.html")
+        rc = main(["partition", graph_file, "-k", "4",
+                   "--preset", "minimal", "--engine", "threads",
+                   "-o", str(tmp_path / "p"), "--trace", t,
+                   "--trace-events", str(tmp_path / "te.json")])
+        assert rc == 0
+        assert json.loads(open(t).read())["meta"]["engine"] == "threads"
+        rc = main(["report", t, "-o", out])
+        assert rc == 0
+        html = open(out).read()
+        assert "engine=threads" in html
+        for pe in range(4):
+            assert f"PE {pe}" in html
+
 
 class TestCompareCommand:
     @pytest.fixture

@@ -32,6 +32,7 @@ MODULES = [
     "repro.engine.sequential",
     "repro.engine.simulated",
     "repro.engine.process",
+    "repro.engine.threads",
     "repro.coarsening",
     "repro.coarsening.ratings",
     "repro.coarsening.contract",
@@ -61,6 +62,7 @@ MODULES = [
     "repro.kernels.registry",
     "repro.kernels.python_backend",
     "repro.kernels.numpy_backend",
+    "repro.kernels.numba_backend",
     "repro.resilience",
     "repro.resilience.faults",
     "repro.resilience.checkpoint",

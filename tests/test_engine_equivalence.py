@@ -2,11 +2,15 @@
 partitions on every execution engine for the same master seed.
 
 This is the tentpole guarantee of the engine layer: ``sequential`` (token
-passing), ``sim`` (threads + cost model) and ``process`` (one OS process
-per PE) all run :func:`repro.core.spmd.kappa_spmd_program` unchanged, and
-all algorithmic decisions flow through ``comm.derive_rng`` plus
-deterministic collectives — so OS scheduling must not be able to change a
-single label.
+passing), ``sim`` (threads + cost model), ``process`` (one OS process per
+PE) and ``threads`` (one worker thread per PE over shared CSR views, with
+work stealing) all run :func:`repro.core.spmd.kappa_spmd_program`
+unchanged, and all algorithmic decisions flow through ``comm.derive_rng``
+plus deterministic collectives — so OS scheduling must not be able to
+change a single label.  Observability is part of the contract too: the
+per-PE comm matrices must agree cell-for-cell (traffic, not timings)
+because every engine books collectives through the same rank-0 star
+model.
 """
 
 import numpy as np
@@ -76,6 +80,33 @@ def test_config_engine_field_selects_engine():
                           execution="cluster", engine="sim")
     assert ref.sim_time_s is not None
     assert np.array_equal(res.partition.part, ref.partition.part)
+
+
+def _traffic_cells(res):
+    """Comm-matrix cells minus the timing column (wait_s is wall clock
+    and legitimately differs across engines)."""
+    assert res.obs is not None, "observe=True run produced no obs doc"
+    return [
+        {"src": c["src"], "dst": c["dst"], "tag": c["tag"],
+         "phase": c["phase"], "messages": c["messages"],
+         "bytes": c["bytes"]}
+        for c in res.obs["comm_matrix"]
+    ]
+
+
+@pytest.mark.parametrize("engine", [e for e in ALL_ENGINES
+                                    if e != "sequential"])
+def test_obs_comm_matrix_identical_across_engines(engine):
+    """Every engine books the same collectives/sends under the rank-0
+    star model, so the merged comm matrix agrees cell-for-cell on the
+    traffic columns (src, dst, tag, phase, messages, bytes)."""
+    g = GRAPHS["rgg"]()
+    cfg = MINIMAL.derive(observe=True)
+    ref = partition_graph(g, 4, config=cfg, seed=SEED,
+                          execution="cluster", engine="sequential")
+    res = partition_graph(g, 4, config=cfg, seed=SEED,
+                          execution="cluster", engine=engine)
+    assert _traffic_cells(res) == _traffic_cells(ref)
 
 
 def test_fewer_pes_than_blocks_still_agree():

@@ -1,13 +1,18 @@
 """Differential equivalence tests for the hot-path kernel backends.
 
 Every kernel registered in :mod:`repro.kernels` ships a ``python``
-reference implementation and a vectorised ``numpy`` one.  These tests
-assert they are **bit-identical** — same ratings, same contracted CSR,
-same gains and boundary sets, same band levels — on hypothesis-generated
-graphs and on the generator families, and that whole pipeline runs are
+reference implementation, a vectorised ``numpy`` one and a ``numba``
+one (JIT replicas of the reference loops; a warn-once delegation to
+numpy when numba is not installed).  These tests assert all backends
+are **bit-identical** — same ratings, same contracted CSR, same gains
+and boundary sets, same band levels — on hypothesis-generated graphs
+and on the generator families, and that whole pipeline runs are
 deterministic and backend-independent (fixed seed ⇒ identical partition
-vector and edge cut).
+vector and edge cut).  The JIT-specific assertions skip cleanly when
+numba is unavailable; the fallback path is covered either way.
 """
+
+import warnings
 
 import numpy as np
 import pytest
@@ -18,6 +23,8 @@ from repro import kernels
 from repro.coarsening.matching import dispatch as run_matching
 from repro.core import FAST, KappaPartitioner
 from repro.instrument import Tracer
+from repro.kernels import numba_backend
+from repro.kernels.numba_backend import NUMBA_AVAILABLE
 from repro.kernels.python_backend import RATING_NAMES
 from repro.refinement.band import extract_band
 from tests.conftest import random_graphs
@@ -25,10 +32,12 @@ from tests.conftest import random_graphs
 KERNEL_NAMES = ("band_bfs", "contract_edges", "edge_ratings", "gain_boundary")
 
 
-def run_both(name, *args):
-    """One call per backend; returns (python_result, numpy_result)."""
-    return (kernels.get_kernel(name, "python")(*args),
-            kernels.get_kernel(name, "numpy")(*args))
+def run_all(name, *args):
+    """One call per registered backend, in ``BACKENDS`` order."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return tuple(kernels.get_kernel(name, backend)(*args)
+                     for backend in kernels.BACKENDS)
 
 
 def coarse_map_of(g, seed):
@@ -43,11 +52,32 @@ def coarse_map_of(g, seed):
 # registry behaviour
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_kernels_have_both_backends(self):
+    def test_all_kernels_have_every_backend(self):
         assert kernels.kernel_names() == KERNEL_NAMES
+        assert "numba" in kernels.BACKENDS
         for name in KERNEL_NAMES:
             for backend in kernels.BACKENDS:
                 assert callable(kernels.get_kernel(name, backend))
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE,
+                        reason="fallback path only exists without numba")
+    def test_numba_fallback_warns_once_not_errors(self, rgg128,
+                                                  monkeypatch):
+        """Without numba the backend still registers all four kernels and
+        the first call emits a single RuntimeWarning — never an error."""
+        monkeypatch.setattr(numba_backend, "_FALLBACK_WARNED", False)
+        us, vs, ws = rgg128.edge_array()
+        side = np.zeros(rgg128.n, dtype=np.int64)
+        with warnings.catch_warnings(record=True) as wlist:
+            warnings.simplefilter("always")
+            kernels.get_kernel("edge_ratings", "numba")(
+                rgg128, us, vs, ws, "weight")
+            kernels.get_kernel("gain_boundary", "numba")(rgg128, side)
+        hits = [w for w in wlist
+                if issubclass(w.category, RuntimeWarning)
+                and "numba" in str(w.message)]
+        assert len(hits) == 1
+        assert "repro[numba]" in str(hits[0].message)
 
     def test_unknown_names_rejected(self):
         with pytest.raises(ValueError, match="unknown kernel"):
@@ -89,9 +119,11 @@ class TestEdgeRatingsEquivalence:
     @settings(max_examples=25, deadline=None)
     def test_identical_ratings(self, g, rating):
         us, vs, ws = g.edge_array()
-        ref, fast = run_both("edge_ratings", g, us, vs, ws, rating)
-        assert ref.dtype == fast.dtype == np.float64
-        assert np.array_equal(ref, fast)
+        ref, *rest = run_all("edge_ratings", g, us, vs, ws, rating)
+        assert ref.dtype == np.float64
+        for fast in rest:
+            assert fast.dtype == np.float64
+            assert np.array_equal(ref, fast)
 
     @pytest.mark.parametrize("backend", kernels.BACKENDS)
     def test_unknown_rating_rejected(self, rgg128, backend):
@@ -107,18 +139,20 @@ class TestContractEquivalence:
     @settings(max_examples=25, deadline=None)
     def test_identical_coarse_csr(self, g, seed):
         cmap, n_coarse = coarse_map_of(g, seed)
-        ref, fast = run_both("contract_edges", g, cmap, n_coarse)
-        for name, a, b in zip(("xadj", "adjncy", "adjwgt", "vwgt"),
-                              ref, fast):
-            assert np.array_equal(a, b), f"{name} differs"
+        ref, *rest = run_all("contract_edges", g, cmap, n_coarse)
+        for fast in rest:
+            for name, a, b in zip(("xadj", "adjncy", "adjwgt", "vwgt"),
+                                  ref, fast):
+                assert np.array_equal(a, b), f"{name} differs"
 
     @pytest.mark.parametrize("family", ["rgg", "delaunay", "social"])
     def test_generator_families(self, pipeline_graphs, family):
         g = pipeline_graphs[family]
         cmap, n_coarse = coarse_map_of(g, seed=11)
-        ref, fast = run_both("contract_edges", g, cmap, n_coarse)
-        for a, b in zip(ref, fast):
-            assert np.array_equal(a, b)
+        ref, *rest = run_all("contract_edges", g, cmap, n_coarse)
+        for fast in rest:
+            for a, b in zip(ref, fast):
+                assert np.array_equal(a, b)
 
 
 class TestGainBoundaryEquivalence:
@@ -128,10 +162,10 @@ class TestGainBoundaryEquivalence:
     def test_identical_gains_and_boundary(self, g, seed):
         side = np.random.default_rng(seed).integers(
             0, 2, size=g.n).astype(np.int8)
-        (gains_ref, bnd_ref), (gains_fast, bnd_fast) = run_both(
-            "gain_boundary", g, side)
-        assert np.array_equal(gains_ref, gains_fast)
-        assert np.array_equal(bnd_ref, bnd_fast)
+        (gains_ref, bnd_ref), *rest = run_all("gain_boundary", g, side)
+        for gains_fast, bnd_fast in rest:
+            assert np.array_equal(gains_ref, gains_fast)
+            assert np.array_equal(bnd_ref, bnd_fast)
 
 
 class TestBandBFSEquivalence:
@@ -145,8 +179,9 @@ class TestBandBFSEquivalence:
         seeds = rng.choice(g.n, size=min(n_seeds, g.n), replace=False)
         allowed = rng.random(g.n) < 0.8
         allowed[seeds] = True
-        ref, fast = run_both("band_bfs", g, seeds, allowed, depth)
-        assert np.array_equal(ref, fast)
+        ref, *rest = run_all("band_bfs", g, seeds, allowed, depth)
+        for fast in rest:
+            assert np.array_equal(ref, fast)
 
     @pytest.mark.parametrize("depth", [1, 5, 20])
     def test_extract_band_identical_across_backends(self, delaunay300,
@@ -154,25 +189,30 @@ class TestBandBFSEquivalence:
         part = (np.arange(delaunay300.n) >= delaunay300.n // 2).astype(
             np.int64)
         bands = []
-        for backend in kernels.BACKENDS:
-            with kernels.use_backend(backend):
-                band, pair = extract_band(delaunay300, part, 0, 1, depth)
-            bands.append((band, pair))
-        (b_ref, p_ref), (b_fast, p_fast) = bands
-        assert b_ref.graph == b_fast.graph
-        assert np.array_equal(b_ref.smap.to_parent, b_fast.smap.to_parent)
-        assert np.array_equal(b_ref.side, b_fast.side)
-        assert np.array_equal(b_ref.movable, b_fast.movable)
-        assert b_ref.n_boundary == b_fast.n_boundary
-        assert np.array_equal(p_ref, p_fast)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for backend in kernels.BACKENDS:
+                with kernels.use_backend(backend):
+                    band, pair = extract_band(delaunay300, part, 0, 1,
+                                              depth)
+                bands.append((band, pair))
+        (b_ref, p_ref), *rest = bands
+        for b_fast, p_fast in rest:
+            assert b_ref.graph == b_fast.graph
+            assert np.array_equal(b_ref.smap.to_parent,
+                                  b_fast.smap.to_parent)
+            assert np.array_equal(b_ref.side, b_fast.side)
+            assert np.array_equal(b_ref.movable, b_fast.movable)
+            assert b_ref.n_boundary == b_fast.n_boundary
+            assert np.array_equal(p_ref, p_fast)
 
 
 # ----------------------------------------------------------------------
 # golden determinism: whole pipeline, both backends, repeated runs
 # ----------------------------------------------------------------------
 class TestGoldenDeterminism:
-    """Fixed seed ⇒ identical edge cut and partition vector across both
-    backends and across repeated runs (k ∈ {2, 4, 8}, three families)."""
+    """Fixed seed ⇒ identical edge cut and partition vector across every
+    backend and across repeated runs (k ∈ {2, 4, 8}, three families)."""
 
     SEED = 42
 
@@ -181,10 +221,13 @@ class TestGoldenDeterminism:
     def test_backends_and_reruns_agree(self, golden_graphs, family, k):
         g = golden_graphs[family]
         runs = []
-        for backend in ("python", "numpy", "numpy"):  # repeat the default
-            cfg = FAST.derive(kernel_backend=backend)
-            res = KappaPartitioner(cfg).partition(g, k, seed=self.SEED)
-            runs.append((res.cut, res.partition.part))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            # repeat the default backend to cover rerun determinism too
+            for backend in ("python", "numpy", "numba", "numpy"):
+                cfg = FAST.derive(kernel_backend=backend)
+                res = KappaPartitioner(cfg).partition(g, k, seed=self.SEED)
+                runs.append((res.cut, res.partition.part))
         cut0, part0 = runs[0]
         for cut, part in runs[1:]:
             assert cut == cut0
