@@ -144,9 +144,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph", help="input graph file")
     p.add_argument("-k", type=int, required=True, help="number of blocks")
     p.add_argument("--preset", default="fast",
-                   choices=("minimal", "fast", "strong", "walshaw"))
+                   choices=("minimal", "fast", "strong", "walshaw",
+                            "mapping"))
     p.add_argument("--tool", default="kappa", choices=TOOLS)
     p.add_argument("--epsilon", type=float, default=0.03)
+    p.add_argument("--epsilons", default=None, metavar="E0,E1,...",
+                   help="per-constraint-dimension imbalance tolerances "
+                        "for graphs with vector vertex weights "
+                        "(comma-separated, one per dimension)")
+    p.add_argument("--objective", default=None, choices=("cut", "mapping"),
+                   help="optimisation objective (default: the preset's; "
+                        "'mapping' = communication volume x machine "
+                        "distance)")
+    p.add_argument("--topology", default=None, metavar="SPEC",
+                   help="machine topology for --objective mapping, as "
+                        "colon-separated tier sizes, e.g. '2:4' = 2 racks "
+                        "x 4 nodes (product must equal k; default: "
+                        "derived from k)")
+    p.add_argument("--fixed-vertices", default=None, dest="fixed_vertices",
+                   metavar="PATH",
+                   help="file pinning vertices to blocks: one integer per "
+                        "line (line i = vertex i's block, -1 = free), or "
+                        "'vertex block' pairs on each line")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--execution", default="sequential",
                    choices=("sequential", "cluster"))
@@ -282,6 +301,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _read_fixed(path: str, n: int) -> np.ndarray:
+    """Parse a fixed-vertex file: either one block id per line (line i
+    pins vertex i; -1 = free) or 'vertex block' pairs.  Comment lines
+    (#) and blanks are skipped."""
+    rows = []
+    with open(path) as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            toks = line.split()
+            if len(toks) not in (1, 2):
+                raise ValueError(
+                    f"{path}:{lineno}: expected one block id or a "
+                    f"'vertex block' pair, got {len(toks)} fields")
+            try:
+                rows.append((lineno, [int(t) for t in toks]))
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: non-integer field in {line!r}"
+                ) from None
+    fixed = np.full(n, -1, dtype=np.int64)
+    widths = {len(vals) for _, vals in rows}
+    if not rows:
+        return fixed
+    if widths == {1}:
+        if len(rows) != n:
+            raise ValueError(
+                f"{path}: positional format needs one line per vertex "
+                f"({n}), got {len(rows)}")
+        fixed[:] = [vals[0] for _, vals in rows]
+    elif widths == {2}:
+        for lineno, (v, b) in rows:
+            if not (0 <= v < n):
+                raise ValueError(
+                    f"{path}:{lineno}: vertex {v} out of range (n={n})")
+            fixed[v] = b
+    else:
+        raise ValueError(
+            f"{path}: mixed formats — use either one block id per line "
+            f"or 'vertex block' pairs throughout")
+    return fixed
+
+
 def _instrumented_run(g, args, k: int):
     """Run the kappa partitioner honouring ``--trace`` and
     ``--check-invariants``; returns ``(result, tracer_or_None)``."""
@@ -289,6 +352,20 @@ def _instrumented_run(g, args, k: int):
     overrides = {}
     if getattr(args, "kernel_backend", None):
         overrides["kernel_backend"] = args.kernel_backend
+    if getattr(args, "objective", None):
+        overrides["objective"] = args.objective
+    if getattr(args, "topology", None):
+        overrides["topology"] = args.topology
+        if not getattr(args, "objective", None):
+            overrides["objective"] = "mapping"  # --topology implies it
+    if getattr(args, "epsilons", None):
+        try:
+            overrides["epsilons"] = tuple(
+                float(t) for t in args.epsilons.split(","))
+        except ValueError:
+            raise ValueError(
+                f"bad --epsilons {args.epsilons!r}: expected "
+                f"comma-separated floats") from None
     engine = getattr(args, "engine", None)
     execution = args.execution
     if engine is not None:
@@ -410,6 +487,17 @@ def _report_instrumentation(res, args, g=None, k=None) -> int:
 
 def _cmd_partition(args) -> int:
     g = _read_graph(args.graph, args.format)
+    if getattr(args, "fixed_vertices", None):
+        if args.tool != "kappa":
+            print("error: --fixed-vertices requires --tool kappa",
+                  file=sys.stderr)
+            return 1
+        from .graph.csr import Graph
+        fixed = _read_fixed(args.fixed_vertices, g.n)
+        g = Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt, coords=g.coords,
+                  validate=False,
+                  vwgts=(g.vwgts if g.n_constraints > 1 else None),
+                  fixed=fixed)
     instrumented = bool(args.trace or args.check_invariants
                         or _obs_outputs(args))
     if instrumented and args.tool != "kappa":
@@ -439,6 +527,9 @@ def _cmd_partition(args) -> int:
     print(f"balance: {res.partition.balance:.4f} "
           f"(feasible at eps={args.epsilon:g}: "
           f"{res.partition.is_feasible(args.epsilon)})")
+    mapping = getattr(res, "stats", {}).get("mapping_cost")
+    if mapping is not None:
+        print(f"mapping cost: {mapping:g}")
     print(f"time: {elapsed:.2f}s")
     if res.sim_time_s is not None:
         print(f"simulated parallel time: {res.sim_time_s * 1e3:.3f}ms")

@@ -56,7 +56,24 @@ def contract_matching(g: Graph, matching: np.ndarray) -> Tuple[Graph, np.ndarray
         denom = np.where(vwgt > 0, vwgt, 1.0)
         coords /= denom[:, None]
 
-    coarse = Graph(xadj, adjncy, adjwgt, vwgt, coords=coords, validate=False)
+    # extra constraint dimensions aggregate exactly like the first:
+    # c_d(x) = c_d(u) + c_d(v)
+    vwgts = None
+    if g.n_constraints > 1:
+        vwgts = np.zeros((n_coarse, g.n_constraints), dtype=np.float64)
+        np.add.at(vwgts, coarse_map, g.vwgts)
+        vwgts[:, 0] = vwgt  # keep the kernel's dim-0 accumulation order
+
+    # a fixed vertex never matches (matching treats it as forbidden), so
+    # each coarse node contains at most one fixed target; max over the
+    # constituents (free = -1) propagates it
+    fixed = None
+    if g.fixed is not None:
+        fixed = np.full(n_coarse, -1, dtype=np.int64)
+        np.maximum.at(fixed, coarse_map, g.fixed)
+
+    coarse = Graph(xadj, adjncy, adjwgt, vwgt, coords=coords, validate=False,
+                   vwgts=vwgts, fixed=fixed)
     return coarse, coarse_map
 
 

@@ -117,13 +117,18 @@ def coarsen(
                           "threshold" if current.m else "no_edges")
             break
         rng = np.random.default_rng((seed, level))
+        # fixed vertices never match: matching them into another node
+        # could contract two different targets together (or bury a pin
+        # inside a free coarse node)
+        forbidden = None if current.fixed is None else current.fixed >= 0
         if n_pes > 1:
             m = parallel_matching(
                 current, owner, n_pes, algorithm=matching, rating=rating,
                 seed=seed + level,
             )
         else:
-            m = dispatch(current, algorithm=matching, rating=rating, rng=rng)
+            m = dispatch(current, algorithm=matching, rating=rating, rng=rng,
+                         forbidden=forbidden)
         if checker is not None:
             checker.check_matching(current, m, level=level)
         matched = int((m != np.arange(current.n)).sum())

@@ -52,13 +52,25 @@ def _local_matching(
     sub, smap = induced_subgraph(g, nodes)
     if sub.m == 0:
         return []
-    local = dispatch(sub, algorithm=algorithm, rating=rating, rng=rng)
+    # fixed vertices (carried into the subgraph) are unmatchable
+    forbidden = None if sub.fixed is None else sub.fixed >= 0
+    local = dispatch(sub, algorithm=algorithm, rating=rating, rng=rng,
+                     forbidden=forbidden)
     v = np.arange(sub.n)
     sel = local > v
     return [
         (int(a), int(b))
         for a, b in zip(smap.to_parent[v[sel]], smap.to_parent[local[sel]])
     ]
+
+
+def _drop_fixed_endpoints(g: Graph, us: np.ndarray, vs: np.ndarray,
+                          gap: np.ndarray) -> np.ndarray:
+    """Remove gap edges touching a fixed vertex (they never match)."""
+    if g.fixed is None:
+        return gap
+    pinned = g.fixed >= 0
+    return gap[~(pinned[us[gap]] | pinned[vs[gap]])]
 
 
 def gap_edge_indices(
@@ -158,6 +170,7 @@ def parallel_matching(
     # -- phase 2: locally-dominant matching on the gap graph -------------
     mscore = _matched_scores(g.n, matching, us, vs, scores)
     gap = gap_edge_indices(owner, matching, us, vs, scores, mscore)
+    gap = _drop_fixed_endpoints(g, us, vs, gap)
     for u, v in locally_dominant_matching(us[gap], vs[gap], scores[gap], g.n):
         for x in (u, v):  # free the local partners the gap edge displaces
             old = int(matching[x])
@@ -202,6 +215,7 @@ def parallel_matching_spmd(
     us, vs, ws, scores = rate_edges(g, rating)
     mscore = _matched_scores(g.n, matching, us, vs, scores)
     gap = gap_edge_indices(owner, matching, us, vs, scores, mscore)
+    gap = _drop_fixed_endpoints(g, us, vs, gap)
     gus, gvs, gsc = us[gap], vs[gap], scores[gap]
     order_rank = np.lexsort((np.arange(len(gap)), -gsc))
     order_pos = np.empty(len(gap), dtype=np.int64)

@@ -2,7 +2,15 @@
 result reporting, and the KaPPa driver."""
 
 from . import metrics
-from .config import FAST, MINIMAL, STRONG, WALSHAW, KappaConfig, preset
+from .config import (
+    FAST,
+    MAPPING,
+    MINIMAL,
+    STRONG,
+    WALSHAW,
+    KappaConfig,
+    preset,
+)
 from .partition import Partition
 from .reporting import (
     RunRecord,
@@ -20,6 +28,7 @@ __all__ = [
     "FAST",
     "STRONG",
     "WALSHAW",
+    "MAPPING",
     "preset",
     "Partition",
     "RunRecord",
@@ -48,6 +57,12 @@ __all__ += ["IncrementalResult", "IncrementalSession",
             "incremental_repartition"]
 
 from . import objectives
-from .objectives import ObjectiveReport, evaluate_objectives
+from .objectives import (
+    ObjectiveReport,
+    Topology,
+    evaluate_objectives,
+    mapping_cost,
+)
 
-__all__ += ["objectives", "ObjectiveReport", "evaluate_objectives"]
+__all__ += ["objectives", "ObjectiveReport", "evaluate_objectives",
+            "Topology", "mapping_cost"]

@@ -28,7 +28,8 @@ from typing import Optional, Tuple
 
 from ..kernels import BACKENDS as KERNEL_BACKENDS
 
-__all__ = ["KappaConfig", "MINIMAL", "FAST", "STRONG", "WALSHAW", "preset"]
+__all__ = ["KappaConfig", "MINIMAL", "FAST", "STRONG", "WALSHAW", "MAPPING",
+           "preset"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,17 @@ class KappaConfig:
     # -- problem parameters -------------------------------------------
     epsilon: float = 0.03          # allowed imbalance (paper default 3 %)
     seed: int = 0                  # master RNG seed; PEs derive seed+rank
+    #: optimisation objective: "cut" (the paper's edge cut) or "mapping"
+    #: (communication volume × machine distance over a hierarchical
+    #: topology; see repro.core.objectives.Topology)
+    objective: str = "cut"
+    #: machine topology for the mapping objective, as a colon-separated
+    #: tier spec, e.g. "2:4" = 2 racks × 4 nodes (k must equal the
+    #: product).  None → derived from k (Topology.default_for)
+    topology: Optional[str] = None
+    #: per-constraint-dimension imbalance tolerances for graphs with an
+    #: (n, c) weight matrix; None → ``epsilon`` for every dimension
+    epsilons: Optional[Tuple[float, ...]] = None
 
     # -- contraction (Section 3) --------------------------------------
     rating: str = "expansion_star2"  # Table 3 winner
@@ -137,6 +149,28 @@ class KappaConfig:
     def __post_init__(self) -> None:
         if self.epsilon < 0:
             raise ValueError("epsilon must be non-negative")
+        if self.objective not in ("cut", "mapping"):
+            raise ValueError(
+                f"unknown objective {self.objective!r}; "
+                "choose from ('cut', 'mapping')"
+            )
+        if self.objective == "mapping" and self.refine_algorithm != "fm":
+            raise ValueError(
+                "the mapping objective requires refine_algorithm='fm' "
+                "(the flow refiner only understands the cut objective)"
+            )
+        if self.topology is not None:
+            if self.objective != "mapping":
+                raise ValueError(
+                    "topology is only meaningful with objective='mapping'"
+                )
+            from .objectives import Topology
+            Topology.parse(self.topology)  # fail fast on a bad spec
+        if self.epsilons is not None:
+            if len(self.epsilons) == 0:
+                raise ValueError("epsilons must not be empty")
+            if any(e < 0 for e in self.epsilons):
+                raise ValueError("every epsilon must be non-negative")
         if not (0 < self.fm_alpha <= 1):
             raise ValueError("fm_alpha must lie in (0, 1]")
         if self.stop_rule not in ("always", "no_change", "twice_no_change"):
@@ -232,11 +266,18 @@ STRONG = KappaConfig(
 #: lives in :mod:`repro.walshaw.runner`, not in the config.
 WALSHAW = STRONG.derive(name="walshaw", fm_alpha=0.30)
 
+#: Topology-aware mapping: the *fast* schedule optimising communication
+#: volume × machine distance instead of the plain cut.  The topology
+#: defaults to a two-tier factorisation of k (Topology.default_for) and
+#: can be overridden with ``derive(topology="2:4")`` / ``--topology``.
+MAPPING = KappaConfig(name="mapping", objective="mapping")
+
 _PRESETS = {
     "minimal": MINIMAL,
     "fast": FAST,
     "strong": STRONG,
     "walshaw": WALSHAW,
+    "mapping": MAPPING,
 }
 
 

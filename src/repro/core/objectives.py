@@ -16,12 +16,14 @@ checks the paper's correlation claim against them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 import numpy as np
 
 from ..graph.csr import Graph
+from ..parallel.costmodel import DEFAULT_MACHINE, MachineModel
 from . import metrics
 
 __all__ = [
@@ -33,6 +35,9 @@ __all__ = [
     "boundary_fraction",
     "ObjectiveReport",
     "evaluate_objectives",
+    "Topology",
+    "mapping_cost",
+    "resolve_topology",
 ]
 
 
@@ -90,6 +95,140 @@ def boundary_fraction(g: Graph, part: np.ndarray) -> float:
     if g.n == 0:
         return 0.0
     return len(metrics.boundary_nodes(g, part)) / g.n
+
+
+# ---------------------------------------------------------------------------
+# topology-aware mapping (blocks onto a hierarchical machine)
+# ---------------------------------------------------------------------------
+
+#: wire size of one abstract halo-exchange unit (a float64)
+_UNIT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A hierarchical machine topology the ``k`` blocks map onto.
+
+    ``levels`` are the branching factors from the outermost tier inwards
+    (e.g. ``(2, 4)`` = 2 racks × 4 nodes = 8 blocks, ``(2, 2, 4)`` =
+    rack : node : core with 16 leaves).  Block ``b`` sits on leaf ``b``
+    of the tree in mixed-radix order, so blocks sharing a prefix of
+    their mixed-radix decomposition share the corresponding tiers.
+
+    The distance between two blocks is derived from the
+    :class:`~repro.parallel.costmodel.MachineModel` oracle: a message
+    crossing the tier where the two leaves diverge traverses a switch
+    connecting the whole subtree below it, which the LogP-style model
+    charges as ``ceil(log2(subtree_size))`` rounds of the point-to-point
+    time.  Distances are expressed in *rounds* (the per-round time
+    cancels), so for ``(2, 2, 4)`` two cores on one node are 2 apart,
+    two nodes in one rack 3, and two racks 4.
+    """
+
+    levels: Tuple[int, ...]
+    machine: MachineModel = field(default=DEFAULT_MACHINE, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.levels or any(int(x) < 1 for x in self.levels):
+            raise ValueError(
+                f"topology levels must be positive branching factors, "
+                f"got {self.levels!r}"
+            )
+        object.__setattr__(self, "levels",
+                           tuple(int(x) for x in self.levels))
+
+    @property
+    def k(self) -> int:
+        """Number of leaves (= blocks the topology can host)."""
+        return int(np.prod(self.levels))
+
+    @classmethod
+    def parse(cls, spec: str,
+              machine: MachineModel = DEFAULT_MACHINE) -> "Topology":
+        """Parse a ``rack:node:core`` spec like ``"2:2:4"``."""
+        try:
+            levels = tuple(int(tok) for tok in str(spec).split(":"))
+        except ValueError:
+            raise ValueError(
+                f"bad topology spec {spec!r}: expected colon-separated "
+                f"branching factors like '2:2:4'"
+            ) from None
+        return cls(levels, machine=machine)
+
+    @classmethod
+    def default_for(cls, k: int,
+                    machine: MachineModel = DEFAULT_MACHINE) -> "Topology":
+        """Deterministic 2-level factorisation of ``k`` (largest divisor
+        ``<= sqrt(k)`` as the outer tier; ``(1, k)`` when ``k`` is prime)."""
+        outer = 1
+        for d in range(2, int(math.isqrt(k)) + 1):
+            if k % d == 0:
+                outer = d
+        # range above yields the largest divisor <= sqrt(k) last
+        return cls((outer, k // outer), machine=machine)
+
+    def distance_matrix(self) -> np.ndarray:
+        """``(k, k)`` symmetric block-distance matrix (0 on the diagonal).
+
+        ``D[a, b]`` is the LogP round count of the tier where leaves
+        ``a`` and ``b`` diverge (see class docstring).
+        """
+        k = self.k
+        # mixed-radix digits of every leaf, outermost tier first
+        digits = np.empty((k, len(self.levels)), dtype=np.int64)
+        rest = np.arange(k, dtype=np.int64)
+        for i in range(len(self.levels) - 1, -1, -1):
+            digits[:, i] = rest % self.levels[i]
+            rest //= self.levels[i]
+        # per-tier distance: rounds to cross the subtree below that tier
+        per_level = np.empty(len(self.levels))
+        base = self.machine.message_time(_UNIT_BYTES)
+        for i in range(len(self.levels)):
+            subtree = int(np.prod(self.levels[i:]))
+            per_level[i] = self.machine.collective_time(subtree,
+                                                        _UNIT_BYTES) / base
+        d = np.zeros((k, k))
+        for a in range(k):
+            differs = digits != digits[a]  # (k, L)
+            has_div = differs.any(axis=1)
+            div_level = np.argmax(differs, axis=1)
+            d[a, has_div] = per_level[div_level[has_div]]
+        return d
+
+
+def resolve_topology(objective: str, spec, k: int,
+                     machine: MachineModel = DEFAULT_MACHINE):
+    """The :class:`Topology` a run should refine against, or ``None``
+    for the cut objective.  ``spec`` is the config's ``topology`` string
+    (``None`` → :meth:`Topology.default_for`).  Validates that the
+    topology's leaf count matches ``k``."""
+    if objective != "mapping":
+        return None
+    topo = (Topology.default_for(k, machine=machine) if spec is None
+            else Topology.parse(spec, machine=machine))
+    if topo.k != k:
+        raise ValueError(
+            f"topology {'×'.join(map(str, topo.levels))} has {topo.k} "
+            f"leaves but the run asks for k={k} blocks"
+        )
+    return topo
+
+
+def mapping_cost(g: Graph, part: np.ndarray, topology: Topology) -> float:
+    """Σ over cut edges of ``w(e) · D[block(u), block(v)]`` — the
+    communication-volume × distance objective (each undirected edge
+    counted once)."""
+    part = np.asarray(part)
+    d = topology.distance_matrix()
+    if g.n and int(part.max()) >= d.shape[0]:
+        raise ValueError(
+            f"partition uses block {int(part.max())} but the topology "
+            f"only has {d.shape[0]} leaves ({'×'.join(map(str, topology.levels))})"
+        )
+    us, vs, ws = g.edge_array()
+    if len(us) == 0:
+        return 0.0
+    return float((ws * d[part[us], part[vs]]).sum())
 
 
 @dataclass(frozen=True)

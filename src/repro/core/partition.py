@@ -78,6 +78,14 @@ class Partition:
     def imbalance_penalty(self) -> float:
         return metrics.imbalance_penalty(self.block_weights, self.lmax)
 
+    def mapping_cost(self, topology) -> float:
+        """Communication-volume × distance objective against a
+        :class:`~repro.core.objectives.Topology` (or a ``"2:4"`` spec)."""
+        from .objectives import Topology, mapping_cost
+        if isinstance(topology, str):
+            topology = Topology.parse(topology)
+        return mapping_cost(self.graph, self.part, topology)
+
     # -- views ----------------------------------------------------------
     def quotient(self) -> Graph:
         """The quotient graph Q (paper Figure 1)."""

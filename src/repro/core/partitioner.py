@@ -45,6 +45,7 @@ from ..parallel.costmodel import DEFAULT_MACHINE, MachineModel
 from ..resilience.policy import ResiliencePolicy
 from . import metrics
 from .config import FAST, KappaConfig
+from .objectives import mapping_cost, resolve_topology
 from .partition import Partition
 from .spmd import kappa_spmd_program
 
@@ -139,6 +140,10 @@ class KappaPartitioner:
             )
             if execution == "cluster":
                 tracer.meta["engine"] = engine
+            if self.config.objective != "cut":
+                tracer.meta["objective"] = self.config.objective
+                if self.config.topology is not None:
+                    tracer.meta["topology"] = self.config.topology
         # run every hot-path kernel on the configured backend and let the
         # dispatcher report per-kernel timings into the trace
         with kernels.use_backend(self.config.kernel_backend), \
@@ -234,6 +239,11 @@ class KappaPartitioner:
         registry.count_all(stats)
         registry.gauge("final_cut").set(float(partition_obj.cut))
         registry.gauge("final_balance").set(float(partition_obj.balance))
+        topo = resolve_topology(cfg.objective, cfg.topology, k,
+                                machine=self.machine)
+        if topo is not None:
+            stats["mapping_cost"] = mapping_cost(g, part, topo)
+            registry.gauge("final_mapping_cost").set(stats["mapping_cost"])
         metrics_doc = registry.export()
         if tracer.enabled:
             tracer.observability = {"metrics": metrics_doc}
@@ -264,15 +274,25 @@ class KappaPartitioner:
             seed=seed,
             matching_selection=cfg.matching_selection,
             pair_algorithm=cfg.refine_algorithm,
+            epsilons=cfg.epsilons,
+            topology=resolve_topology(cfg.objective, cfg.topology, k,
+                                      machine=self.machine),
             tracer=tracer,
         )
 
     def _ensure_feasible(self, g: Graph, part: np.ndarray, k: int,
                          seed: int, tracer=NULL_TRACER) -> np.ndarray:
-        if not metrics.is_balanced(g, part, k, self.config.epsilon):
+        cfg = self.config
+        balanced = metrics.is_balanced(g, part, k, cfg.epsilon)
+        if balanced and (g.n_constraints > 1 or cfg.epsilons is not None):
+            from ..refinement.balance import BalanceState
+            balanced = BalanceState(g, part, k, epsilon=cfg.epsilon,
+                                    epsilons=cfg.epsilons).is_feasible()
+        if not balanced:
             tracer.count("rebalance_invocations")
-            part = rebalance(g, part, k, self.config.epsilon,
-                             rng=np.random.default_rng(seed))
+            part = rebalance(g, part, k, cfg.epsilon,
+                             rng=np.random.default_rng(seed),
+                             epsilons=cfg.epsilons)
         return part
 
     # ------------------------------------------------------------------
@@ -342,6 +362,12 @@ class KappaPartitioner:
             registry.gauge("makespan_s").set(res.makespan)
         registry.gauge("final_cut").set(float(partition_obj.cut))
         registry.gauge("final_balance").set(float(partition_obj.balance))
+        topo = resolve_topology(cfg.objective, cfg.topology, k,
+                                machine=self.machine)
+        run_mapping_cost = (mapping_cost(g, part, topo)
+                            if topo is not None else None)
+        if run_mapping_cost is not None:
+            registry.gauge("final_mapping_cost").set(run_mapping_cost)
         merged_obs = merge_pe_obs(list(res.obs))
         metrics_doc = merge_registry_docs(
             [registry.export(),
@@ -375,6 +401,8 @@ class KappaPartitioner:
         }
         if res.makespan is not None:
             stats["makespan_s"] = res.makespan
+        if run_mapping_cost is not None:
+            stats["mapping_cost"] = run_mapping_cost
         return KappaResult(
             partition=partition_obj,
             time_s=elapsed,

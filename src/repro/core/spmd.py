@@ -107,9 +107,17 @@ def kappa_spmd_program(comm: Comm, g: Graph, k: int, seed: int,
                     part = _refine_spmd(comm, g, part, k, seed, cfg)
                 rz.boundary("refine:level0",
                             state={"part": part, "level": 0})
-            if not metrics.is_balanced(g, part, k, cfg.epsilon):
+            balanced = metrics.is_balanced(g, part, k, cfg.epsilon)
+            if balanced and (g.n_constraints > 1
+                             or cfg.epsilons is not None):
+                from ..refinement.balance import BalanceState
+                balanced = BalanceState(
+                    g, part, k, epsilon=cfg.epsilon,
+                    epsilons=cfg.epsilons).is_feasible()
+            if not balanced:
                 part = rebalance(g, part, k, cfg.epsilon,
-                                 rng=np.random.default_rng(seed))
+                                 rng=np.random.default_rng(seed),
+                                 epsilons=cfg.epsilons)
     rz.boundary("final", state={"part": part, "depth": hierarchy.depth,
                                 "coarsest_n": hierarchy.coarsest.n})
     return part, hierarchy.depth, hierarchy.coarsest.n
@@ -151,6 +159,7 @@ def _refine_spmd(comm: Comm, g: Graph, part: np.ndarray, k: int,
     """Pairwise band refinement per level (§5)."""
     if k == 1:
         return part
+    from .objectives import resolve_topology
     return pairwise_refinement_spmd(
         comm, g, part,
         k=k,
@@ -163,4 +172,6 @@ def _refine_spmd(comm: Comm, g: Graph, part: np.ndarray, k: int,
         max_global_iterations=cfg.max_global_iterations,
         stop_rule=cfg.stop_rule,
         seed=seed,
+        epsilons=cfg.epsilons,
+        topology=resolve_topology(cfg.objective, cfg.topology, k),
     )

@@ -50,6 +50,17 @@ class SharedGraph:
                   else np.ascontiguousarray(g.coords, dtype=np.float64))
         if coords is not None:
             arrays.append(coords)
+        # optional constraint extensions: the full (n, c) weight matrix
+        # (c > 1 only — for c = 1 ``vwgt`` already carries it) and the
+        # fixed-vertex targets
+        vwgts = (None if g.n_constraints == 1
+                 else np.ascontiguousarray(g.vwgts, dtype=np.float64))
+        if vwgts is not None:
+            arrays.append(vwgts)
+        fixed = (None if g.fixed is None
+                 else np.ascontiguousarray(g.fixed, dtype=np.int64))
+        if fixed is not None:
+            arrays.append(fixed)
         self._specs: List[Tuple[Tuple[int, ...], str, int]] = []
         total = 0
         for arr in arrays:
@@ -57,6 +68,8 @@ class SharedGraph:
             self._specs.append((arr.shape, arr.dtype.str, total))
             total += arr.nbytes
         self._has_coords = coords is not None
+        self._has_vwgts = vwgts is not None
+        self._has_fixed = fixed is not None
         self.shm = shared_memory.SharedMemory(create=True,
                                               size=max(total, 1))
         self._owner = True
@@ -69,14 +82,19 @@ class SharedGraph:
     def __reduce__(self):
         return (
             SharedGraph._attach,
-            (self.shm.name, self._specs, self._has_coords),
+            (self.shm.name, self._specs, self._has_coords,
+             self._has_vwgts, self._has_fixed),
         )
 
     @staticmethod
-    def _attach(name: str, specs, has_coords: bool) -> "SharedGraph":
+    def _attach(name: str, specs, has_coords: bool,
+                has_vwgts: bool = False,
+                has_fixed: bool = False) -> "SharedGraph":
         obj = object.__new__(SharedGraph)
         obj._specs = specs
         obj._has_coords = has_coords
+        obj._has_vwgts = has_vwgts
+        obj._has_fixed = has_fixed
         obj.shm = shared_memory.SharedMemory(name=name)
         obj._owner = False
         # attaching registered the segment with this process's resource
@@ -100,13 +118,24 @@ class SharedGraph:
                        offset=offset)
             for shape, dtype, offset in self._specs
         ]
+        extra = len(_FIELDS)
         coords: Optional[np.ndarray] = None
         if self._has_coords:
-            coords = views[len(_FIELDS)]
+            coords = views[extra]
+            extra += 1
+        vwgts: Optional[np.ndarray] = None
+        if self._has_vwgts:
+            vwgts = views[extra]
+            extra += 1
+        fixed: Optional[np.ndarray] = None
+        if self._has_fixed:
+            fixed = views[extra]
+            extra += 1
         xadj, adjncy, adjwgt, vwgt = views[: len(_FIELDS)]
         # the views are already contiguous with the right dtypes, so the
         # constructor's ascontiguousarray calls are no-ops (no copy)
-        return Graph(xadj, adjncy, adjwgt, vwgt, coords, validate=False)
+        return Graph(xadj, adjncy, adjwgt, vwgt, coords, validate=False,
+                     vwgts=vwgts, fixed=fixed)
 
     def close(self) -> None:
         self.shm.close()

@@ -35,11 +35,14 @@ def from_edge_list(
     weights: Optional[Sequence[float]] = None,
     vwgt: Optional[Sequence[float]] = None,
     coords: Optional[np.ndarray] = None,
+    fixed: Optional[Sequence[int]] = None,
 ) -> Graph:
     """Build a graph from an undirected edge list.
 
     Self-loops are dropped; duplicate/parallel edges (in either direction)
-    are merged by summing their weights.
+    are merged by summing their weights.  ``vwgt`` may be a length-``n``
+    vector or an ``(n, c)`` multi-constraint weight matrix; ``fixed`` is
+    an optional fixed-vertex mask (``-1`` = free, else target block id).
     """
     edges = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
     if weights is None:
@@ -66,7 +69,7 @@ def from_edge_list(
         merged_w = np.zeros(first.sum(), dtype=np.float64)
         np.add.at(merged_w, groups, w)
         u, v, w = u[first], v[first], merged_w
-    return _assemble(n, u, v, w, vwgt, coords)
+    return _assemble(n, u, v, w, vwgt, coords, fixed)
 
 
 def _assemble(
@@ -76,6 +79,7 @@ def _assemble(
     w: np.ndarray,
     vwgt: Optional[Sequence[float]],
     coords: Optional[np.ndarray],
+    fixed: Optional[Sequence[int]] = None,
 ) -> Graph:
     """Assemble CSR arrays from a deduplicated canonical edge list."""
     src = np.concatenate([u, v])
@@ -91,7 +95,8 @@ def _assemble(
         if vwgt is None
         else np.asarray(vwgt, dtype=np.float64)
     )
-    return Graph(xadj, dst, ww, node_w, coords=coords)
+    fix = None if fixed is None else np.asarray(fixed, dtype=np.int64)
+    return Graph(xadj, dst, ww, node_w, coords=coords, fixed=fix)
 
 
 def from_adjacency(

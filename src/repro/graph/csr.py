@@ -35,7 +35,11 @@ class Graph:
         ``float64`` edge weights aligned with ``adjncy``.  Both copies of
         an undirected edge must carry the same weight.
     vwgt:
-        ``float64`` node weights, length ``n``.
+        Node weights: a ``float64`` array of length ``n`` (the classic
+        single-constraint case) or an ``(n, c)`` matrix of ``c`` weight
+        vectors per node (multi-constraint partitioning, e.g. memory +
+        compute).  ``vwgt`` always exposes the first (dominant) dimension
+        as a contiguous 1-D array; the full matrix lives in ``vwgts``.
     coords:
         Optional ``(n, d)`` float array of geometric coordinates, used by
         the geometric prepartitioner (paper Section 3.3).
@@ -43,10 +47,18 @@ class Graph:
         When true (default) cheap structural invariants are checked at
         construction time.  Set to false in hot paths that construct
         graphs from already-validated arrays.
+    vwgts:
+        Optional explicit ``(n, c)`` node-weight matrix; takes precedence
+        over ``vwgt`` when given.
+    fixed:
+        Optional ``int64`` array of length ``n``: the *fixed-vertex* mask.
+        ``fixed[v] == -1`` means free; ``fixed[v] == b >= 0`` pins ``v``
+        to block ``b`` — matching never contracts it into a different
+        target and no refinement move may relabel it.
     """
 
-    __slots__ = ("xadj", "adjncy", "adjwgt", "vwgt", "coords", "_out_cache",
-                 "_sig_cache")
+    __slots__ = ("xadj", "adjncy", "adjwgt", "vwgt", "vwgts", "fixed",
+                 "coords", "_out_cache", "_sig_cache")
 
     def __init__(
         self,
@@ -56,11 +68,25 @@ class Graph:
         vwgt: np.ndarray,
         coords: Optional[np.ndarray] = None,
         validate: bool = True,
+        vwgts: Optional[np.ndarray] = None,
+        fixed: Optional[np.ndarray] = None,
     ) -> None:
         self.xadj = np.ascontiguousarray(xadj, dtype=np.int64)
         self.adjncy = np.ascontiguousarray(adjncy, dtype=np.int64)
         self.adjwgt = np.ascontiguousarray(adjwgt, dtype=np.float64)
-        self.vwgt = np.ascontiguousarray(vwgt, dtype=np.float64)
+        w = np.asarray(vwgts if vwgts is not None else vwgt,
+                       dtype=np.float64)
+        if w.ndim == 1 or (w.ndim == 2 and w.shape[1] == 1):
+            # single constraint: vwgt is the storage, vwgts a (n, 1) view
+            self.vwgt = np.ascontiguousarray(w.reshape(-1))
+            self.vwgts = self.vwgt.reshape(-1, 1)
+        elif w.ndim == 2:
+            self.vwgts = np.ascontiguousarray(w)
+            self.vwgt = np.ascontiguousarray(self.vwgts[:, 0])
+        else:
+            raise ValueError("vwgt must be a 1-D vector or an (n, c) matrix")
+        self.fixed = (None if fixed is None
+                      else np.ascontiguousarray(fixed, dtype=np.int64))
         self.coords = None if coords is None else np.asarray(coords, dtype=np.float64)
         self._out_cache: Optional[np.ndarray] = None
         self._sig_cache: Optional[str] = None
@@ -99,9 +125,30 @@ class Graph:
     def node_weight(self, v: int) -> float:
         return float(self.vwgt[v])
 
+    @property
+    def n_constraints(self) -> int:
+        """Number of balance-constraint dimensions ``c`` (1 = classic)."""
+        return self.vwgts.shape[1]
+
     def total_node_weight(self) -> float:
         """``c(V)`` — the sum of all node weights."""
         return float(self.vwgt.sum())
+
+    def total_node_weights(self) -> np.ndarray:
+        """Per-dimension total node weight, shape ``(c,)``."""
+        return self.vwgts.sum(axis=0)
+
+    def max_node_weights(self) -> np.ndarray:
+        """Per-dimension maximum node weight, shape ``(c,)``."""
+        if self.n == 0:
+            return np.zeros(self.n_constraints)
+        return self.vwgts.max(axis=0)
+
+    def fixed_mask(self) -> np.ndarray:
+        """Boolean mask of fixed vertices (all-false when none are)."""
+        if self.fixed is None:
+            return np.zeros(self.n, dtype=bool)
+        return self.fixed >= 0
 
     def total_edge_weight(self) -> float:
         """``ω(E)`` — the sum of all (undirected) edge weights."""
@@ -257,8 +304,29 @@ class Graph:
             raise ValueError("coords must have one row per node")
         if np.any(self.adjwgt <= 0):
             raise ValueError("edge weights must be positive (paper: ω: E → R>0)")
-        if np.any(self.vwgt < 0):
-            raise ValueError("node weights must be non-negative (paper: c: V → R≥0)")
+        if len(self.vwgts) != self.n:
+            raise ValueError(
+                f"vwgts must have one row per node: got {self.vwgts.shape}"
+                f" for n={self.n}"
+            )
+        if np.any(self.vwgts < 0):
+            v, d = (int(x) for x in np.argwhere(self.vwgts < 0)[0])
+            raise ValueError(
+                f"node weights must be non-negative (paper: c: V → R≥0): "
+                f"constraint dimension {d} of vertex {v} is "
+                f"{self.vwgts[v, d]:g}"
+            )
+        if self.fixed is not None:
+            if len(self.fixed) != self.n:
+                raise ValueError(
+                    f"fixed must have length n={self.n}, got {len(self.fixed)}"
+                )
+            if len(self.fixed) and self.fixed.min() < -1:
+                v = int(np.argmin(self.fixed))
+                raise ValueError(
+                    f"fixed[{v}] = {self.fixed[v]} is invalid: use -1 for "
+                    f"free vertices or a block id >= 0"
+                )
 
     def check_symmetry(self) -> None:
         """Expensive full check that every arc has a matching reverse arc
@@ -295,6 +363,15 @@ class Graph:
             h.update(np.ascontiguousarray(arr).tobytes())
         if self.coords is not None:
             h.update(np.ascontiguousarray(self.coords).tobytes())
+        # extra constraint dimensions and the fixed-vertex mask are hashed
+        # only when present, so classic c=1/no-fixed graphs keep their
+        # pre-refactor signatures (checkpoint identity depends on this)
+        if self.n_constraints > 1:
+            h.update(b"vwgts;")
+            h.update(np.ascontiguousarray(self.vwgts).tobytes())
+        if self.fixed is not None:
+            h.update(b"fixed;")
+            h.update(np.ascontiguousarray(self.fixed).tobytes())
         return h.hexdigest()[:16]
 
     def signature(self) -> str:
@@ -328,6 +405,8 @@ class Graph:
             self.vwgt.copy(),
             None if self.coords is None else self.coords.copy(),
             validate=False,
+            vwgts=(None if self.n_constraints == 1 else self.vwgts.copy()),
+            fixed=None if self.fixed is None else self.fixed.copy(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -340,9 +419,15 @@ class Graph:
             np.array_equal(self.xadj, other.xadj)
             and np.array_equal(self.adjncy, other.adjncy)
             and np.allclose(self.adjwgt, other.adjwgt)
-            and np.allclose(self.vwgt, other.vwgt)
+            and self.vwgts.shape == other.vwgts.shape
+            and np.allclose(self.vwgts, other.vwgts)
         )
         if not same:
+            return False
+        if (self.fixed is None) != (other.fixed is None):
+            return False
+        if self.fixed is not None and not np.array_equal(self.fixed,
+                                                         other.fixed):
             return False
         if (self.coords is None) != (other.coords is None):
             return False

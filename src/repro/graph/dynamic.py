@@ -190,6 +190,17 @@ class DynamicGraph:
             (int(u), int(v)): float(w) for u, v, w in base.edges()
         }
         self._vwgt: List[float] = [float(w) for w in base.vwgt]
+        # constraint extensions carried through every rebuild: extra
+        # weight dimensions (mutations only touch dimension 0; added
+        # vertices get 0 in the extras) and fixed-vertex targets (added
+        # vertices are free; removing a vertex clears its pin)
+        self._vwgts_extra: Optional[List[Tuple[float, ...]]] = (
+            None if base.n_constraints == 1
+            else [tuple(float(x) for x in row) for row in base.vwgts[:, 1:]]
+        )
+        self._fixed: Optional[List[int]] = (
+            None if base.fixed is None else [int(x) for x in base.fixed]
+        )
         self._active: List[bool] = [True] * base.n
         self._coords: Optional[List[Tuple[float, ...]]] = (
             None if base.coords is None
@@ -260,6 +271,12 @@ class DynamicGraph:
                 vid = self.n
                 self._vwgt.append(float(add.weight))
                 self._active.append(True)
+                if self._vwgts_extra is not None:
+                    dim = (len(self._vwgts_extra[0])
+                           if self._vwgts_extra else 1)
+                    self._vwgts_extra.append((0.0,) * dim)
+                if self._fixed is not None:
+                    self._fixed.append(-1)
                 if self._coords is not None:
                     dim = len(self._coords[0]) if self._coords else 2
                     row = (tuple(add.coords) if add.coords is not None
@@ -333,6 +350,10 @@ class DynamicGraph:
                 dirty.update(key)
             self._active[v] = False
             self._vwgt[v] = 0.0
+            if self._vwgts_extra is not None:
+                self._vwgts_extra[v] = (0.0,) * len(self._vwgts_extra[v])
+            if self._fixed is not None:
+                self._fixed[v] = -1
             removed_ids.append(v)
             dirty.add(v)
 
@@ -347,6 +368,10 @@ class DynamicGraph:
             self._active.pop()
             if self._coords is not None:
                 self._coords.pop()
+            if self._vwgts_extra is not None:
+                self._vwgts_extra.pop()
+            if self._fixed is not None:
+                self._fixed.pop()
             dirty.discard(vid)
             poppable.discard(vid)
 
@@ -435,9 +460,19 @@ class DynamicGraph:
         coords = (None if self._coords is None
                   else np.asarray(self._coords, dtype=np.float64).reshape(
                       n, -1))
-        return Graph(xadj, dst, ww,
-                     np.asarray(self._vwgt, dtype=np.float64),
-                     coords=coords)
+        vwgt = np.asarray(self._vwgt, dtype=np.float64)
+        vwgts = None
+        if self._vwgts_extra is not None:
+            vwgts = np.concatenate(
+                [vwgt[:, None],
+                 np.asarray(self._vwgts_extra,
+                            dtype=np.float64).reshape(n, -1)],
+                axis=1,
+            )
+        fixed = (None if self._fixed is None
+                 else np.asarray(self._fixed, dtype=np.int64))
+        return Graph(xadj, dst, ww, vwgt, coords=coords,
+                     vwgts=vwgts, fixed=fixed)
 
 
 # ----------------------------------------------------------------------

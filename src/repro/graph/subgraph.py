@@ -59,7 +59,10 @@ def induced_subgraph(g: Graph, nodes: Sequence[int]) -> Tuple[Graph, SubgraphMap
     np.add.at(xadj, s_src + 1, 1)
     np.cumsum(xadj, out=xadj)
     coords = None if g.coords is None else g.coords[sel]
-    sub = Graph(xadj, s_dst, s_w, g.vwgt[sel], coords=coords, validate=False)
+    vwgts = None if g.n_constraints == 1 else g.vwgts[sel]
+    fixed = None if g.fixed is None else g.fixed[sel]
+    sub = Graph(xadj, s_dst, s_w, g.vwgt[sel], coords=coords, validate=False,
+                vwgts=vwgts, fixed=fixed)
     return sub, SubgraphMap(to_parent=sel, to_sub=to_sub)
 
 
@@ -82,8 +85,17 @@ def relabel(g: Graph, perm: Sequence[int]) -> Graph:
     np.cumsum(xadj, out=xadj)
     vwgt = np.empty_like(g.vwgt)
     vwgt[perm] = g.vwgt
+    vwgts = None
+    if g.n_constraints > 1:
+        vwgts = np.empty_like(g.vwgts)
+        vwgts[perm] = g.vwgts
+    fixed = None
+    if g.fixed is not None:
+        fixed = np.empty_like(g.fixed)
+        fixed[perm] = g.fixed
     coords = None
     if g.coords is not None:
         coords = np.empty_like(g.coords)
         coords[perm] = g.coords
-    return Graph(xadj, dst[order], g.adjwgt[order], vwgt, coords=coords, validate=False)
+    return Graph(xadj, dst[order], g.adjwgt[order], vwgt, coords=coords,
+                 validate=False, vwgts=vwgts, fixed=fixed)

@@ -50,12 +50,20 @@ def validate_partition(
     part: np.ndarray,
     k: int,
     epsilon: Optional[float] = None,
+    epsilons=None,
 ) -> None:
     """Check that ``part`` is a valid (and, if ``epsilon`` is given,
     balanced) k-partition of ``g``.
 
-    The balance constraint is the paper's (Section 2):
-    ``c(V_i) <= L_max := (1 + eps) * c(V)/k + max_v c(v)``.
+    The balance constraint is the paper's (Section 2), applied per
+    constraint dimension when the graph carries an ``(n, c)`` weight
+    matrix: ``c_d(V_i) <= L_max,d := (1 + eps_d) * c_d(V)/k + max_v
+    c_d(v)``.  ``epsilons`` optionally gives one epsilon per dimension
+    (defaults to ``epsilon`` for every dimension).  Violations name the
+    offending constraint dimension, block, and heaviest vertex.
+
+    When ``g.fixed`` is set, every fixed vertex must sit in its target
+    block.
     """
     part = np.asarray(part)
     if part.shape != (g.n,):
@@ -64,15 +72,43 @@ def validate_partition(
         raise ValueError("partition vector must be integral")
     if g.n and (part.min() < 0 or part.max() >= k):
         raise ValueError("block ids must lie in 0..k-1")
-    if epsilon is not None:
-        block_w = np.zeros(k, dtype=np.float64)
-        np.add.at(block_w, part, g.vwgt)
-        lmax = (1.0 + epsilon) * g.total_node_weight() / k + g.max_node_weight()
-        worst = block_w.max() if k else 0.0
-        if worst > lmax + 1e-9:
+    if g.fixed is not None:
+        pinned = np.nonzero(g.fixed >= 0)[0]
+        moved = pinned[part[pinned] != g.fixed[pinned]]
+        if len(moved):
+            v = int(moved[0])
             raise ValueError(
-                f"balance violated: max block weight {worst:g} > L_max {lmax:g}"
+                f"fixed vertex {v} is assigned to block {int(part[v])} "
+                f"but is pinned to block {int(g.fixed[v])} "
+                f"({len(moved)} fixed vertices misplaced in total)"
             )
+    if epsilon is not None or epsilons is not None:
+        c = g.n_constraints
+        if epsilons is None:
+            eps = np.full(c, float(epsilon))
+        else:
+            eps = np.asarray(epsilons, dtype=np.float64)
+            if eps.shape != (c,):
+                raise ValueError(
+                    f"epsilons must give one value per constraint "
+                    f"dimension: expected shape ({c},), got {eps.shape}"
+                )
+        totals = g.total_node_weights()
+        maxima = g.max_node_weights()
+        for d in range(c):
+            block_w = np.zeros(k, dtype=np.float64)
+            np.add.at(block_w, part, g.vwgts[:, d])
+            lmax = (1.0 + eps[d]) * totals[d] / k + maxima[d]
+            worst_block = int(block_w.argmax()) if k else 0
+            worst = block_w[worst_block] if k else 0.0
+            if worst > lmax + 1e-9:
+                dim = (f"constraint dimension {d}" if c > 1
+                       else "block weight")
+                raise ValueError(
+                    f"balance violated in {dim}: block {worst_block} "
+                    f"weighs {worst:g} > L_max {lmax:g} "
+                    f"(eps={eps[d]:g}, total={totals[d]:g}, k={k})"
+                )
 
 
 def validate_matching(g: Graph, matching: np.ndarray) -> None:

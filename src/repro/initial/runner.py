@@ -39,6 +39,13 @@ def _one_attempt(g: Graph, k: int, epsilon: float, method: str,
             f"unknown initial partitioner {method!r}; "
             f"choose from {INITIAL_PARTITIONERS}"
         )
+    if g.fixed is not None:
+        # the sequential partitioners are fixed-vertex agnostic: pin the
+        # fixed vertices afterwards, then let rebalance (which never
+        # moves them) repair whatever imbalance the overrides caused
+        pinned = g.fixed >= 0
+        if pinned.any():
+            part[pinned] = g.fixed[pinned]
     if not metrics.is_balanced(g, part, k, epsilon):
         part = rebalance(g, part, k, epsilon,
                          rng=np.random.default_rng(seed))
@@ -46,9 +53,21 @@ def _one_attempt(g: Graph, k: int, epsilon: float, method: str,
 
 
 def _score(g: Graph, part: np.ndarray, k: int, epsilon: float) -> Tuple[float, float]:
-    """Lexicographic quality: (imbalance penalty, cut) — feasible first."""
+    """Lexicographic quality: (imbalance penalty, cut) — feasible first.
+
+    Multi-constraint graphs take the worst per-dimension penalty so an
+    attempt that is feasible in every dimension always beats one that
+    violates any of them."""
     w = metrics.block_weights(g, part, k)
     pen = metrics.imbalance_penalty(w, metrics.lmax(g, k, epsilon))
+    if g.n_constraints > 1:
+        totals = g.total_node_weights()
+        maxima = g.max_node_weights()
+        for d in range(1, g.n_constraints):
+            wd = np.zeros(k, dtype=np.float64)
+            np.add.at(wd, np.asarray(part), g.vwgts[:, d])
+            limit = (1.0 + epsilon) * totals[d] / k + maxima[d]
+            pen = max(pen, metrics.imbalance_penalty(wd, limit))
     return (pen, metrics.cut_value(g, part))
 
 

@@ -271,11 +271,22 @@ else:  # pragma: no cover - exercised only where numba is installed
         return gains, boundary
 
     @register("gain_boundary", "numba")
-    def gain_boundary(g: Graph,
-                      side: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Initial FM gains + boundary nodes in one JIT'd pass."""
-        return _gain_boundary_jit(g.n, _as_i64(g.xadj), _as_i64(g.adjncy),
-                                  _as_f64(g.adjwgt), _as_i64(side))
+    def gain_boundary(g: Graph, side: np.ndarray, scale: float = 1.0,
+                      bias=None) -> Tuple[np.ndarray, np.ndarray]:
+        """Initial FM gains + boundary nodes in one JIT'd pass.
+
+        ``gain'(v) = scale · gain(v) + bias[v]`` (mapping objective);
+        the transform runs after the raw accumulation, matching the
+        reference backend's rounding bit for bit.
+        """
+        gains, boundary = _gain_boundary_jit(
+            g.n, _as_i64(g.xadj), _as_i64(g.adjncy),
+            _as_f64(g.adjwgt), _as_i64(side))
+        if scale != 1.0:
+            gains = gains * float(scale)
+        if bias is not None:
+            gains = gains + np.asarray(bias, dtype=np.float64)
+        return gains, boundary
 
     @njit(cache=True, nogil=True)
     def _band_bfs_jit(n, xadj, adjncy, seeds, allowed, max_depth):

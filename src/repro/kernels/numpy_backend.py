@@ -112,12 +112,22 @@ def contract_edges(
 
 
 @register("gain_boundary", "numpy")
-def gain_boundary(g: Graph, side: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Initial FM gains and boundary nodes, one bincount over all arcs."""
+def gain_boundary(g: Graph, side: np.ndarray, scale: float = 1.0,
+                  bias=None) -> Tuple[np.ndarray, np.ndarray]:
+    """Initial FM gains and boundary nodes, one bincount over all arcs.
+
+    ``gain'(v) = scale · gain(v) + bias[v]`` (mapping objective); the
+    transform is applied after the raw accumulation so rounding matches
+    the reference backend bit for bit.
+    """
     src = g.directed_sources()
     crossing = side[src] != side[g.adjncy]
     signed = np.where(crossing, g.adjwgt, -g.adjwgt)
     gains = np.bincount(src, weights=signed, minlength=g.n)
+    if scale != 1.0:
+        gains = gains * float(scale)
+    if bias is not None:
+        gains = gains + np.asarray(bias, dtype=np.float64)
     on_boundary = np.zeros(g.n, dtype=bool)
     on_boundary[src[crossing]] = True
     return gains, np.nonzero(on_boundary)[0]

@@ -114,11 +114,17 @@ def contract_edges(
 
 
 @register("gain_boundary", "python")
-def gain_boundary(g: Graph, side: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def gain_boundary(g: Graph, side: np.ndarray, scale: float = 1.0,
+                  bias=None) -> Tuple[np.ndarray, np.ndarray]:
     """Initial FM gains and boundary nodes under a 0/1 side assignment.
 
     ``gain(v) = ω(edges to the other side) − ω(edges to the own side)``;
     a node is boundary when it has at least one crossing edge.
+
+    ``scale``/``bias`` support the topology-mapping objective:
+    ``gain'(v) = scale · gain(v) + bias[v]`` (bias defaults to zero).
+    The scaling is applied *after* the raw accumulation, in the same
+    order in every backend, so rounding stays bit-identical.
     """
     gains = np.zeros(g.n, dtype=np.float64)
     boundary: List[int] = []
@@ -135,6 +141,10 @@ def gain_boundary(g: Graph, side: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         gains[v] = acc
         if crossing:
             boundary.append(v)
+    if scale != 1.0:
+        gains = gains * float(scale)
+    if bias is not None:
+        gains = gains + np.asarray(bias, dtype=np.float64)
     return gains, np.asarray(boundary, dtype=np.int64)
 
 

@@ -41,7 +41,8 @@ _HIGHER_BETTER = ("speedup",)
 #: matched by either list is reported but never flagged)
 _LOWER_BETTER = (
     "_s", "time", "wait", "bytes", "messages", "cut", "makespan",
-    "median", "wall", "recovery", "violations",
+    "median", "wall", "recovery", "violations", "mapping_cost",
+    "imbalance",
 )
 
 
@@ -206,6 +207,11 @@ def _bench_metrics(doc: Dict[str, Any]) -> Dict[str, float]:
                 out[f"{key}.median_s"] = float(rec["median_s"])
             if rec.get("speedup") is not None:
                 out[f"{key}.speedup"] = float(rec["speedup"])
+        elif "objective" in rec:  # bench_objectives rows
+            key = f"{rec.get('graph', '?')}.{rec['objective']}"
+            for name in ("cut", "mapping_cost", "max_imbalance", "wall_s"):
+                if rec.get(name) is not None:
+                    out[f"{key}.{name}"] = float(rec[name])
         elif "engine" in rec:  # bench_engines rows
             key = rec["engine"]
             for name in ("wall_s", "best_wall_s", "makespan_s", "cut"):

@@ -96,6 +96,9 @@ def extract_band(
     sub, smap = induced_subgraph(g, selected)
     side = (part[selected] == b).astype(np.int8)
     movable = band_mask[selected]
+    if g.fixed is not None:
+        # fixed vertices travel with the band as context but never move
+        movable &= g.fixed[selected] < 0
     return (
         Band(graph=sub, smap=smap, side=side, movable=movable,
              n_boundary=len(seeds)),

@@ -116,6 +116,13 @@ def fm_bipartition_refine(
     rng: Optional[np.random.Generator] = None,
     block_sizes: Optional[Tuple[int, int]] = None,
     lmax_b: Optional[float] = None,
+    edge_scale: Optional[float] = None,
+    gain_bias: Optional[np.ndarray] = None,
+    aux_weights: Optional[np.ndarray] = None,
+    aux_weight_a: Optional[np.ndarray] = None,
+    aux_weight_b: Optional[np.ndarray] = None,
+    aux_lmax_a: Optional[np.ndarray] = None,
+    aux_lmax_b: Optional[np.ndarray] = None,
 ) -> FMResult:
     """One FM local search pass between sides 0 and 1 of ``g``.
 
@@ -142,6 +149,25 @@ def fm_bipartition_refine(
     lmax_b:
         Separate limit for side 1 (recursive bisection splits k unevenly,
         giving the two sides different targets); defaults to ``lmax``.
+    edge_scale:
+        Topology-aware mapping: every pair-internal gain is multiplied by
+        the distance ``D[a, b]`` between the two blocks, so a move's
+        priority is its communication-volume × distance saving.  Default
+        ``None`` keeps raw cut gains (bit-identical classic path).
+    gain_bias:
+        Optional per-node additive gain term: the saving on edges into
+        *third* blocks when the node switches sides (those edges stay cut
+        either way under the cut objective, but their distance changes
+        under mapping).  Computed by the caller from the parent graph.
+    aux_weights:
+        Optional ``(n, c-1)`` matrix of extra balance-constraint weights
+        (the graph's weight dimensions beyond the first).  When given,
+        moves must also keep every extra dimension under its own limit.
+    aux_weight_a, aux_weight_b:
+        Per-dimension totals of the two blocks (including mass outside
+        ``g``); default: side sums within ``g``.
+    aux_lmax_a, aux_lmax_b:
+        Per-dimension limits for the extra constraints.
     """
     if queue_selection not in QUEUE_STRATEGIES:
         raise ValueError(
@@ -167,7 +193,26 @@ def fm_bipartition_refine(
         block_sizes = (int((side == 0).sum()), int((side == 1).sum()))
     patience = max(1, int(alpha * max(1, min(block_sizes))))
 
-    gains, boundary = gain_and_boundary(g, side)
+    scale = 1.0 if edge_scale is None else float(edge_scale)
+    have_aux = aux_weights is not None
+    if have_aux:
+        aux = np.asarray(aux_weights, dtype=np.float64).reshape(g.n, -1)
+        aw = [
+            (aux[side == 0].sum(axis=0) if aux_weight_a is None
+             else np.asarray(aux_weight_a, dtype=np.float64).copy()),
+            (aux[side == 1].sum(axis=0) if aux_weight_b is None
+             else np.asarray(aux_weight_b, dtype=np.float64).copy()),
+        ]
+        ndim = aux.shape[1]
+        alim = (
+            np.full(ndim, np.inf) if aux_lmax_a is None
+            else np.asarray(aux_lmax_a, dtype=np.float64),
+            np.full(ndim, np.inf) if aux_lmax_b is None
+            else np.asarray(aux_lmax_b, dtype=np.float64),
+        )
+
+    gains, boundary = gain_and_boundary(g, side, scale=edge_scale,
+                                        bias=gain_bias)
     pq = (AddressablePQ(), AddressablePQ())
     for v in boundary:
         v = int(v)
@@ -178,7 +223,21 @@ def fm_bipartition_refine(
     locked = np.zeros(g.n, dtype=bool)
 
     def imbalance() -> float:
-        return max(0.0, w[0] - limits[0], w[1] - limits[1])
+        imb = max(0.0, w[0] - limits[0], w[1] - limits[1])
+        if have_aux:
+            imb = max(imb,
+                      float(np.max(aw[0] - alim[0], initial=0.0)),
+                      float(np.max(aw[1] - alim[1], initial=0.0)))
+        return imb
+
+    def aux_admissible(v: int, s: int, t: int) -> bool:
+        """Every extra constraint dimension either stays under the
+        target's limit or strictly improves an existing overload."""
+        if not have_aux:
+            return True
+        after = aw[t] + aux[v]
+        over = after - alim[t]
+        return bool(np.all((over <= 1e-9) | (over < aw[s] - alim[s])))
 
     # lexicographic best over (imbalance, cut): cut tracked as -total_gain
     total_gain = 0.0
@@ -199,9 +258,9 @@ def fm_bipartition_refine(
         cv = float(g.vwgt[v])
         # admissibility: never overload the target unless the move still
         # strictly improves the balance of an already-overloaded pair
-        if w[t] + cv > limits[t] and not (
+        if (w[t] + cv > limits[t] and not (
             w[t] + cv - limits[t] < w[s] - limits[s]
-        ):
+        )) or not aux_admissible(v, s, t):
             locked[v] = True  # popped nodes are locked (standard FM)
             continue
 
@@ -209,6 +268,9 @@ def fm_bipartition_refine(
         side[v] = t
         w[s] -= cv
         w[t] += cv
+        if have_aux:
+            aw[s] = aw[s] - aux[v]
+            aw[t] = aw[t] + aux[v]
         locked[v] = True
         total_gain += gain_v
         log.append(v)
@@ -221,9 +283,9 @@ def fm_bipartition_refine(
             if locked[u] or not movable[u]:
                 continue
             if side[u] == s:
-                gains[u] += 2.0 * wuv   # edge became external for u
+                gains[u] += 2.0 * wuv * scale   # edge became external for u
             else:
-                gains[u] -= 2.0 * wuv   # edge became internal for u
+                gains[u] -= 2.0 * wuv * scale   # edge became internal for u
             q = pq[side[u]]
             if u in q:
                 q.update(u, float(gains[u]))
@@ -246,6 +308,9 @@ def fm_bipartition_refine(
         cv = float(g.vwgt[v])
         w[s] -= cv
         w[1 - s] += cv
+        if have_aux:
+            aw[s] = aw[s] - aux[v]
+            aw[1 - s] = aw[1 - s] + aux[v]
 
     return FMResult(
         side=side,

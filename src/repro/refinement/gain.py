@@ -14,7 +14,7 @@ initialisation, which needs both.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -29,9 +29,24 @@ __all__ = [
 ]
 
 
-def gain_and_boundary(g: Graph, side: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Gains for every node plus the boundary node ids, in one kernel call."""
-    return dispatch("gain_boundary", g, side)
+def gain_and_boundary(
+    g: Graph,
+    side: np.ndarray,
+    scale: Optional[float] = None,
+    bias: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gains for every node plus the boundary node ids, in one kernel call.
+
+    ``scale``/``bias`` make the kernel weight-vector aware for the
+    topology-mapping objective: each cut gain is multiplied by the block
+    distance ``scale`` and shifted by the per-node ``bias`` accounting
+    for edges into third blocks (``gain' = scale · gain + bias``).  With
+    both unset the classic raw-cut gains are returned unchanged.
+    """
+    if scale is None and bias is None:
+        return dispatch("gain_boundary", g, side)
+    return dispatch("gain_boundary", g, side,
+                    1.0 if scale is None else float(scale), bias)
 
 
 def initial_gains(g: Graph, side: np.ndarray) -> np.ndarray:

@@ -41,6 +41,8 @@ def greedy_kway_refinement(
 
     for _ in range(max_passes):
         boundary = metrics.boundary_nodes(g, part)
+        if g.fixed is not None and len(boundary):
+            boundary = boundary[g.fixed[boundary] < 0]
         if len(boundary) == 0:
             break
         order = rng.permutation(len(boundary))

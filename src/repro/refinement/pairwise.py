@@ -29,7 +29,7 @@ count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,7 +39,7 @@ from ..graph.quotient import quotient_graph
 from ..core import metrics
 from ..instrument.tracer import NULL_TRACER
 from ..parallel.coloring import distributed_edge_coloring_spmd
-from .band import extract_band
+from .band import Band, extract_band
 from .fm import fm_bipartition_refine
 
 __all__ = ["PairResult", "refine_pair", "pairwise_refinement",
@@ -48,7 +48,12 @@ __all__ = ["PairResult", "refine_pair", "pairwise_refinement",
 
 @dataclass
 class PairResult:
-    """Outcome of refining one block pair."""
+    """Outcome of refining one block pair.
+
+    ``gain`` is measured in the active objective's units: cut weight for
+    the cut objective, communication-volume × distance for the mapping
+    objective (when a topology distance matrix is given).
+    """
 
     gain: float
     imbalance_delta: float
@@ -57,6 +62,73 @@ class PairResult:
     boundary: int
     moves_tried: int = 0   # FM moves attempted across both seeded runs
     moves_applied: int = 0  # node moves surviving adoption (== len(changed))
+
+
+def _mapping_bias(
+    g: Graph, part: np.ndarray, band: Band, a: int, b: int,
+    dist: np.ndarray,
+) -> np.ndarray:
+    """Per-band-node additive gain from edges into *third* blocks.
+
+    Under the cut objective those edges stay cut whichever of {a, b} the
+    node sits in, so pair FM can ignore them.  Under the mapping
+    objective their cost is ω(e)·D[block(u), block(v)], which changes
+    when the node switches sides:
+
+        bias(v) = Σ_{(v,w): block(w) ∉ {a,b}} ω(v,w)·(D[s,·] − D[t,·])
+
+    with s the node's current block and t the other.  The bias is static
+    over one FM pass (each node moves at most once), so it is computed
+    once per band here and handed to FM as ``gain_bias``.
+    """
+    parents = band.smap.to_parent
+    bias = np.zeros(band.graph.n, dtype=np.float64)
+    for i in np.nonzero(band.movable)[0]:
+        v = int(parents[i])
+        pw = part[g.neighbors(v)]
+        third = (pw != a) & (pw != b)
+        if not third.any():
+            continue
+        s, t = (b, a) if band.side[i] else (a, b)
+        ws = g.incident_weights(v)[third]
+        bias[i] = float(
+            (ws * (dist[s, pw[third]] - dist[t, pw[third]])).sum()
+        )
+    return bias
+
+
+def _constraint_setup(
+    g: Graph,
+    part: np.ndarray,
+    k: int,
+    epsilon: float,
+    epsilons: Optional[Sequence[float]],
+):
+    """Resolve the per-dimension balance bookkeeping for a driver.
+
+    Returns ``(lmax0, aux_block_w, aux_lmax)`` — the first dimension's
+    L_max plus, for multi-constraint graphs, the ``(k, c-1)`` block-weight
+    matrix of the extra dimensions and their per-dimension ceilings.
+    """
+    c = g.n_constraints
+    if epsilons is None:
+        eps = np.full(c, float(epsilon))
+    else:
+        eps = np.asarray(epsilons, dtype=np.float64)
+        if eps.shape != (c,):
+            raise ValueError(
+                f"epsilons must give one value per constraint dimension: "
+                f"expected shape ({c},), got {eps.shape}"
+            )
+    lmax0 = metrics.lmax(g, k, float(eps[0]))
+    if c == 1:
+        return lmax0, None, None
+    aux_block_w = np.zeros((k, c - 1))
+    np.add.at(aux_block_w, part, g.vwgts[:, 1:])
+    totals = g.total_node_weights()
+    maxima = g.max_node_weights()
+    aux_lmax = (1.0 + eps[1:]) * totals[1:] / k + maxima[1:]
+    return lmax0, aux_block_w, aux_lmax
 
 
 def refine_pair(
@@ -74,16 +146,27 @@ def refine_pair(
     block_sizes: Tuple[int, int],
     algorithm: str = "fm",
     within: Optional[np.ndarray] = None,
+    dist: Optional[np.ndarray] = None,
+    aux_block_w: Optional[np.ndarray] = None,
+    aux_lmax: Optional[np.ndarray] = None,
 ) -> PairResult:
     """Refine the pair (a, b): extract the band, run the local searches,
-    and adopt the best result.  ``part`` and ``block_w`` are updated in
-    place.
+    and adopt the best result.  ``part`` and ``block_w`` (and
+    ``aux_block_w`` when given) are updated in place.
 
     ``algorithm`` selects the pair-local search: ``"fm"`` (the paper's
     two seeded FM runs), ``"flow"`` (the Section 8 min-cut-through-the-
     band refiner), or ``"fm_flow"`` (all three candidates compete).
     ``within`` optionally restricts the extracted band (and hence every
     move) to a node mask — the incremental repartitioner's dirty band.
+
+    ``dist`` (a k×k block distance matrix) switches the pair search to
+    the topology-aware mapping objective: within-pair gains are scaled
+    by ``dist[a, b]`` and third-block edges contribute a per-node bias
+    (see :func:`_mapping_bias`).  The flow candidate only understands
+    the cut objective and is skipped under mapping.  ``aux_block_w``
+    (``(k, c-1)``) and ``aux_lmax`` (``(c-1,)``) enforce the extra
+    balance-constraint dimensions of a multi-constraint graph.
     """
     if algorithm not in ("fm", "flow", "fm_flow"):
         raise ValueError(f"unknown pair refinement algorithm {algorithm!r}")
@@ -92,7 +175,37 @@ def refine_pair(
         return PairResult(0.0, 0.0, [], 0, band.n_boundary)
 
     wa, wb = float(block_w[a]), float(block_w[b])
-    before_imb = max(0.0, max(wa, wb) - lmax)
+    have_aux = aux_block_w is not None and g.n_constraints > 1
+    if have_aux:
+        aux = band.graph.vwgts[:, 1:]
+        awa = aux_block_w[a].astype(np.float64, copy=True)
+        awb = aux_block_w[b].astype(np.float64, copy=True)
+        alim = np.asarray(aux_lmax, dtype=np.float64)
+
+        def aux_after(new_side):
+            moved = band.movable & (new_side != band.side)
+            d = aux[moved]
+            to_b = new_side[moved] == 1
+            gone_a = d[to_b].sum(axis=0)   # mass moving a → b
+            gone_b = d[~to_b].sum(axis=0)  # mass moving b → a
+            return awa - gone_a + gone_b, awb + gone_a - gone_b
+
+    def pair_imbalance(w0, w1, new_side=None):
+        imb = max(0.0, max(w0, w1) - lmax)
+        if have_aux:
+            aw0, aw1 = (awa, awb) if new_side is None else aux_after(new_side)
+            imb = max(imb,
+                      float(np.max(aw0 - alim, initial=0.0)),
+                      float(np.max(aw1 - alim, initial=0.0)))
+        return imb
+
+    before_imb = pair_imbalance(wa, wb)
+
+    scale = None
+    bias = None
+    if dist is not None:
+        scale = float(dist[a, b])
+        bias = _mapping_bias(g, part, band, a, b, dist)
 
     candidates = []
     moves_tried = 0
@@ -109,11 +222,18 @@ def refine_pair(
                 queue_selection=queue_selection,
                 rng=np.random.default_rng(seed),
                 block_sizes=block_sizes,
+                edge_scale=scale,
+                gain_bias=bias,
+                aux_weights=aux if have_aux else None,
+                aux_weight_a=awa if have_aux else None,
+                aux_weight_b=awb if have_aux else None,
+                aux_lmax_a=alim if have_aux else None,
+                aux_lmax_b=alim if have_aux else None,
             )
-            after_imb = max(0.0, max(res.weight_a, res.weight_b) - lmax)
+            after_imb = pair_imbalance(res.weight_a, res.weight_b, res.side)
             moves_tried += res.moves_tried
             candidates.append(((after_imb, -res.gain), res.side))
-    if algorithm in ("flow", "fm_flow"):
+    if algorithm in ("flow", "fm_flow") and dist is None:
         from .flow import flow_cut_for_band
         from .gain import cut_between_sides
 
@@ -126,7 +246,7 @@ def refine_pair(
             to_b = flow_side[moved_mask] == 1
             fwa = wa - float(delta[to_b].sum()) + float(delta[~to_b].sum())
             fwb = wb + float(delta[to_b].sum()) - float(delta[~to_b].sum())
-            after_imb = max(0.0, max(fwa, fwb) - lmax)
+            after_imb = pair_imbalance(fwa, fwb, flow_side)
             candidates.append(((after_imb, value - cut_before), flow_side))
     if not candidates:
         return PairResult(0.0, 0.0, [], band.graph.n, band.n_boundary,
@@ -144,6 +264,9 @@ def refine_pair(
         changed.append((v, new_block))
         block_w[part[v]] -= g.vwgt[v]
         block_w[new_block] += g.vwgt[v]
+        if have_aux:
+            aux_block_w[part[v]] -= g.vwgts[v, 1:]
+            aux_block_w[new_block] += g.vwgts[v, 1:]
         part[v] = new_block
     return PairResult(
         gain=-key[1],
@@ -177,6 +300,8 @@ def pairwise_refinement(
     coloring: str = "greedy",
     matching_selection: str = "edge_coloring",
     pair_algorithm: str = "fm",
+    epsilons: Optional[Sequence[float]] = None,
+    topology=None,
     tracer=NULL_TRACER,
 ) -> np.ndarray:
     """Sequential driver: iterate over the rounds of a pair schedule of
@@ -190,6 +315,11 @@ def pairwise_refinement(
     driver bit-identical to :func:`pairwise_refinement_spmd` for the same
     seed.  ``tracer`` accumulates refinement counters (pairs refined, FM
     moves attempted/accepted, total gain, iteration counts).
+
+    ``epsilons`` gives one balance tolerance per constraint dimension of
+    a multi-constraint graph (default: ``epsilon`` for every dimension);
+    ``topology`` (a :class:`~repro.core.objectives.Topology`) switches
+    every pair search to the topology-aware mapping objective.
     """
     if coloring not in ("greedy", "distributed"):
         raise ValueError(f"unknown coloring mode {coloring!r}")
@@ -201,8 +331,10 @@ def pairwise_refinement(
             f"choose from {SCHEDULES}"
         )
     part = np.asarray(part, dtype=np.int64).copy()
-    lmax = metrics.lmax(g, k, epsilon)
+    lmax, aux_block_w, aux_lmax = _constraint_setup(
+        g, part, k, epsilon, epsilons)
     block_w = metrics.block_weights(g, part, k)
+    dist = None if topology is None else topology.distance_matrix()
 
     no_change_streak = 0
     for git in range(max_global_iterations):
@@ -227,6 +359,9 @@ def pairwise_refinement(
                         _pair_seed(seed, git, lit, a, b, 1),
                         sizes,
                         algorithm=pair_algorithm,
+                        dist=dist,
+                        aux_block_w=aux_block_w,
+                        aux_lmax=aux_lmax,
                     )
                     total_gain += pr.gain
                     total_moved += len(pr.changed)
@@ -263,6 +398,8 @@ def pairwise_refinement_spmd(
     seed: int = 0,
     k: Optional[int] = None,
     pair_algorithm: str = "fm",
+    epsilons: Optional[Sequence[float]] = None,
+    topology=None,
 ) -> np.ndarray:
     """SPMD driver: PE ``comm.rank`` is responsible for blocks
     ``rank, rank + P, …`` (one block per PE when ``comm.size == k``, the
@@ -287,8 +424,10 @@ def pairwise_refinement_spmd(
         raise ValueError("more PEs than blocks (k < P is future work)")
     p = comm.size
     part = np.asarray(part_in, dtype=np.int64).copy()
-    lmax = metrics.lmax(g, k, epsilon)
+    lmax, aux_block_w, aux_lmax = _constraint_setup(
+        g, part, k, epsilon, epsilons)
     block_w = metrics.block_weights(g, part, k)
+    dist = None if topology is None else topology.distance_matrix()
 
     def owner(block: int) -> int:
         return block % p
@@ -356,6 +495,9 @@ def pairwise_refinement_spmd(
                         _pair_seed(seed, git, lit, a, b, 1),
                         p_["sizes"],
                         algorithm=pair_algorithm,
+                        dist=dist,
+                        aux_block_w=aux_block_w,
+                        aux_lmax=aux_lmax,
                     )
 
                 prs = comm.map_batch(
@@ -380,6 +522,9 @@ def pairwise_refinement_spmd(
                     if part[v] != nb:
                         block_w[part[v]] -= g.vwgt[v]
                         block_w[nb] += g.vwgt[v]
+                        if aux_block_w is not None:
+                            aux_block_w[part[v]] -= g.vwgts[v, 1:]
+                            aux_block_w[nb] += g.vwgts[v, 1:]
                         part[v] = nb
             total_moved += sum(len(lst) for lst in all_updates)
         if stop_rule == "always":

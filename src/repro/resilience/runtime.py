@@ -176,15 +176,24 @@ class SpmdResilience:
 
 # -- state packing -----------------------------------------------------
 def _pack_graph(g: Graph) -> Dict[str, Any]:
-    return {"xadj": g.xadj, "adjncy": g.adjncy, "adjwgt": g.adjwgt,
-            "vwgt": g.vwgt, "coords": g.coords}
+    d = {"xadj": g.xadj, "adjncy": g.adjncy, "adjwgt": g.adjwgt,
+         "vwgt": g.vwgt, "coords": g.coords}
+    if g.n_constraints > 1:
+        d["vwgts"] = g.vwgts
+    if g.fixed is not None:
+        d["fixed"] = g.fixed
+    return d
 
 
 def _unpack_graph(d: Dict[str, Any]) -> Graph:
     return Graph(np.asarray(d["xadj"]), np.asarray(d["adjncy"]),
                  np.asarray(d["adjwgt"]), np.asarray(d["vwgt"]),
                  None if d.get("coords") is None else np.asarray(d["coords"]),
-                 validate=False)
+                 validate=False,
+                 vwgts=(None if d.get("vwgts") is None
+                        else np.asarray(d["vwgts"])),
+                 fixed=(None if d.get("fixed") is None
+                        else np.asarray(d["fixed"], dtype=np.int64)))
 
 
 def pack_coarsening(hierarchy, owner: np.ndarray) -> Dict[str, Any]:

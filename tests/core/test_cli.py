@@ -219,3 +219,81 @@ class TestResilienceFlags:
             main(["partition", graph_file, "-k", "2",
                   "--preset", "minimal", "--faults", "explode@initial",
                   "-o", str(tmp_path / "g.part")])
+
+
+class TestConstraintFlags:
+    def test_mapping_objective_reports_cost(self, graph_file, tmp_path,
+                                            capsys):
+        out = str(tmp_path / "g.part")
+        rc = main(["partition", graph_file, "-k", "8",
+                   "--preset", "minimal", "--objective", "mapping",
+                   "--topology", "2:4", "-o", out])
+        assert rc == 0
+        assert "mapping cost:" in capsys.readouterr().out
+
+    def test_topology_implies_mapping(self, graph_file, tmp_path, capsys):
+        out = str(tmp_path / "g.part")
+        rc = main(["partition", graph_file, "-k", "8",
+                   "--preset", "minimal", "--topology", "2:4", "-o", out])
+        assert rc == 0
+        assert "mapping cost:" in capsys.readouterr().out
+
+    def test_topology_k_mismatch_is_an_error(self, graph_file, tmp_path):
+        with pytest.raises(ValueError, match="leaves"):
+            main(["partition", graph_file, "-k", "4",
+                  "--preset", "minimal", "--topology", "2:4",
+                  "-o", str(tmp_path / "g.part")])
+
+    def test_fixed_vertices_pairs_format(self, graph_file, tmp_path,
+                                         capsys):
+        pins = tmp_path / "fixed.txt"
+        pins.write_text("# vertex block pairs\n0 3\n7 1\n42 0\n")
+        out = str(tmp_path / "g.part")
+        rc = main(["partition", graph_file, "-k", "4",
+                   "--preset", "minimal", "--fixed-vertices", str(pins),
+                   "-o", out])
+        assert rc == 0
+        part = read_partition(out)
+        assert part[0] == 3 and part[7] == 1 and part[42] == 0
+
+    def test_fixed_vertices_positional_format(self, graph_file, tmp_path):
+        pins = tmp_path / "fixed.txt"
+        rows = ["-1"] * 300
+        rows[5] = "2"
+        pins.write_text("\n".join(rows) + "\n")
+        out = str(tmp_path / "g.part")
+        rc = main(["partition", graph_file, "-k", "4",
+                   "--preset", "minimal", "--fixed-vertices", str(pins),
+                   "-o", out])
+        assert rc == 0
+        assert read_partition(out)[5] == 2
+
+    def test_fixed_vertices_bad_file_is_an_error(self, graph_file,
+                                                 tmp_path):
+        pins = tmp_path / "fixed.txt"
+        pins.write_text("0 1 2\n")  # three fields: neither format
+        with pytest.raises(ValueError, match="expected one block id"):
+            main(["partition", graph_file, "-k", "4",
+                  "--preset", "minimal", "--fixed-vertices", str(pins),
+                  "-o", str(tmp_path / "g.part")])
+
+    def test_epsilons_flag_parses(self, graph_file, tmp_path):
+        # a c=1 graph with a one-entry epsilons vector: valid and
+        # equivalent to --epsilon
+        out = str(tmp_path / "g.part")
+        rc = main(["partition", graph_file, "-k", "4",
+                   "--preset", "minimal", "--epsilons", "0.05", "-o", out])
+        assert rc == 0
+
+    def test_bad_epsilons_is_an_error(self, graph_file, tmp_path):
+        with pytest.raises(ValueError, match="bad --epsilons"):
+            main(["partition", graph_file, "-k", "4",
+                  "--preset", "minimal", "--epsilons", "0.05;0.1",
+                  "-o", str(tmp_path / "g.part")])
+
+    def test_mapping_preset_selectable(self, graph_file, tmp_path, capsys):
+        out = str(tmp_path / "g.part")
+        rc = main(["partition", graph_file, "-k", "8",
+                   "--preset", "mapping", "-o", out])
+        assert rc == 0
+        assert "mapping cost:" in capsys.readouterr().out

@@ -124,3 +124,106 @@ class TestSpearman:
         ours = spearman(x, y)
         ref = spearmanr(x, y).statistic
         assert np.isclose(ours, ref)
+
+
+class TestTopology:
+    def test_parse(self):
+        from repro.core.objectives import Topology
+
+        t = Topology.parse("2:2:4")
+        assert t.levels == (2, 2, 4)
+        assert t.k == 16
+
+    def test_parse_rejects_garbage(self):
+        from repro.core.objectives import Topology
+
+        with pytest.raises(ValueError, match="bad topology spec"):
+            Topology.parse("2:x:4")
+        with pytest.raises(ValueError, match="positive branching"):
+            Topology.parse("2:0")
+
+    def test_default_for_composite_and_prime(self):
+        from repro.core.objectives import Topology
+
+        assert Topology.default_for(8).levels == (2, 4)
+        assert Topology.default_for(12).levels == (3, 4)
+        assert Topology.default_for(7).levels == (1, 7)
+        for k in (2, 3, 4, 6, 7, 8, 9, 12, 16):
+            assert Topology.default_for(k).k == k
+
+    def test_distance_matrix_is_a_metric_like_hierarchy(self):
+        from repro.core.objectives import Topology
+
+        d = Topology((2, 2, 4)).distance_matrix()
+        assert d.shape == (16, 16)
+        assert np.array_equal(d, d.T)
+        assert (np.diag(d) == 0).all()
+        # same node (leaves 0, 1) < same rack (0, 4) < cross rack (0, 8)
+        assert 0 < d[0, 1] < d[0, 4] < d[0, 8]
+        # distances depend only on the divergence tier
+        assert d[0, 1] == d[2, 3] == d[14, 15]
+        assert d[0, 8] == d[7, 15]
+
+    def test_single_tier_is_uniform(self):
+        from repro.core.objectives import Topology
+
+        d = Topology((4,)).distance_matrix()
+        off = d[~np.eye(4, dtype=bool)]
+        assert (off == off[0]).all() and off[0] > 0
+
+
+class TestMappingCost:
+    def test_hand_computed_example(self):
+        from repro.core.objectives import Topology, mapping_cost
+
+        # path over 4 nodes, one block each, topology 2x2:
+        # edges (0,1) and (2,3) stay inside a tier-1 pair, (1,2) crosses
+        g = from_edge_list(4, [(0, 1), (1, 2), (2, 3)],
+                           weights=[2.0, 3.0, 5.0])
+        t = Topology((2, 2))
+        d = t.distance_matrix()
+        cost = mapping_cost(g, np.array([0, 1, 2, 3]), t)
+        assert cost == 2.0 * d[0, 1] + 3.0 * d[1, 2] + 5.0 * d[2, 3]
+        assert d[1, 2] > d[0, 1] == d[2, 3]
+
+    def test_uncut_partition_costs_nothing(self, two_triangles):
+        from repro.core.objectives import Topology, mapping_cost
+
+        assert mapping_cost(two_triangles, np.zeros(6, dtype=int),
+                            Topology((2, 2))) == 0.0
+
+    def test_cut_lower_bounds_mapping_cost(self, grid8):
+        from repro.core import metrics
+        from repro.core.objectives import Topology, mapping_cost
+
+        rng = np.random.default_rng(0)
+        part = rng.integers(0, 4, grid8.n)
+        cost = mapping_cost(grid8, part, Topology((2, 2)))
+        assert cost >= metrics.cut_value(grid8, part)
+
+    def test_block_out_of_topology_rejected(self, two_triangles):
+        from repro.core.objectives import Topology, mapping_cost
+
+        with pytest.raises(ValueError, match="only has 2 leaves"):
+            mapping_cost(two_triangles, np.array([0, 0, 0, 1, 1, 2]),
+                         Topology((2,)))
+
+
+class TestResolveTopology:
+    def test_cut_objective_resolves_to_none(self):
+        from repro.core.objectives import resolve_topology
+
+        assert resolve_topology("cut", "2:4", 8) is None
+        assert resolve_topology("cut", None, 8) is None
+
+    def test_mapping_defaults_and_parses(self):
+        from repro.core.objectives import resolve_topology
+
+        assert resolve_topology("mapping", None, 8).levels == (2, 4)
+        assert resolve_topology("mapping", "4:2", 8).levels == (4, 2)
+
+    def test_leaf_count_mismatch_rejected(self):
+        from repro.core.objectives import resolve_topology
+
+        with pytest.raises(ValueError, match="8 leaves.*k=4"):
+            resolve_topology("mapping", "2:4", 4)

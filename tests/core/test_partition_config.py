@@ -130,3 +130,42 @@ class TestReporting:
         lines = txt.splitlines()
         assert lines[0].startswith("name")
         assert "1.500" in txt and "2.250" in txt
+
+
+class TestObjectiveConfig:
+    def test_mapping_preset(self):
+        from repro.core import MAPPING
+
+        assert preset("mapping") is MAPPING
+        assert MAPPING.objective == "mapping"
+        assert MAPPING.refine_algorithm == "fm"
+
+    def test_defaults_are_classic(self):
+        cfg = KappaConfig()
+        assert cfg.objective == "cut"
+        assert cfg.topology is None
+        assert cfg.epsilons is None
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            KappaConfig(objective="conductance")
+
+    def test_mapping_requires_fm(self):
+        with pytest.raises(ValueError, match="requires refine_algorithm"):
+            KappaConfig(objective="mapping", refine_algorithm="fm_flow")
+
+    def test_topology_requires_mapping_objective(self):
+        with pytest.raises(ValueError, match="objective"):
+            KappaConfig(topology="2:4")
+
+    def test_bad_topology_spec_fails_fast(self):
+        with pytest.raises(ValueError, match="bad topology spec"):
+            KappaConfig(objective="mapping", topology="2:x")
+
+    def test_epsilons_validated(self):
+        with pytest.raises(ValueError):
+            KappaConfig(epsilons=())
+        with pytest.raises(ValueError):
+            KappaConfig(epsilons=(0.03, -0.1))
+        cfg = KappaConfig(epsilons=(0.03, 0.25))
+        assert cfg.epsilons == (0.03, 0.25)

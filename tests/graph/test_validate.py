@@ -125,3 +125,109 @@ class TestValidateMatching:
     def test_out_of_range(self, triangle):
         with pytest.raises(ValueError):
             validate_matching(triangle, np.array([0, 1, 9]))
+
+
+class TestConstraintDimensionErrors:
+    """Violation messages must name the offending constraint dimension
+    and vertex/block index so multi-constraint failures are debuggable."""
+
+    def _two_dim(self, n=4, dim1=None):
+        from repro.graph.csr import Graph
+
+        g = from_edge_list(n, [(i, i + 1) for i in range(n - 1)])
+        vwgts = np.column_stack(
+            [g.vwgt, np.asarray(dim1 if dim1 is not None else [1.0] * n)])
+        return Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt, vwgts=vwgts)
+
+    def test_violation_names_dimension_and_block(self):
+        g = self._two_dim(6, dim1=[9.0, 9.0, 9.0, 1.0, 1.0, 1.0])
+        part = np.array([0, 0, 0, 1, 1, 1])
+        # dim 0 is perfectly balanced, dim 1 badly off with eps_1 = 0
+        # (block 0 carries 27 > L_max,1 = 30/2 + 9 = 24)
+        with pytest.raises(ValueError) as exc:
+            validate_partition(g, part, 2, epsilons=(0.5, 0.0))
+        msg = str(exc.value)
+        assert "constraint dimension 1" in msg
+        assert "block 0" in msg
+
+    def test_scalar_violation_keeps_classic_wording(self, two_triangles):
+        with pytest.raises(ValueError, match="balance violated"):
+            validate_partition(two_triangles,
+                               np.array([0, 0, 0, 0, 0, 1]), 2,
+                               epsilon=0.0)
+
+    def test_epsilons_shape_mismatch_names_expected(self):
+        g = self._two_dim(4)
+        with pytest.raises(ValueError, match=r"expected shape \(2,\)"):
+            validate_partition(g, np.array([0, 0, 1, 1]), 2,
+                               epsilons=(0.1, 0.1, 0.1))
+
+    def test_negative_weight_names_dimension_and_vertex(self):
+        from repro.graph.csr import Graph
+
+        g = from_edge_list(4, [(i, i + 1) for i in range(3)])
+        vwgts = np.column_stack([g.vwgt, np.array([1.0, 1.0, -2.0, 1.0])])
+        with pytest.raises(ValueError) as exc:
+            Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt, vwgts=vwgts)
+        msg = str(exc.value)
+        assert "dimension 1" in msg and "vertex 2" in msg
+
+    def test_misplaced_fixed_vertex_named(self):
+        g = from_edge_list(4, [(i, i + 1) for i in range(3)],
+                           fixed=[-1, 2, -1, -1])
+        with pytest.raises(ValueError, match="fixed vertex 1"):
+            validate_partition(g, np.array([0, 0, 1, 1]), 3)
+
+    def test_fixed_vertex_in_place_passes(self):
+        g = from_edge_list(4, [(i, i + 1) for i in range(3)],
+                           fixed=[-1, 0, -1, 1])
+        validate_partition(g, np.array([0, 0, 1, 1]), 2)
+
+
+class TestConstraintSignatureStaleness:
+    """The staleness guard must cover the new constraint arrays: editing
+    the extra weight dimensions or the fixed mask after signing is a
+    detectable mutation, and the extras change the digest itself."""
+
+    def _constrained(self, grid8):
+        from repro.graph.csr import Graph
+
+        g = grid8.copy()
+        vwgts = np.column_stack([g.vwgt, np.ones(g.n)])
+        fixed = np.full(g.n, -1, dtype=np.int64)
+        fixed[0] = 1
+        return Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt, coords=g.coords,
+                     vwgts=vwgts, fixed=fixed)
+
+    def test_extra_dimension_changes_signature(self, grid8):
+        g = self._constrained(grid8)
+        assert g.signature() != grid8.signature()
+
+    def test_column_matrix_keeps_classic_signature(self, grid8):
+        from repro.graph.csr import Graph
+
+        g = Graph(grid8.xadj, grid8.adjncy, grid8.adjwgt, grid8.vwgt,
+                  coords=grid8.coords, vwgts=grid8.vwgt.reshape(-1, 1))
+        assert g.signature() == grid8.signature()
+
+    def test_mutated_extra_dimension_is_stale(self, grid8):
+        g = self._constrained(grid8)
+        g.signature()
+        g.vwgts[:, 1] += 1.0
+        assert g.signature_is_stale()
+        with pytest.raises(ValueError, match="mutated in place"):
+            validate_graph(g)
+
+    def test_mutated_fixed_mask_is_stale(self, grid8):
+        g = self._constrained(grid8)
+        g.signature()
+        g.fixed[0] = 2
+        assert g.signature_is_stale()
+        with pytest.raises(ValueError, match="mutated in place"):
+            validate_graph(g)
+
+    def test_distinct_pin_targets_distinct_signatures(self, grid8):
+        a = self._constrained(grid8)
+        b = self._constrained(grid8)
+        b.fixed[0] = 0
+        assert a.signature() != b.signature()

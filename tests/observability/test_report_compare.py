@@ -92,6 +92,21 @@ class TestCompare:
         better["records"][0]["speedup"] = 50.0
         assert compare_documents("bench", base, better).ok
 
+    def test_mapping_cost_is_lower_better(self):
+        base = {"schema": "repro.bench_objectives/1",
+                "records": [{"graph": "g", "objective": "mapping",
+                             "cut": 100.0, "mapping_cost": 200.0,
+                             "max_imbalance": 1.02}]}
+        worse = json.loads(json.dumps(base))
+        worse["records"][0]["mapping_cost"] = 400.0
+        cmp = compare_documents("bench", base, worse, threshold=0.25)
+        assert any(d.metric.endswith("mapping_cost") and d.regression
+                   for d in cmp.deltas)
+        # and a lower mapping cost is an improvement, not a regression
+        better = json.loads(json.dumps(base))
+        better["records"][0]["mapping_cost"] = 50.0
+        assert compare_documents("bench", base, better).ok
+
     def test_journal_files_compare_last_record(self, tmp_path):
         base = tmp_path / "base.jsonl"
         new = tmp_path / "new.jsonl"

@@ -1,0 +1,127 @@
+"""BalanceState / exact_lmax: multi-constraint admission and the
+exact-Fraction per-block ceiling (regression for float over-admission)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list
+from repro.graph.csr import Graph
+from repro.refinement.balance import BalanceState, exact_lmax, rebalance
+
+
+def _chain(n, vwgt=None, vwgts=None, fixed=None):
+    g = from_edge_list(n, [(i, i + 1) for i in range(n - 1)], vwgt=vwgt)
+    if vwgts is not None or fixed is not None:
+        g = Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt,
+                  vwgts=vwgts, fixed=fixed)
+    return g
+
+
+class TestExactLmax:
+    def test_integral_weights_give_fraction(self):
+        limit = exact_lmax(10.0, 2.0, 3, 0.0)
+        assert isinstance(limit, Fraction)
+        assert limit == Fraction(10, 3) + 2
+
+    def test_non_integral_weights_fall_back_to_float(self):
+        limit = exact_lmax(10.5, 2.0, 3, 0.0)
+        assert isinstance(limit, float)
+        assert limit == pytest.approx((10.5 / 3) + 2.0)
+
+    # (total, wmax, k, eps) where the naive float L_max rounds up to the
+    # next integer; `over` is the smallest integer above the true ceiling
+    _TOTAL, _WMAX, _K, _EPS = 1000000200, 1, 3, 0.03
+    _OVER = 343333403
+
+    def test_float_over_admission_regression(self):
+        """The naive float formula rounds ``(1+eps)*total/k`` up for this
+        total and silently admits a block one unit over the true ceiling;
+        the exact ceiling must reject it."""
+        naive = (1.0 + self._EPS) * self._TOTAL / self._K + self._WMAX
+        assert self._OVER <= naive + 1e-9  # the float path would admit it
+        limit = exact_lmax(self._TOTAL, self._WMAX, self._K, self._EPS)
+        assert isinstance(limit, Fraction)
+        assert Fraction(self._OVER) > limit  # the exact path rejects it
+
+    def test_state_rejects_float_over_admission(self):
+        total, k = self._TOTAL, self._K
+        wmax = 200000000  # max vertex weight, integral
+        over = self._OVER + wmax - 1  # smallest int above the true L_max
+        # block 0 sits one unit under `over`; a unit vertex moves in
+        w = np.array([wmax, wmax, over - 1 - 2 * wmax, 1.0,
+                      152222266, 152222266, 152222266])
+        assert w.sum() == total and w.max() == wmax
+        g = _chain(7, vwgt=w)
+        part = np.array([0, 0, 0, 1, 2, 2, 2])
+        state = BalanceState(g, part, k, epsilon=self._EPS)
+        naive = (1.0 + self._EPS) * total / k + wmax
+        assert over <= naive + 1e-9  # the float path would admit it
+        # moving the unit vertex into block 0 reaches exactly `over`,
+        # which the float formula admits but the exact ceiling forbids
+        assert not state.admits(0, g.vwgts[3])
+
+
+class TestBalanceState:
+    def test_scalar_degenerates_to_classic(self):
+        g = _chain(6, vwgt=[1.0] * 6)
+        part = np.array([0, 0, 0, 1, 1, 1])
+        state = BalanceState(g, part, 2, epsilon=0.0)
+        assert state.c == 1
+        assert state.is_feasible()
+        assert state.load().tolist() == [3.0, 3.0]
+
+    def test_per_dimension_admission(self):
+        vwgts = np.array([[1.0, 5.0]] * 4)
+        g = _chain(4, vwgts=vwgts)
+        part = np.array([0, 0, 0, 1])
+        state = BalanceState(g, part, 2, epsilons=(1.0, 0.0))
+        # dim 0 has plenty of slack (L_max = 5), dim 1 is at its ceiling
+        # (15): a move must satisfy BOTH, so dimension 1 vetoes it
+        assert state.admits(0, np.array([1.0, 0.0]))
+        assert not state.admits(0, g.vwgts[3])
+
+    def test_epsilons_shape_is_validated(self):
+        g = _chain(4, vwgts=np.ones((4, 2)))
+        with pytest.raises(ValueError, match=r"expected shape \(2,\)"):
+            BalanceState(g, np.zeros(4, dtype=int), 2, epsilons=(0.1,))
+
+    def test_move_updates_both_dimensions(self):
+        vwgts = np.array([[1.0, 2.0]] * 4)
+        g = _chain(4, vwgts=vwgts)
+        state = BalanceState(g, np.array([0, 0, 1, 1]), 2,
+                             epsilons=(0.5, 0.5))
+        state.move(g.vwgts[0], 0, 1)
+        assert state.block_w[0].tolist() == [1.0, 2.0]
+        assert state.block_w[1].tolist() == [3.0, 6.0]
+
+    def test_load_normalises_for_multi_constraint(self):
+        vwgts = np.array([[1.0, 10.0], [1.0, 10.0], [1.0, 0.0], [1.0, 0.0]])
+        g = _chain(4, vwgts=vwgts)
+        state = BalanceState(g, np.array([0, 0, 1, 1]), 2,
+                             epsilons=(0.0, 0.0))
+        load = state.load()
+        assert load[0] > load[1]  # block 0 is worst in dimension 1
+
+
+class TestRebalance:
+    def test_restores_per_dimension_feasibility(self):
+        n = 24
+        rng = np.random.default_rng(3)
+        vwgts = np.column_stack([np.ones(n),
+                                 rng.integers(1, 4, n).astype(float)])
+        g = from_edge_list(n, [(i, (i + 1) % n) for i in range(n)])
+        g = Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt, vwgts=vwgts)
+        part = np.zeros(n, dtype=np.int64)  # everything in one block
+        part = rebalance(g, part, 4, epsilons=(0.05, 0.25))
+        assert BalanceState(g, part, 4, epsilons=(0.05, 0.25)).is_feasible()
+
+    def test_never_moves_fixed_vertices(self):
+        n = 16
+        fixed = np.full(n, -1, dtype=np.int64)
+        fixed[:4] = 0
+        g = _chain(n, fixed=fixed)
+        part = np.zeros(n, dtype=np.int64)
+        out = rebalance(g, part, 4, epsilon=0.0)
+        assert (out[:4] == 0).all()

@@ -1,0 +1,188 @@
+"""Golden tests for the generalized constraint model: vector vertex
+weights, fixed vertices, and the topology-aware mapping objective.
+
+Three guarantees, each checked on the sequential driver and on every
+execution engine of the cluster path:
+
+* **c = 2 balance** — with per-dimension epsilons every block stays
+  under its own ``L_max,d`` in *every* dimension.
+* **fixed vertices** — a vertex pinned via ``g.fixed`` ends up in its
+  target block, always.
+* **mapping objective** — partitioning with ``objective="mapping"``
+  yields a lower (or equal) ``mapping_cost`` than the plain cut
+  objective on a 2-level topology, on multiple graph families.
+
+Bit-identity of the classic path is covered too: a graph whose weight
+matrix is an explicit ``(n, 1)`` column must partition identically to
+the same graph built with a plain weight vector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MINIMAL, metrics, preset
+from repro.core.objectives import Topology, mapping_cost
+from repro.core.partitioner import partition_graph
+from repro.engine import ENGINES
+from repro.graph import validate_partition
+from repro.graph.csr import Graph
+from repro.generators import delaunay_graph, random_geometric_graph
+
+ALL_ENGINES = sorted(ENGINES)
+SEED = 21
+
+
+def _with_constraints(g, *, c=1, fixed_every=0, k=4, seed=0):
+    """Re-build ``g`` with ``c`` weight dimensions and (optionally) every
+    ``fixed_every``-th vertex pinned round-robin over ``k`` blocks."""
+    rng = np.random.default_rng(seed)
+    vwgts = None
+    if c > 1:
+        extra = rng.integers(1, 6, size=(g.n, c - 1)).astype(np.float64)
+        vwgts = np.column_stack([g.vwgt, extra])
+    fixed = None
+    if fixed_every:
+        fixed = np.full(g.n, -1, dtype=np.int64)
+        pins = np.arange(0, g.n, fixed_every)
+        fixed[pins] = pins % k
+    return Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt, coords=g.coords,
+                 vwgts=vwgts, fixed=fixed)
+
+
+@pytest.fixture(scope="module")
+def rgg():
+    return random_geometric_graph(420, seed=11)
+
+
+@pytest.fixture(scope="module")
+def delaunay():
+    return delaunay_graph(380, seed=12)
+
+
+class TestScalarColumnBitIdentity:
+    """(n, 1) weight matrix input is the same graph as a weight vector —
+    the classic path must not notice the representation."""
+
+    @pytest.mark.parametrize("execution,engine",
+                             [("sequential", None), ("cluster", "sim")])
+    def test_column_matrix_is_bit_identical(self, rgg, execution, engine):
+        g2 = Graph(rgg.xadj, rgg.adjncy, rgg.adjwgt, rgg.vwgt,
+                   coords=rgg.coords, vwgts=rgg.vwgt.reshape(-1, 1))
+        assert g2.n_constraints == 1
+        assert g2.signature() == rgg.signature()
+        a = partition_graph(rgg, 4, config=MINIMAL, seed=SEED,
+                            execution=execution, engine=engine)
+        b = partition_graph(g2, 4, config=MINIMAL, seed=SEED,
+                            execution=execution, engine=engine)
+        assert np.array_equal(a.partition.part, b.partition.part)
+
+
+class TestMultiConstraintBalance:
+    EPSILONS = (0.03, 0.20)
+
+    def _assert_balanced(self, g, part, k):
+        eps = np.asarray(self.EPSILONS)
+        totals = g.total_node_weights()
+        maxima = g.max_node_weights()
+        for d in range(g.n_constraints):
+            block_w = np.zeros(k)
+            np.add.at(block_w, part, g.vwgts[:, d])
+            lmax = (1.0 + eps[d]) * totals[d] / k + maxima[d]
+            assert block_w.max() <= lmax + 1e-9, f"dimension {d} over L_max"
+        validate_partition(g, part, k, epsilons=self.EPSILONS)
+
+    def test_sequential_respects_both_dimensions(self, rgg):
+        g = _with_constraints(rgg, c=2, seed=1)
+        cfg = MINIMAL.derive(epsilons=self.EPSILONS)
+        res = partition_graph(g, 4, config=cfg, seed=SEED)
+        self._assert_balanced(g, res.partition.part, 4)
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_cluster_respects_both_dimensions(self, rgg, engine):
+        g = _with_constraints(rgg, c=2, seed=1)
+        cfg = MINIMAL.derive(epsilons=self.EPSILONS)
+        res = partition_graph(g, 4, config=cfg, seed=SEED,
+                              execution="cluster", engine=engine)
+        self._assert_balanced(g, res.partition.part, 4)
+
+
+class TestFixedVertices:
+    def test_sequential_never_moves_fixed(self, rgg):
+        g = _with_constraints(rgg, fixed_every=13, k=4, seed=2)
+        res = partition_graph(g, 4, config=MINIMAL, seed=SEED)
+        pinned = g.fixed >= 0
+        assert pinned.any()
+        assert np.array_equal(res.partition.part[pinned], g.fixed[pinned])
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_every_engine_never_moves_fixed(self, delaunay, engine):
+        g = _with_constraints(delaunay, fixed_every=11, k=4, seed=3)
+        res = partition_graph(g, 4, config=MINIMAL, seed=SEED,
+                              execution="cluster", engine=engine)
+        pinned = g.fixed >= 0
+        assert pinned.any()
+        assert np.array_equal(res.partition.part[pinned], g.fixed[pinned])
+        validate_partition(g, res.partition.part, 4)
+
+    def test_fixed_with_multiconstraint_and_strong_preset(self, rgg):
+        g = _with_constraints(rgg, c=2, fixed_every=17, k=4, seed=4)
+        cfg = preset("strong").derive(epsilons=(0.05, 0.25))
+        res = partition_graph(g, 4, config=cfg, seed=SEED)
+        pinned = g.fixed >= 0
+        assert np.array_equal(res.partition.part[pinned], g.fixed[pinned])
+
+
+class TestMappingObjective:
+    TOPO = "2:4"
+    K = 8
+
+    # two graph families where distance-aware gains reliably pay off
+    # (hub-dominated social graphs are a toss-up at small n)
+    @pytest.mark.parametrize("family,make", [
+        ("rgg", lambda: random_geometric_graph(420, seed=11)),
+        ("delaunay", lambda: delaunay_graph(380, seed=12)),
+    ])
+    def test_mapping_beats_cut_on_mapping_cost(self, family, make):
+        g = make()
+        topo = Topology.parse(self.TOPO)
+        cut_cfg = preset("fast")
+        map_cfg = preset("fast").derive(objective="mapping",
+                                        topology=self.TOPO)
+        cut_res = partition_graph(g, self.K, config=cut_cfg, seed=SEED)
+        map_res = partition_graph(g, self.K, config=map_cfg, seed=SEED)
+        cut_cost = mapping_cost(g, cut_res.partition.part, topo)
+        map_cost = mapping_cost(g, map_res.partition.part, topo)
+        assert map_cost <= cut_cost, (
+            f"{family}: mapping objective ({map_cost}) did not beat the "
+            f"cut objective ({cut_cost}) on mapping_cost"
+        )
+        assert map_res.stats["mapping_cost"] == map_cost
+        assert map_res.partition.is_feasible()
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_cluster_engines_agree_on_mapping_runs(self, rgg, engine):
+        cfg = MINIMAL.derive(objective="mapping", topology=self.TOPO)
+        ref = partition_graph(rgg, self.K, config=cfg, seed=SEED,
+                              execution="cluster", engine="sequential")
+        res = partition_graph(rgg, self.K, config=cfg, seed=SEED,
+                              execution="cluster", engine=engine)
+        assert np.array_equal(res.partition.part, ref.partition.part)
+        assert res.stats["mapping_cost"] == ref.stats["mapping_cost"]
+
+    def test_partition_mapping_cost_method(self, rgg):
+        res = partition_graph(rgg, self.K, config=MINIMAL, seed=SEED)
+        by_str = res.partition.mapping_cost(self.TOPO)
+        by_topo = res.partition.mapping_cost(Topology.parse(self.TOPO))
+        assert by_str == by_topo
+        assert by_str >= res.cut  # every cut edge pays distance >= 1
+
+    def test_mapping_cost_reported_in_stats(self, rgg):
+        cfg = MINIMAL.derive(objective="mapping", topology=self.TOPO)
+        res = partition_graph(rgg, self.K, config=cfg, seed=SEED)
+        assert "mapping_cost" in res.stats
+        assert res.stats["mapping_cost"] == res.partition.mapping_cost(
+            self.TOPO)
+
+    def test_cut_runs_report_no_mapping_cost(self, rgg):
+        res = partition_graph(rgg, self.K, config=MINIMAL, seed=SEED)
+        assert "mapping_cost" not in res.stats

@@ -109,6 +109,49 @@ def test_obs_comm_matrix_identical_across_engines(engine):
     assert _traffic_cells(res) == _traffic_cells(ref)
 
 
+def _constrained_variants():
+    """The generalized-constraint modes, each as (name, graph-mutator,
+    config).  Every mode must stay bit-identical across engines just
+    like the classic cut path."""
+    from repro.graph.csr import Graph
+
+    def with_vwgts(g):
+        rng = np.random.default_rng(5)
+        vwgts = np.column_stack(
+            [g.vwgt, rng.integers(1, 5, g.n).astype(float)])
+        return Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt, coords=g.coords,
+                     vwgts=vwgts)
+
+    def with_fixed(g):
+        fixed = np.full(g.n, -1, dtype=np.int64)
+        fixed[::23] = np.arange(0, g.n, 23) % 4
+        return Graph(g.xadj, g.adjncy, g.adjwgt, g.vwgt, coords=g.coords,
+                     fixed=fixed)
+
+    return [
+        ("multiconstraint", with_vwgts,
+         MINIMAL.derive(epsilons=(0.03, 0.25))),
+        ("fixed", with_fixed, MINIMAL),
+        ("mapping", lambda g: g,
+         MINIMAL.derive(objective="mapping", topology="2:2")),
+    ]
+
+
+@pytest.mark.parametrize("engine", [e for e in ALL_ENGINES
+                                    if e != "sequential"])
+@pytest.mark.parametrize("mode", [v[0] for v in _constrained_variants()])
+def test_constrained_modes_bit_identical_across_engines(mode, engine):
+    name, mutate, cfg = next(v for v in _constrained_variants()
+                             if v[0] == mode)
+    g = mutate(GRAPHS["rgg"]())
+    ref = partition_graph(g, 4, config=cfg, seed=SEED,
+                          execution="cluster", engine="sequential")
+    res = partition_graph(g, 4, config=cfg, seed=SEED,
+                          execution="cluster", engine=engine)
+    assert res.cut == ref.cut
+    assert np.array_equal(res.partition.part, ref.partition.part)
+
+
 def test_fewer_pes_than_blocks_still_agree():
     """k > P multiplexing (Section 8) must also be engine-independent."""
     g = GRAPHS["delaunay"]()

@@ -167,6 +167,34 @@ class TestGainBoundaryEquivalence:
             assert np.array_equal(gains_ref, gains_fast)
             assert np.array_equal(bnd_ref, bnd_fast)
 
+    @given(g=random_graphs(max_n=24, weighted=True),
+           seed=st.integers(0, 2**31 - 1),
+           scale=st.sampled_from([1.0, 2.0, 3.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_identical_with_scale_and_bias(self, g, seed, scale):
+        """The mapping-objective extension (``gain' = scale·gain + bias``)
+        must stay bit-identical across backends too."""
+        rng = np.random.default_rng(seed)
+        side = rng.integers(0, 2, size=g.n).astype(np.int8)
+        bias = rng.integers(-5, 6, size=g.n).astype(np.float64)
+        (gains_ref, bnd_ref), *rest = run_all(
+            "gain_boundary", g, side, scale, bias)
+        for gains_fast, bnd_fast in rest:
+            assert np.array_equal(gains_ref, gains_fast)
+            assert np.array_equal(bnd_ref, bnd_fast)
+
+    def test_scale_one_no_bias_matches_plain_call(self, rgg128):
+        """Defaulted extras are the bit-identical classic path."""
+        side = (np.arange(rgg128.n) % 2).astype(np.int8)
+        for backend in kernels.BACKENDS:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                fn = kernels.get_kernel("gain_boundary", backend)
+                gains_a, bnd_a = fn(rgg128, side)
+                gains_b, bnd_b = fn(rgg128, side, 1.0, None)
+            assert np.array_equal(gains_a, gains_b)
+            assert np.array_equal(bnd_a, bnd_b)
+
 
 class TestBandBFSEquivalence:
     @given(g=random_graphs(max_n=24, weighted=True, connected=True),
@@ -232,6 +260,37 @@ class TestGoldenDeterminism:
         for cut, part in runs[1:]:
             assert cut == cut0
             assert np.array_equal(part, part0)
+
+    @pytest.mark.parametrize("family", ["rgg", "delaunay"])
+    def test_constrained_modes_agree_across_backends(self, golden_graphs,
+                                                     family):
+        """Mapping objective + fixed vertices + a second weight dimension:
+        the new modes must be backend-independent like the classic path."""
+        from repro.graph.csr import Graph
+
+        base = golden_graphs[family]
+        rng = np.random.default_rng(7)
+        vwgts = np.column_stack(
+            [base.vwgt, rng.integers(1, 5, base.n).astype(float)])
+        fixed = np.full(base.n, -1, dtype=np.int64)
+        fixed[:: 19] = np.arange(0, base.n, 19) % 8
+        g = Graph(base.xadj, base.adjncy, base.adjwgt, base.vwgt,
+                  coords=base.coords, vwgts=vwgts, fixed=fixed)
+        runs = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for backend in ("python", "numpy", "numba"):
+                cfg = FAST.derive(kernel_backend=backend,
+                                  objective="mapping", topology="2:4",
+                                  epsilons=(0.03, 0.25))
+                res = KappaPartitioner(cfg).partition(g, 8, seed=self.SEED)
+                runs.append((res.cut, res.partition.part))
+        cut0, part0 = runs[0]
+        for cut, part in runs[1:]:
+            assert cut == cut0
+            assert np.array_equal(part, part0)
+        pinned = fixed >= 0
+        assert np.array_equal(part0[pinned], fixed[pinned])
 
 
 @pytest.fixture(scope="session")
