@@ -1,0 +1,303 @@
+"""Closed-loop load test for the partitioning service.
+
+Starts an in-process :class:`~repro.service.PartitionServer` (real HTTP
+over loopback), then drives it with N closed-loop clients (each thread
+submits, waits, fetches, repeats) through a mixed workload:
+
+* ``scratch``  — distinct ``(graph, seed)`` pairs: every request misses
+  the cache and runs the full multilevel pipeline;
+* ``cached``   — one hot request repeated: after the first miss every
+  request is served from the LRU result cache without partitioning;
+* ``incremental`` — a held session PATCHed with a deterministic
+  mutation stream (the boundary-band repartitioner);
+* ``mixed``    — all three interleaved per client.
+
+Writes ``BENCH_service.json``::
+
+    {"schema": "repro.bench_service/1",
+     "meta":   {"clients", "requests", "graph", "n", "k", "workers",
+                "cpus", "python", "git_sha", "timestamp"},
+     "records": [{"scenario", "requests", "errors", "wall_s",
+                  "throughput_rps", "latency_mean_s", "latency_p50_s",
+                  "latency_p95_s", "latency_max_s", "cache_hits"}, ...],
+     "cached_speedup":  scratch mean latency / cached mean latency,
+     "cache_hit_ratio": server-side hits / lookups}
+
+Every response is checked against a direct library call — the service
+must be *bit-identical* to the library, under concurrency, or the run
+aborts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct script invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.provenance import provenance
+from repro.service import (
+    PartitionRequest,
+    ServiceClient,
+    create_server,
+    execute_request,
+)
+from repro.service.graphspec import resolve_graph
+
+
+def _percentile(values, q: float) -> float:
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
+def _spec(n: int, seed: int) -> dict:
+    return {"generator": {"family": "rgg",
+                          "params": {"n": n, "seed": seed}}}
+
+
+def _mutation_batches(count: int, n: int, seed: int) -> list:
+    """Deterministic insert-edge batches (valid for an rgg of size n)."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(count):
+        edges = []
+        for _ in range(4):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                edges.append([int(u), int(v), float(rng.integers(1, 4))])
+        batches.append({"insert_edges": edges})
+    return batches
+
+
+class Scenario:
+    """Collects per-request latencies across client threads."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.latencies: list = []
+        self.errors = 0
+        self.cache_hits = 0
+        self._lock = threading.Lock()
+
+    def record(self, latency_s: float, cache_hit: bool = False) -> None:
+        with self._lock:
+            self.latencies.append(latency_s)
+            if cache_hit:
+                self.cache_hits += 1
+
+    def fail(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def report(self, wall_s: float) -> dict:
+        lat = self.latencies or [0.0]
+        return {
+            "scenario": self.name,
+            "requests": len(self.latencies),
+            "errors": self.errors,
+            "wall_s": wall_s,
+            "throughput_rps": len(self.latencies) / wall_s if wall_s else 0.0,
+            "latency_mean_s": statistics.fmean(lat),
+            "latency_p50_s": _percentile(lat, 0.50),
+            "latency_p95_s": _percentile(lat, 0.95),
+            "latency_max_s": max(lat),
+            "cache_hits": self.cache_hits,
+        }
+
+
+def _expected_part(spec: dict, request: PartitionRequest) -> np.ndarray:
+    """The direct library answer the service must match bit-for-bit."""
+    g, _ = resolve_graph(spec)
+    return execute_request(g, request).part
+
+
+def _run_scenario(name: str, clients: int, work_fn) -> dict:
+    """Run ``work_fn(client_index, scenario)`` on N threads; report."""
+    scenario = Scenario(name)
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=work_fn, args=(i, scenario))
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    if scenario.errors:
+        raise SystemExit(
+            f"scenario {name!r}: {scenario.errors} request(s) failed or "
+            f"diverged from the direct library result")
+    return scenario.report(wall)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clients", type=int, default=4,
+                    help="closed-loop client threads (default 4)")
+    ap.add_argument("--requests", type=int, default=6,
+                    help="requests per client per scenario (default 6)")
+    ap.add_argument("-n", type=int, default=2048,
+                    help="rgg vertices per request graph (default 2048)")
+    ap.add_argument("-k", type=int, default=8)
+    ap.add_argument("--preset", default="fast")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="server worker threads (default 4)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="fast CI mode: 2 clients x 2 requests, n=400, k=4")
+    ap.add_argument("-o", "--output", default="BENCH_service.json")
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        args.clients, args.requests, args.n, args.k = 2, 2, 400, 4
+
+    server = create_server(port=0, workers=args.workers,
+                           queue_limit=max(64, 4 * args.clients))
+    server.start_background()
+    client = ServiceClient(server.url, tenant="bench")
+    print(f"service at {server.url} "
+          f"(workers={args.workers}, clients={args.clients})")
+
+    base_request = PartitionRequest(k=args.k, preset=args.preset, seed=0)
+    hot_spec = _spec(args.n, seed=0)
+    expected_hot = _expected_part(hot_spec, base_request)
+
+    # -- scratch: unique (graph seed, request seed) per request → misses
+    def scratch_work(idx: int, scenario: Scenario) -> None:
+        for r in range(args.requests):
+            seed = 1 + idx * args.requests + r  # disjoint per client
+            spec = _spec(args.n, seed=seed)
+            req = PartitionRequest(k=args.k, preset=args.preset, seed=seed)
+            t0 = time.perf_counter()
+            try:
+                res = client.partition(req, graph_spec=spec)
+            except Exception:
+                scenario.fail()
+                continue
+            lat = time.perf_counter() - t0
+            if (res.part == _expected_part(spec, req)).all():
+                scenario.record(lat, cache_hit=res.cached)
+            else:
+                scenario.fail()
+
+    # -- cached: everyone hammers the same request → hits after warmup
+    def cached_work(idx: int, scenario: Scenario) -> None:
+        for _ in range(args.requests):
+            t0 = time.perf_counter()
+            try:
+                res = client.partition(base_request, graph_spec=hot_spec)
+            except Exception:
+                scenario.fail()
+                continue
+            lat = time.perf_counter() - t0
+            if (res.part == expected_hot).all():
+                scenario.record(lat, cache_hit=res.cached)
+            else:
+                scenario.fail()
+
+    # -- incremental: one held session per client, PATCH stream
+    def incremental_work(idx: int, scenario: Scenario) -> None:
+        req = PartitionRequest(k=args.k, preset=args.preset, seed=idx)
+        try:
+            init = client.create_session(req, graph_spec=hot_spec)
+            sid = init["session"]
+        except Exception:
+            scenario.fail()
+            return
+        for batch in _mutation_batches(args.requests, args.n, seed=idx):
+            t0 = time.perf_counter()
+            try:
+                client.patch(sid, batch)
+            except Exception:
+                scenario.fail()
+                continue
+            scenario.record(time.perf_counter() - t0)
+
+    def mixed_work(idx: int, scenario: Scenario) -> None:
+        for r in range(args.requests):
+            which = (idx + r) % 3
+            t0 = time.perf_counter()
+            try:
+                if which == 0:
+                    seed = 1000 + idx * args.requests + r
+                    client.partition(
+                        PartitionRequest(k=args.k, preset=args.preset,
+                                         seed=seed),
+                        graph_spec=_spec(args.n, seed=seed))
+                else:
+                    # which=1 hits the warm cache; which=2 re-runs the
+                    # hot request under a different seed
+                    res = client.partition(
+                        base_request if which == 1 else
+                        PartitionRequest(k=args.k, preset=args.preset,
+                                         seed=1),
+                        graph_spec=hot_spec)
+                    if which == 1 and not (res.part == expected_hot).all():
+                        scenario.fail()
+                        continue
+            except Exception:
+                scenario.fail()
+                continue
+            scenario.record(time.perf_counter() - t0)
+
+    records = []
+    for name, fn in (("scratch", scratch_work), ("cached", cached_work),
+                     ("incremental", incremental_work),
+                     ("mixed", mixed_work)):
+        rec = _run_scenario(name, args.clients, fn)
+        records.append(rec)
+        print(f"  {name:12s} {rec['requests']:4d} req "
+              f"{rec['throughput_rps']:8.2f} req/s "
+              f"p50 {rec['latency_p50_s'] * 1e3:8.2f}ms "
+              f"p95 {rec['latency_p95_s'] * 1e3:8.2f}ms")
+
+    by_name = {rec["scenario"]: rec for rec in records}
+    cached_speedup = (by_name["scratch"]["latency_mean_s"]
+                      / max(by_name["cached"]["latency_mean_s"], 1e-9))
+    scalars = server.registry.scalars()
+    hits = scalars.get("cache_hits", 0.0)
+    lookups = hits + scalars.get("cache_misses", 0.0)
+    hit_ratio = hits / lookups if lookups else 0.0
+    print(f"cached speedup: {cached_speedup:.1f}x  "
+          f"server cache hit ratio: {hit_ratio:.2f}")
+
+    drained = server.drain_and_shutdown()
+    doc = {
+        "schema": "repro.bench_service/1",
+        "meta": {
+            "clients": args.clients, "requests": args.requests,
+            "graph": f"rgg(n={args.n})", "n": args.n, "k": args.k,
+            "preset": args.preset, "workers": args.workers,
+            "drained_clean": bool(drained),
+            "cpus": os.cpu_count(), "python": platform.python_version(),
+            **provenance(),
+        },
+        "records": records,
+        "cached_speedup": cached_speedup,
+        "cache_hit_ratio": hit_ratio,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,7 +79,7 @@ from .baselines import (
     parmetis_like_partition,
     scotch_like_partition,
 )
-from .core import KappaPartitioner, format_trace_summary, metrics, preset
+from .core import format_trace_summary, metrics, preset
 from .engine import ENGINES
 from .instrument import CHECK_MODES, Tracer
 from .kernels import BACKENDS as KERNEL_BACKENDS, use_backend
@@ -94,15 +94,10 @@ from .graph import (
 
 __all__ = ["main", "build_parser"]
 
-GENERATORS = {
-    "rgg": ("random_geometric_graph", {"n": 4096, "seed": 0}),
-    "delaunay": ("delaunay_graph", {"n": 4096, "seed": 0}),
-    "grid": ("triangulated_grid", {"rows": 64, "cols": 64}),
-    "grid3d": ("grid3d_graph", {"nx": 16, "ny": 16, "nz": 16}),
-    "road": ("road_network", {"n": 4096, "n_cities": 12, "seed": 0}),
-    "social": ("preferential_attachment", {"n": 4096, "m_per_node": 4, "seed": 0}),
-    "rmat": ("rmat_graph", {"scale": 12, "edge_factor": 8, "seed": 0}),
-}
+# the generator table lives with the service wire format so that
+# `repro generate`, `repro serve` and remote requests resolve specs
+# against the same families/defaults; re-exported here for back-compat
+from .service.graphspec import GENERATORS
 
 TOOLS = ("kappa", "metis_like", "parmetis_like", "scotch_like")
 
@@ -298,6 +293,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "('new') or both files")
     c.add_argument("--show-all", action="store_true", dest="show_all",
                    help="print every compared metric, not just regressions")
+
+    s = sub.add_parser("serve",
+                       help="run the partitioning service (HTTP, JSON)")
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8777)
+    s.add_argument("--workers", type=int, default=2,
+                   help="partitioning worker threads (default 2)")
+    s.add_argument("--queue-limit", type=int, default=16, dest="queue_limit",
+                   help="max queued jobs before 503 (default 16)")
+    s.add_argument("--cache-mb", type=float, default=256.0, dest="cache_mb",
+                   help="result-cache byte budget in MiB; 0 disables "
+                        "retention (default 256)")
+    s.add_argument("--rate", type=float, default=None,
+                   help="per-tenant request rate limit (requests/s; "
+                        "default: no quotas)")
+    s.add_argument("--burst", type=float, default=None,
+                   help="per-tenant token-bucket burst (default: rate)")
+    s.add_argument("--max-request-mb", type=float, default=32.0,
+                   dest="max_request_mb",
+                   help="reject request bodies beyond this size with 413 "
+                        "(default 32)")
+    s.add_argument("--artifacts-dir", default=None, dest="artifacts_dir",
+                   metavar="DIR",
+                   help="write per-job trace artifacts and a JSONL job "
+                        "journal under DIR")
+    s.add_argument("--drain-timeout", type=float, default=30.0,
+                   dest="drain_timeout",
+                   help="seconds to wait for in-flight jobs on "
+                        "SIGTERM/SIGINT (default 30)")
     return parser
 
 
@@ -385,16 +409,22 @@ def _instrumented_run(g, args, k: int):
         # comm matrix, metrics) for cluster runs; sequential runs still
         # get driver phases + the metrics registry
         overrides["observe"] = True
-    cfg = preset(args.preset).derive(epsilon=args.epsilon,
-                                     check_invariants=check, **overrides)
+    # the CLI goes through the same PartitionRequest -> PartitionResult
+    # facade as the service (options here may exceed WIRE_OPTIONS: the
+    # allowlist binds the wire boundary, not in-process callers)
+    from .service.api import PartitionRequest, execute_request
+
+    request = PartitionRequest(
+        k=k, preset=args.preset, seed=args.seed, execution=execution,
+        options=dict(epsilon=args.epsilon, check_invariants=check,
+                     **overrides),
+    )
     # a Chrome trace is derived from the trace document, so --trace-events
     # needs a live tracer even without --trace
     tracer = (Tracer()
               if (args.trace or getattr(args, "trace_events", None))
               else None)
-    res = KappaPartitioner(cfg).partition(
-        g, k, seed=args.seed, execution=execution, tracer=tracer
-    )
+    res = execute_request(g, request, tracer=tracer).kappa
     return res, tracer
 
 
@@ -792,6 +822,28 @@ def _cmd_list_kernel_backends() -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import create_server, run_server
+
+    server = create_server(
+        host=args.host, port=args.port,
+        workers=args.workers, queue_limit=args.queue_limit,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+        rate=args.rate, burst=args.burst,
+        max_request_bytes=int(args.max_request_mb * 1024 * 1024),
+        artifacts_dir=args.artifacts_dir,
+    )
+    print(f"repro service listening on {server.url} "
+          f"(workers={args.workers}, queue_limit={args.queue_limit}, "
+          f"cache={args.cache_mb:g}MiB"
+          + (f", rate={args.rate:g}/s" if args.rate else "")
+          + ")")
+    print("endpoints: POST /v1/partition  POST /v1/sessions  "
+          "PATCH /v1/sessions/<id>  GET /v1/jobs/<id>[/result]  "
+          "GET /metrics  GET /healthz")
+    return run_server(server, drain_timeout=args.drain_timeout)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -813,6 +865,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _cmd_info,
         "report": _cmd_report,
         "compare": _cmd_compare,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -58,7 +58,8 @@ class Graph:
     """
 
     __slots__ = ("xadj", "adjncy", "adjwgt", "vwgt", "vwgts", "fixed",
-                 "coords", "_out_cache", "_sig_cache")
+                 "coords", "_out_cache", "_sig_cache", "_sig_memo",
+                 "_sig_hashes")
 
     def __init__(
         self,
@@ -90,6 +91,8 @@ class Graph:
         self.coords = None if coords is None else np.asarray(coords, dtype=np.float64)
         self._out_cache: Optional[np.ndarray] = None
         self._sig_cache: Optional[str] = None
+        self._sig_memo: Optional[str] = None
+        self._sig_hashes: int = 0  # rehash count (tests assert O(1) reuse)
         if validate:
             self._check_structure()
 
@@ -372,6 +375,7 @@ class Graph:
         if self.fixed is not None:
             h.update(b"fixed;")
             h.update(np.ascontiguousarray(self.fixed).tobytes())
+        self._sig_hashes += 1
         return h.hexdigest()[:16]
 
     def signature(self) -> str:
@@ -386,7 +390,33 @@ class Graph:
         """
         fresh = self.compute_signature()
         self._sig_cache = fresh
+        self._sig_memo = fresh
         return fresh
+
+    def cached_signature(self) -> str:
+        """Memoized content signature — the cache-key fast path.
+
+        The first call hashes the CSR arrays (via :meth:`signature`);
+        repeated calls return the memo without rehashing, so looking up
+        the same multi-MB graph in a result cache is O(1) after the
+        first request.  The memo is only valid while the arrays are not
+        mutated in place: callers that mutate a graph they previously
+        signed must call :meth:`invalidate_signature` (every in-repo
+        mutation path — :class:`repro.graph.dynamic.DynamicGraph` —
+        rebuilds a fresh :class:`Graph` instead, which starts with an
+        empty memo).  Correctness-critical paths (checkpoint identity,
+        ``validate_graph``) keep using :meth:`signature` /
+        :meth:`compute_signature`, which always rehash.
+        """
+        if self._sig_memo is None:
+            self.signature()
+        return self._sig_memo
+
+    def invalidate_signature(self) -> None:
+        """Drop the memoized signature after an in-place array mutation
+        (the recorded staleness-detection digest is kept — that is the
+        evidence ``signature_is_stale`` uses)."""
+        self._sig_memo = None
 
     def signature_is_stale(self) -> bool:
         """True when a signature was cached and the CSR arrays have been

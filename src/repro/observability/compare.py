@@ -34,8 +34,10 @@ __all__ = [
     "format_comparison",
 ]
 
-#: substrings marking a metric where *larger is better*
-_HIGHER_BETTER = ("speedup",)
+#: substrings marking a metric where *larger is better* (checked before
+#: the lower-is-better list, so e.g. ``throughput_rps`` is not caught by
+#: its ``_s`` suffix)
+_HIGHER_BETTER = ("speedup", "throughput", "hit_ratio")
 
 #: substrings marking a metric where *smaller is better* (everything not
 #: matched by either list is reported but never flagged)
@@ -219,11 +221,35 @@ def _bench_metrics(doc: Dict[str, Any]) -> Dict[str, float]:
                     out[f"{key}.{name}"] = float(rec[name])
             for name, value in (rec.get("phase_times") or {}).items():
                 out[f"{key}.{name}"] = float(value)
+        elif "scenario" in rec:  # bench_service rows
+            key = f"service.{rec['scenario']}"
+            for name, value in rec.items():
+                if name != "scenario" and _is_number(value):
+                    out[f"{key}.{name}"] = float(value)
     if doc.get("speedup_process_vs_sim") is not None:
         out["speedup_process_vs_sim"] = float(doc["speedup_process_vs_sim"])
+    for name in ("cached_speedup", "cache_hit_ratio"):  # bench_service
+        if _is_number(doc.get(name)):
+            out[name] = float(doc[name])
+    if not out:
+        # an unrecognised bench schema still compares generically: every
+        # numeric field, per record and top-level (new BENCH files must
+        # not break `repro compare` before it learns their shape)
+        for i, rec in enumerate(doc.get("records") or []):
+            label = str(rec.get("name") or rec.get("id") or i)
+            for name, value in rec.items():
+                if _is_number(value):
+                    out[f"{label}.{name}"] = float(value)
+        for name, value in doc.items():
+            if _is_number(value):
+                out[name] = float(value)
     if not out:
         raise CompareError(f"no comparable records in {schema!r} document")
     return out
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 _EXTRACTORS = {

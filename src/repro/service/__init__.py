@@ -1,0 +1,66 @@
+"""Partitioning-as-a-service.
+
+A long-lived, stdlib-only HTTP server in front of the library:
+
+* :mod:`~repro.service.api` — the ``PartitionRequest ->
+  PartitionResult`` facade every caller (server, CLI, client) shares;
+* :mod:`~repro.service.cache` — LRU result cache keyed by algorithmic
+  config hash + graph content signature (hits are bit-identical by
+  construction);
+* :mod:`~repro.service.jobs` — bounded worker pool, async job model,
+  held :class:`~repro.graph.dynamic.DynamicGraph` sessions with
+  incremental PATCH repartitioning, graceful drain;
+* :mod:`~repro.service.quotas` — per-tenant token-bucket admission;
+* :mod:`~repro.service.server` — the HTTP wire (``repro serve``);
+* :mod:`~repro.service.client` — the urllib client library.
+
+Start one in-process (tests, notebooks)::
+
+    from repro.service import create_server
+    server = create_server(port=0, workers=2).start_background()
+    ...
+    server.drain_and_shutdown()
+"""
+
+from __future__ import annotations
+
+from .api import (
+    PartitionRequest,
+    PartitionResult,
+    RequestError,
+    WIRE_OPTIONS,
+    execute_request,
+)
+from .cache import ResultCache
+from .client import ServiceClient, ServiceError
+from .graphspec import GENERATORS, GraphSpecError, graph_to_spec, resolve_graph
+from .jobs import (
+    AdmissionError,
+    Draining,
+    Job,
+    JobManager,
+    QueueFull,
+    SessionHandle,
+    UnknownJob,
+    UnknownSession,
+)
+from .quotas import QuotaManager, TokenBucket
+from .server import PartitionServer, create_server, run_server
+
+__all__ = [
+    # api
+    "PartitionRequest", "PartitionResult", "RequestError", "WIRE_OPTIONS",
+    "execute_request",
+    # cache
+    "ResultCache",
+    # graphspec
+    "GENERATORS", "GraphSpecError", "graph_to_spec", "resolve_graph",
+    # jobs
+    "AdmissionError", "Draining", "Job", "JobManager", "QueueFull",
+    "SessionHandle", "UnknownJob", "UnknownSession",
+    # quotas
+    "QuotaManager", "TokenBucket",
+    # server / client
+    "PartitionServer", "create_server", "run_server",
+    "ServiceClient", "ServiceError",
+]

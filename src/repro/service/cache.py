@@ -1,0 +1,117 @@
+"""LRU result cache with a byte budget.
+
+Keys are the checkpoint-style identity from
+:meth:`PartitionRequest.cache_key` (algorithmic config hash + graph
+content signature + k/seed/execution/pes), so a hit is *guaranteed*
+bit-identical to recomputing — the partitioner is deterministic in
+exactly those inputs.  Values are :class:`PartitionResult` data objects;
+the budget charges each entry its partition-vector bytes plus a small
+constant, and eviction is strict LRU (``get`` refreshes recency).
+
+Hit/miss/eviction counters and byte/entry gauges are registered on the
+shared :class:`~repro.observability.MetricsRegistry`, so the cache's
+behaviour shows up in ``/metrics`` next to everything else.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from ..observability import MetricsRegistry
+from .api import PartitionResult
+
+__all__ = ["ResultCache"]
+
+DEFAULT_BUDGET = 256 * 1024 * 1024  # 256 MiB
+
+
+class ResultCache:
+    """Thread-safe LRU cache of :class:`PartitionResult` by cache key."""
+
+    def __init__(self, max_bytes: int = DEFAULT_BUDGET,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        self.max_bytes = int(max_bytes)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, PartitionResult]" = OrderedDict()
+        self._bytes = 0
+        # create the instruments eagerly so /metrics shows zeros (and the
+        # hit ratio is computable) before the first request arrives
+        self.registry.counter("cache_hits")
+        self.registry.counter("cache_misses")
+        self.registry.counter("cache_evictions")
+        self.registry.counter("cache_inserts")
+        self.registry.counter("cache_oversize_skips")
+        self.registry.gauge("cache_bytes")
+        self.registry.gauge("cache_entries")
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[PartitionResult]:
+        """The cached result for ``key`` (marked ``cached=True``), or
+        ``None`` — counting the hit/miss either way."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.registry.counter("cache_misses").inc()
+                return None
+            self._entries.move_to_end(key)
+            self.registry.counter("cache_hits").inc()
+            return entry.as_cached()
+
+    def put(self, key: str, result: PartitionResult) -> bool:
+        """Insert ``result`` under ``key``; evicts LRU entries until the
+        byte budget holds.  Returns False when the entry alone exceeds
+        the whole budget (skipped — caching it would empty the cache)."""
+        size = result.nbytes
+        with self._lock:
+            if size > self.max_bytes:
+                self.registry.counter("cache_oversize_skips").inc()
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = result
+            self._bytes += size
+            self.registry.counter("cache_inserts").inc()
+            while self._bytes > self.max_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.registry.counter("cache_evictions").inc()
+            self._gauges()
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self._gauges()
+
+    def _gauges(self) -> None:
+        self.registry.gauge("cache_bytes").set(float(self._bytes))
+        self.registry.gauge("cache_entries").set(float(len(self._entries)))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups since start (0.0 before any lookup)."""
+        scalars = self.registry.scalars()
+        hits = scalars.get("cache_hits", 0.0)
+        total = hits + scalars.get("cache_misses", 0.0)
+        return hits / total if total else 0.0

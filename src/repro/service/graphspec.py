@@ -1,0 +1,101 @@
+"""Wire-format graph specifications.
+
+A service request names its graph in one of three ways, all JSON:
+
+* ``{"metis": "<METIS .graph text>"}`` — an inline upload (the METIS
+  format is the library's lingua franca; ``read_metis`` accepts a
+  file-like, so the text is parsed straight out of the request body);
+* ``{"generator": {"family": "rgg", "params": {"n": 4096, "seed": 0}}}``
+  — a named generator spec, resolved against the same table the
+  ``repro generate`` CLI uses (generators are deterministic, so a spec
+  is as cacheable as an upload);
+* ``{"session": "<id>"}`` — the held graph of a live incremental
+  session (PATCH workloads; resolved by the job layer, not here).
+
+``resolve_graph`` returns the :class:`~repro.graph.csr.Graph` plus a
+short human-readable description used in job listings.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Dict, Tuple
+
+from ..graph.csr import Graph
+from ..graph.io import read_metis, write_metis
+
+__all__ = ["GENERATORS", "GraphSpecError", "resolve_graph", "graph_to_spec"]
+
+#: family -> (generator function name in :mod:`repro.generators`, defaults);
+#: shared with the ``repro generate`` CLI subcommand
+GENERATORS: Dict[str, Tuple[str, Dict[str, Any]]] = {
+    "rgg": ("random_geometric_graph", {"n": 4096, "seed": 0}),
+    "delaunay": ("delaunay_graph", {"n": 4096, "seed": 0}),
+    "grid": ("triangulated_grid", {"rows": 64, "cols": 64}),
+    "grid3d": ("grid3d_graph", {"nx": 16, "ny": 16, "nz": 16}),
+    "road": ("road_network", {"n": 4096, "n_cities": 12, "seed": 0}),
+    "social": ("preferential_attachment", {"n": 4096, "m_per_node": 4, "seed": 0}),
+    "rmat": ("rmat_graph", {"scale": 12, "edge_factor": 8, "seed": 0}),
+}
+
+
+class GraphSpecError(ValueError):
+    """The request's graph spec is malformed (client error → 400)."""
+
+
+def resolve_graph(spec: Any) -> Tuple[Graph, str]:
+    """Resolve a JSON graph spec to ``(graph, description)``.
+
+    Raises :class:`GraphSpecError` on malformed specs; METIS parse
+    errors surface as the same type so the server can answer 400.
+    """
+    if not isinstance(spec, dict):
+        raise GraphSpecError("graph spec must be a JSON object")
+    kinds = {k for k in ("metis", "generator") if k in spec}
+    if len(kinds) != 1:
+        raise GraphSpecError(
+            "graph spec needs exactly one of 'metis' or 'generator'")
+    if "metis" in spec:
+        text = spec["metis"]
+        if not isinstance(text, str) or not text.strip():
+            raise GraphSpecError("'metis' must be a non-empty string")
+        try:
+            g = read_metis(io.StringIO(text))
+        except (ValueError, IndexError) as exc:
+            raise GraphSpecError(f"bad METIS text: {exc}") from None
+        return g, f"upload(n={g.n}, m={g.m})"
+    gen = spec["generator"]
+    if not isinstance(gen, dict) or "family" not in gen:
+        raise GraphSpecError("'generator' must be an object with a 'family'")
+    family = gen["family"]
+    if family not in GENERATORS:
+        raise GraphSpecError(
+            f"unknown generator family {family!r}; "
+            f"known: {sorted(GENERATORS)}")
+    fn_name, defaults = GENERATORS[family]
+    params = dict(defaults)
+    overrides = gen.get("params") or {}
+    if not isinstance(overrides, dict):
+        raise GraphSpecError("'generator.params' must be an object")
+    for name, value in overrides.items():
+        if name not in params:
+            raise GraphSpecError(
+                f"unknown parameter {name!r} for {family!r} "
+                f"(known: {sorted(params)})")
+        try:
+            params[name] = type(defaults[name])(value)
+        except (TypeError, ValueError):
+            raise GraphSpecError(
+                f"bad value {value!r} for parameter {name!r}") from None
+    from .. import generators
+
+    g = getattr(generators, fn_name)(**params)
+    pretty = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+    return g, f"{family}({pretty})"
+
+
+def graph_to_spec(g: Graph) -> Dict[str, str]:
+    """Serialize a graph as an inline-upload spec (client-side helper)."""
+    buf = io.StringIO()
+    write_metis(g, buf)
+    return {"metis": buf.getvalue()}

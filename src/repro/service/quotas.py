@@ -1,0 +1,90 @@
+"""Per-tenant admission control: token buckets.
+
+Each tenant (the ``X-Repro-Tenant`` header, default ``"anonymous"``)
+gets a token bucket of ``burst`` capacity refilled at ``rate`` tokens
+per second.  A submit costs one token; an empty bucket answers 429 with
+a ``Retry-After`` telling the client exactly when the next token lands.
+The clock is injectable so the tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..observability import MetricsRegistry
+
+__all__ = ["TokenBucket", "QuotaManager"]
+
+
+class TokenBucket:
+    """A standard token bucket; not thread-safe on its own (the
+    :class:`QuotaManager` serializes access)."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._last = now
+
+    def try_acquire(self, cost: float = 1.0) -> Tuple[bool, float]:
+        """``(True, 0.0)`` when a token was taken, else ``(False,
+        retry_after_s)`` — the seconds until ``cost`` tokens exist."""
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True, 0.0
+        return False, (cost - self._tokens) / self.rate
+
+
+class QuotaManager:
+    """Thread-safe per-tenant buckets, created on first request.
+
+    ``rate=None`` disables quotas entirely (every admit succeeds) — the
+    default for embedded/test servers.
+    """
+
+    def __init__(self, rate: Optional[float] = None,
+                 burst: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate or 0.0)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry.counter("quota_rejections")
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None and self.rate > 0
+
+    def admit(self, tenant: str) -> Tuple[bool, float]:
+        """Charge one request to ``tenant``; ``(ok, retry_after_s)``."""
+        if not self.enabled:
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, max(1.0, self.burst), clock=self._clock)
+            ok, retry_after = bucket.try_acquire()
+        if not ok:
+            self.registry.counter("quota_rejections").inc()
+        return ok, retry_after
+
+    def tenants(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._buckets))

@@ -1,0 +1,102 @@
+"""The PartitionRequest -> PartitionResult facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partitioner import partition_graph
+from repro.core.config import preset
+from repro.service.api import (
+    PartitionRequest,
+    PartitionResult,
+    RequestError,
+    WIRE_OPTIONS,
+    execute_request,
+)
+
+
+class TestPartitionRequest:
+    def test_validation(self):
+        with pytest.raises(RequestError):
+            PartitionRequest(k=0)
+        with pytest.raises(RequestError):
+            PartitionRequest(k=4, execution="warp")
+
+    def test_bad_preset_surfaces_as_request_error(self):
+        with pytest.raises(RequestError):
+            PartitionRequest(k=4, preset="nope").config()
+
+    def test_bad_option_surfaces_as_request_error(self):
+        req = PartitionRequest(k=4, options={"no_such_option": 1})
+        with pytest.raises(RequestError):
+            req.config()
+
+    def test_json_roundtrip(self):
+        req = PartitionRequest(k=8, preset="strong", seed=3,
+                               options={"epsilon": 0.05, "objective": "cut"})
+        doc = req.to_json()
+        back = PartitionRequest.from_json(doc)
+        assert back.k == 8 and back.seed == 3 and back.preset == "strong"
+        assert back.options["epsilon"] == 0.05
+
+    def test_from_json_requires_k(self):
+        with pytest.raises(RequestError):
+            PartitionRequest.from_json({"seed": 1})
+
+    def test_from_json_enforces_wire_allowlist(self):
+        # non-allowlisted config machinery must not cross the wire
+        doc = {"k": 4, "faults": "pe0:crash@refine", "engine": "process",
+               "kernel_backend": "python", "check_invariants": "strict"}
+        req = PartitionRequest.from_json(doc)
+        for name in ("faults", "engine", "kernel_backend",
+                     "check_invariants"):
+            assert name not in req.options
+        assert all(name in WIRE_OPTIONS or name == "seed"
+                   for name in req.options)
+
+    def test_from_json_fails_fast_on_bad_overrides(self):
+        with pytest.raises(RequestError):
+            PartitionRequest.from_json({"k": 4, "epsilon": -5.0})
+
+    def test_cache_key_changes_with_inputs(self, rgg128):
+        req = PartitionRequest(k=4, seed=0)
+        base = req.cache_key(rgg128)
+        assert PartitionRequest(k=4, seed=1).cache_key(rgg128) != base
+        assert PartitionRequest(k=8, seed=0).cache_key(rgg128) != base
+        assert PartitionRequest(k=4, seed=0, preset="strong") \
+            .cache_key(rgg128) != base
+        # telemetry toggles must NOT change the identity
+        assert PartitionRequest(
+            k=4, seed=0, options={"check_invariants": "strict"}
+        ).cache_key(rgg128) == base
+
+    def test_cache_key_tracks_graph_content(self, rgg128, rgg512):
+        req = PartitionRequest(k=4)
+        assert req.cache_key(rgg128) != req.cache_key(rgg512)
+
+
+class TestExecuteRequest:
+    def test_matches_direct_library_call(self, rgg128):
+        req = PartitionRequest(k=4, preset="fast", seed=2)
+        res = execute_request(rgg128, req)
+        direct = partition_graph(rgg128, 4, config=preset("fast"), seed=2)
+        assert (res.part == direct.partition.part).all()
+        assert res.cut == direct.cut
+        assert res.n == rgg128.n and res.k == 4
+        assert not res.cached
+        assert res.kappa is not None
+
+    def test_result_json_roundtrip(self, rgg128):
+        res = execute_request(rgg128, PartitionRequest(k=4, seed=1))
+        back = PartitionResult.from_json(res.to_json())
+        assert (back.part == res.part).all()
+        assert back.cut == res.cut and back.cache_key == res.cache_key
+        assert back.kappa is None  # the live result never crosses the wire
+
+    def test_as_cached_sets_flag_and_drops_kappa(self, rgg128):
+        res = execute_request(rgg128, PartitionRequest(k=4))
+        hit = res.as_cached()
+        assert hit.cached and not res.cached
+        assert hit.kappa is None
+        assert (hit.part == res.part).all()

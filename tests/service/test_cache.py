@@ -1,0 +1,93 @@
+"""The LRU result cache: budget, eviction, counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.service.api import PartitionResult
+from repro.service.cache import ResultCache
+
+
+def _result(n: int = 64, cut: float = 10.0) -> PartitionResult:
+    return PartitionResult(part=np.zeros(n, dtype=np.int64), k=2, n=n,
+                           m=n, cut=cut, balance=1.0, feasible=True,
+                           time_s=0.01)
+
+
+def test_miss_then_hit_counts():
+    reg = MetricsRegistry()
+    cache = ResultCache(registry=reg)
+    assert cache.get("a") is None
+    cache.put("a", _result())
+    hit = cache.get("a")
+    assert hit is not None and hit.cached
+    scalars = reg.scalars()
+    assert scalars["cache_hits"] == 1
+    assert scalars["cache_misses"] == 1
+    assert scalars["cache_inserts"] == 1
+    assert cache.hit_ratio == 0.5
+
+
+def test_lru_eviction_order():
+    one = _result(64)
+    cache = ResultCache(max_bytes=3 * one.nbytes)
+    for key in ("a", "b", "c"):
+        cache.put(key, _result(64))
+    cache.get("a")           # refresh "a": "b" becomes LRU
+    cache.put("d", _result(64))
+    assert "b" not in cache and "a" in cache
+    assert len(cache) == 3
+
+
+def test_byte_budget_and_gauges():
+    reg = MetricsRegistry()
+    one = _result(64)
+    cache = ResultCache(max_bytes=2 * one.nbytes, registry=reg)
+    for key in ("a", "b", "c"):
+        cache.put(key, _result(64))
+    assert len(cache) == 2
+    assert cache.bytes_used <= cache.max_bytes
+    scalars = reg.scalars()
+    assert scalars["cache_evictions"] == 1
+    assert scalars["cache_entries"] == 2
+    assert scalars["cache_bytes"] == cache.bytes_used
+
+
+def test_oversize_entry_is_skipped_not_cached():
+    reg = MetricsRegistry()
+    cache = ResultCache(max_bytes=100, registry=reg)  # < one entry
+    assert cache.put("big", _result(1024)) is False
+    assert len(cache) == 0
+    assert reg.scalars()["cache_oversize_skips"] == 1
+
+
+def test_replace_same_key_does_not_leak_bytes():
+    cache = ResultCache(max_bytes=10_000)
+    for _ in range(5):
+        cache.put("a", _result(64))
+    assert len(cache) == 1
+    assert cache.bytes_used == _result(64).nbytes
+
+
+def test_hit_is_bit_identical():
+    cache = ResultCache()
+    res = _result(128, cut=42.0)
+    res.part[:] = np.arange(128) % 4
+    cache.put("x", res)
+    hit = cache.get("x")
+    assert (hit.part == res.part).all()
+    assert hit.cut == 42.0
+
+
+def test_clear():
+    cache = ResultCache()
+    cache.put("a", _result())
+    cache.clear()
+    assert len(cache) == 0 and cache.bytes_used == 0
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(max_bytes=-1)

@@ -1,0 +1,138 @@
+"""JobManager behaviour below the HTTP layer."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.service.api import PartitionRequest, RequestError
+from repro.service.jobs import (
+    Draining,
+    JobManager,
+    QueueFull,
+    UnknownJob,
+    UnknownSession,
+)
+
+
+@pytest.fixture()
+def manager():
+    mgr = JobManager(workers=2, queue_limit=8)
+    yield mgr
+    mgr.drain(timeout=30.0)
+
+
+def test_partition_job_lifecycle(manager, rgg128):
+    job = manager.submit_partition(rgg128, PartitionRequest(k=4, seed=1))
+    assert job.wait(timeout=30.0)
+    assert job.state == "done" and not job.cache_hit
+    assert job.result is not None and job.result.part.shape == (rgg128.n,)
+    doc = job.status_json()
+    assert doc["state"] == "done" and "wall_s" in doc and "cut" in doc
+
+
+def test_cache_hit_skips_partitioning_entirely(manager, rgg128):
+    req = PartitionRequest(k=4, seed=2)
+    first = manager.submit_partition(rgg128, req)
+    assert first.wait(timeout=30.0) and first.state == "done"
+    executed_before = manager.registry.scalars()["jobs_executed"]
+
+    second = manager.submit_partition(rgg128, req)
+    # a hit completes synchronously: no queue, no worker, no wait
+    assert second.finished and second.cache_hit
+    assert (second.result.part == first.result.part).all()
+    assert second.result.cached
+    scalars = manager.registry.scalars()
+    assert scalars["jobs_executed"] == executed_before  # nothing ran
+    assert scalars["jobs_cache_hits"] == 1
+
+
+def test_failed_job_records_error(manager, rgg128):
+    # topology 3x5 has 15 leaves but k=4: valid config, fails at run
+    # time -> the job must land in "failed" with the error recorded
+    bad = PartitionRequest(k=4, seed=0,
+                           options={"objective": "mapping",
+                                    "topology": "3:5"})
+    job = manager.submit_partition(rgg128, bad)
+    assert job.wait(timeout=30.0)
+    assert job.state == "failed"
+    assert "topology" in (job.error or "")
+    assert manager.registry.scalars()["jobs_failed"] >= 1
+
+
+def test_bad_option_rejected_at_submit(manager, rgg128):
+    with pytest.raises(RequestError):
+        manager.submit_partition(
+            rgg128, PartitionRequest(k=4, options={"bogus_option": 1}))
+
+
+def test_queue_full_raises(rgg128):
+    mgr = JobManager(workers=1, queue_limit=1)
+    try:
+        jobs = []
+        with pytest.raises(QueueFull):
+            for seed in range(50):  # far beyond 1 worker + 1 queue slot
+                jobs.append(mgr.submit_partition(
+                    rgg128, PartitionRequest(k=4, seed=seed)))
+        assert mgr.registry.scalars()["jobs_rejected_queue_full"] >= 1
+    finally:
+        mgr.drain(timeout=30.0)
+
+
+def test_drain_rejects_new_work_but_finishes_inflight(rgg128):
+    mgr = JobManager(workers=1, queue_limit=8)
+    job = mgr.submit_partition(rgg128, PartitionRequest(k=4, seed=9))
+    drainer = threading.Thread(target=mgr.drain, kwargs={"timeout": 30.0})
+    drainer.start()
+    time.sleep(0.01)  # let the drain flag land
+    with pytest.raises(Draining):
+        mgr.submit_partition(rgg128, PartitionRequest(k=4, seed=10))
+    drainer.join(timeout=30.0)
+    assert not drainer.is_alive()
+    assert job.finished and job.state == "done"  # in-flight ran to the end
+
+
+def test_unknown_lookups(manager):
+    with pytest.raises(UnknownJob):
+        manager.job("job-nope")
+    with pytest.raises(UnknownSession):
+        manager.session("sess-nope")
+
+
+def test_job_retention_drops_oldest_finished(rgg128):
+    mgr = JobManager(workers=2, queue_limit=8, max_jobs_kept=3)
+    try:
+        jobs = []
+        for seed in range(6):  # sequential: prior jobs finished when
+            job = mgr.submit_partition(rgg128,  # the next one registers
+                                       PartitionRequest(k=2, seed=seed))
+            job.wait(timeout=30.0)
+            jobs.append(job)
+        assert len(mgr.jobs()) <= 3
+        # the newest job is always still queryable
+        assert mgr.job(jobs[-1].id) is jobs[-1]
+    finally:
+        mgr.drain(timeout=30.0)
+
+
+def test_artifacts_journal_and_trace(tmp_path, rgg128):
+    mgr = JobManager(workers=1, queue_limit=8,
+                     artifacts_dir=str(tmp_path))
+    try:
+        job = mgr.submit_partition(rgg128, PartitionRequest(k=4, seed=3))
+        assert job.wait(timeout=30.0) and job.state == "done"
+    finally:
+        mgr.drain(timeout=30.0)
+    trace_path = tmp_path / f"{job.id}.trace.json"
+    assert trace_path.exists()
+    import json
+
+    doc = json.loads(trace_path.read_text())
+    assert doc.get("schema", "").startswith("repro.trace")
+    journal = (tmp_path / "journal.jsonl").read_text().strip().splitlines()
+    rec = json.loads(journal[-1])
+    assert rec["job"] == job.id and rec["state"] == "done"

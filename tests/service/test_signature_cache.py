@@ -1,0 +1,83 @@
+"""The memoized graph signature: O(1) reuse, correct invalidation.
+
+``cached_signature()`` is the service's cache-key fast path; the
+correctness-path methods (``signature``/``compute_signature``) keep
+their always-rehash contract (pinned in tests/graph/test_validate.py).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.graph import Graph, grid2d_graph
+from repro.graph.dynamic import DynamicGraph, MutationBatch
+
+
+def test_second_lookup_does_not_rehash():
+    g = grid2d_graph(20, 20)
+    assert g._sig_hashes == 0
+    first = g.cached_signature()
+    hashes_after_first = g._sig_hashes
+    assert hashes_after_first == 1
+    for _ in range(100):
+        assert g.cached_signature() == first
+    assert g._sig_hashes == hashes_after_first  # memo: zero extra hashes
+
+
+def test_memo_microbenchmark_is_o1():
+    """The memoized lookup must not scale with graph size — it skips the
+    O(n + m) hash entirely (measured as >=10x faster than rehashing on a
+    graph large enough to dominate timer noise)."""
+    g = grid2d_graph(120, 120)
+    g.cached_signature()  # warm the memo
+
+    t0 = time.perf_counter()
+    for _ in range(50):
+        g.compute_signature()
+    rehash = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(50):
+        g.cached_signature()
+    memo = time.perf_counter() - t0
+
+    assert memo * 10 < rehash, (memo, rehash)
+
+
+def test_memo_matches_fresh_hash():
+    g = grid2d_graph(12, 12)
+    assert g.cached_signature() == g.compute_signature()
+    assert g.cached_signature() == g.signature()
+
+
+def test_invalidate_forces_rehash():
+    g = grid2d_graph(8, 8)
+    old = g.cached_signature()
+    hashes = g._sig_hashes
+    g.invalidate_signature()
+    assert g.cached_signature() == old  # content unchanged
+    assert g._sig_hashes == hashes + 1  # ... but it re-derived, not reused
+
+
+def test_signature_always_rehashes():
+    # the correctness-path contract survives the memo
+    g = grid2d_graph(8, 8)
+    g.signature()
+    hashes = g._sig_hashes
+    g.signature()
+    g.compute_signature()
+    assert g._sig_hashes == hashes + 2
+
+
+def test_rebuilt_dynamic_graph_gets_fresh_memo():
+    base = grid2d_graph(10, 10)
+    dyn = DynamicGraph(base)
+    sig0 = dyn.graph().cached_signature()
+    dyn.apply(MutationBatch(insert_edges=[(0, 5, 2.0)]))
+    g2 = dyn.graph()  # lazy CSR rebuild -> a NEW Graph instance
+    assert g2 is not base
+    assert g2.cached_signature() != sig0  # content change -> new identity
+    # and the old instance's memo is untouched/still correct for it
+    assert base.cached_signature() == sig0

@@ -70,6 +70,14 @@ MODULES = [
     "repro.resilience.runtime",
     "repro.resilience.supervisor",
     "repro.provenance",
+    "repro.service",
+    "repro.service.api",
+    "repro.service.cache",
+    "repro.service.client",
+    "repro.service.graphspec",
+    "repro.service.jobs",
+    "repro.service.quotas",
+    "repro.service.server",
     "repro.core",
     "repro.core.config",
     "repro.core.spmd",
