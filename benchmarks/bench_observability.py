@@ -9,16 +9,33 @@ same graph/seed:
 * ``observed`` — ``observe=True`` (spans + comm matrix + metrics)
 * ``traced``   — ``observe=True`` plus a live Tracer
 
-and **asserts** that the null path adds no measurable overhead: the
-median ``off`` wall clock must stay within ``--tolerance`` (default 10 %)
-of itself across interleavings — measured as the ratio of the two
-interleaved halves of the ``off`` samples, which bounds measurement noise
-— and the observed-mode overhead is reported for the record.  Writes
-``BENCH_observability.json``::
+and **asserts** two properties of the causal-tracing machinery (trace
+schema ``repro.trace/3`` stamps every message with send/recv events):
 
-    {"schema": "repro.bench_observability/1",
-     "meta":   {..., "git_sha", "timestamp"},
-     "records": [{"mode", "median_s", "best_s", "overhead_vs_off"}, ...]}
+* the null path adds **zero message overhead**: with ``observe=False``
+  no event is recorded and no seq counter ticks (every hook site is one
+  ``comm.obs is None`` test), so the median ``off`` wall clock must not
+  exceed the ``observed`` median beyond the measured noise floor — the
+  split-half drift of the interleaved ``off`` samples, floored at
+  ``--tolerance`` (default 10 %);
+* the on path stays under a stated per-message budget: the hook pair a
+  message pays when observed (``PeRecorder.on_send`` +
+  ``on_recv_wait`` — comm-matrix update, wait histogram, causal event
+  append with seq stamping) is microbenchmarked directly and must stay
+  below ``--message-budget-us`` (default 25 µs/message; the measured
+  cost is single-digit µs, so the budget flags an order-of-magnitude
+  regression without being flaky).  The end-to-end ``observed`` delta
+  is *also* divided by the run's message count and reported
+  (``per_message_overhead_us``) but not asserted — it attributes fixed
+  observe costs (spans, metrics, registry merge) to messages and so
+  over-states the marginal cost.
+
+Writes ``BENCH_observability.json``::
+
+    {"schema": "repro.bench_observability/2",
+     "meta":   {..., "messages", "message_budget_us", "git_sha", "timestamp"},
+     "records": [{"mode", "median_s", "best_s", "overhead_vs_off",
+                  "per_message_overhead_us"}, ...]}
 
 Usage::
 
@@ -62,6 +79,31 @@ def run_once(g, k: int, cfg, seed: int, traced: bool) -> float:
     return elapsed
 
 
+def hook_cost_us(n_messages: int = 20000) -> float:
+    """Microbenchmark the observed per-message hook pair: one
+    ``on_send`` + one ``on_recv_wait`` on a live :class:`PeRecorder`
+    (the exact code a message runs through when ``observe=True``)."""
+    from repro.observability.recorder import PeRecorder
+
+    rec = PeRecorder(rank=0)
+    payload = np.zeros(8)
+    t0 = time.perf_counter()
+    for i in range(n_messages):
+        rec.on_send(0, 1, i % 7, payload)
+        rec.on_recv_wait(1, 0, i % 7, 0.0)
+    return (time.perf_counter() - t0) / n_messages * 1e6
+
+
+def count_messages(g, k: int, cfg, seed: int) -> int:
+    """Messages sent by one observed run (the causal send events —
+    deterministic for a fixed graph/config/seed, so one run suffices)."""
+    res = KappaPartitioner(cfg).partition(g, k, seed=seed,
+                                          execution="cluster")
+    events = (res.obs or {}).get("events") or {}
+    return sum(1 for rec in events.get("records", ())
+               if rec.get("type") == "send")
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
@@ -75,6 +117,8 @@ def main(argv=None) -> int:
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed relative drift of the off path")
+    ap.add_argument("--message-budget-us", type=float, default=25.0,
+                    help="max observed hook cost per message (microseconds)")
     ap.add_argument("-o", "--output", default="BENCH_observability.json")
     args = ap.parse_args(argv)
 
@@ -94,19 +138,25 @@ def main(argv=None) -> int:
         for mode, (cfg, traced) in modes.items():
             samples[mode].append(run_once(g, args.k, cfg, args.seed, traced))
 
+    messages = count_messages(g, args.k, modes["observed"][0], args.seed)
+
     off_median = statistics.median(samples["off"])
     records = []
     for mode in modes:
         med = statistics.median(samples[mode])
+        per_msg_us = (max(0.0, med - off_median) / messages * 1e6
+                      if messages else 0.0)
         records.append({
             "mode": mode,
             "median_s": med,
             "best_s": min(samples[mode]),
             "overhead_vs_off": med / off_median - 1.0,
+            "per_message_overhead_us": per_msg_us,
         })
         print(f"{mode:>9}: median {med * 1e3:8.2f} ms   "
               f"best {min(samples[mode]) * 1e3:8.2f} ms   "
-              f"overhead {med / off_median - 1.0:+7.2%}")
+              f"overhead {med / off_median - 1.0:+7.2%}   "
+              f"{per_msg_us:7.1f} us/msg ({messages} msgs)")
 
     # The null-path assertion: split the off samples into the two
     # interleaved halves; their medians differing by more than the
@@ -124,15 +174,29 @@ def main(argv=None) -> int:
     assert off_median <= observed_median * (1.0 + noise_floor), (
         f"off path ({off_median:.4f}s) slower than observed path "
         f"({observed_median:.4f}s) beyond noise ({noise_floor:.0%}) — "
-        "the null hooks are not free"
+        "the null hooks (causal events included) are not free"
+    )
+    # The on-path budget: the per-message hook pair (comm-matrix update,
+    # histogram, causal event append + seq stamp) microbenchmarked in
+    # isolation — a regression here means the hot hook path grew.
+    per_msg_us = hook_cost_us()
+    print(f"observed hook cost: {per_msg_us:.2f} us/message "
+          f"(budget {args.message_budget_us:.0f} us)")
+    assert per_msg_us <= args.message_budget_us, (
+        f"observed hook pair costs {per_msg_us:.1f} us/message, over the "
+        f"{args.message_budget_us:.0f} us budget — causal event "
+        "recording got slower"
     )
 
     doc = {
-        "schema": "repro.bench_observability/1",
+        "schema": "repro.bench_observability/2",
         "meta": {
             "graph": f"rgg{n}", "n": g.n, "m": g.m, "k": args.k,
             "engine": args.engine, "preset": args.preset,
             "repeats": repeats, "seed": args.seed,
+            "messages": messages,
+            "message_budget_us": args.message_budget_us,
+            "hook_cost_us": per_msg_us,
             "cpus": os.cpu_count(), "python": platform.python_version(),
             **provenance(),
         },

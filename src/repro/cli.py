@@ -27,7 +27,7 @@ Observability flags (accepted before the subcommand or on ``partition``)::
     repro partition graph.metis -k 8 --trace out.json --check-invariants strict
 
 ``--trace PATH`` writes a structured JSON trace (phase timings, counters,
-per-level records; schema ``repro.trace/2``) and prints a per-level
+per-level records; schema ``repro.trace/3``) and prints a per-level
 summary table; ``--check-invariants {off,sampled,strict}`` enables the
 runtime invariant checker.  With the flags given and no subcommand, a
 demo partitioning run on a generated graph is traced end to end.
@@ -271,7 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     r = sub.add_parser("report",
                        help="render a trace file into an HTML/markdown "
                             "run report")
-    r.add_argument("trace", help="trace JSON file (repro.trace/1 or /2)")
+    r.add_argument("trace", help="trace JSON file (repro.trace/1, /2 or /3)")
     r.add_argument("-o", "--output", default=None,
                    help="output file (default: <trace>.report.<ext>)")
     r.add_argument("--report-format", default=None, dest="report_format",
@@ -279,9 +279,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report format (default: inferred from output "
                         "suffix, else html)")
 
+    a = sub.add_parser("analyze",
+                       help="critical-path / bottleneck analysis of a "
+                            "causal trace (repro.trace/3)")
+    a.add_argument("trace", help="trace JSON file (any schema; causal "
+                                 "analysis needs /3 events)")
+    a.add_argument("--json", default=None, metavar="OUT",
+                   help="also write the repro.analysis/1 JSON document "
+                        "(diffable with 'repro compare')")
+    a.add_argument("--top", type=int, default=10,
+                   help="number of longest waits to list (default 10)")
+    a.add_argument("--max-path", type=int, default=20, dest="max_path",
+                   help="critical-path events to print (default 20)")
+
     c = sub.add_parser("compare",
-                       help="diff two trace/journal/benchmark files and "
-                            "flag regressions")
+                       help="diff two trace/journal/benchmark/analysis "
+                            "files and flag regressions")
     c.add_argument("base", help="baseline file")
     c.add_argument("new", help="candidate file")
     c.add_argument("--threshold", type=float, default=0.25,
@@ -745,10 +758,22 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _load_raw_trace(path: str):
+    """Read a trace file without normalising it — the renderers and the
+    analyzer detect absent sections on the raw document and degrade with
+    a note instead of silently rendering empty tables."""
+    import json as _json
+
+    with open(path) as fh:
+        doc = _json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    return doc
+
+
 def _cmd_report(args) -> int:
     from .observability import (
         TraceSchemaError,
-        load_trace_file,
         render_report,
     )
 
@@ -760,7 +785,7 @@ def _cmd_report(args) -> int:
     if out is None:
         out = f"{args.trace}.report." + ("md" if fmt == "markdown" else "html")
     try:
-        doc = load_trace_file(args.trace)
+        doc = _load_raw_trace(args.trace)
     except (OSError, ValueError, TraceSchemaError) as exc:
         print(f"error: cannot load trace {args.trace}: {exc}",
               file=sys.stderr)
@@ -772,6 +797,37 @@ def _cmd_report(args) -> int:
         print(f"error: cannot write report to {out}: {exc}", file=sys.stderr)
         return 1
     print(f"{fmt} report written to {out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .observability import (
+        TraceSchemaError,
+        analyze_trace,
+        format_analysis,
+    )
+
+    try:
+        doc = _load_raw_trace(args.trace)
+        analysis = analyze_trace(doc, top_waits=args.top)
+    except (OSError, ValueError, TraceSchemaError) as exc:
+        print(f"error: cannot analyze trace {args.trace}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        try:
+            with open(args.json, "w") as fh:
+                json.dump(analysis, fh, indent=2)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}",
+                  file=sys.stderr)
+            return 1
+    print(format_analysis(analysis, max_path=args.max_path))
+    if args.json:
+        print(f"analysis JSON written to {args.json}")
     return 0
 
 
@@ -864,6 +920,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "report": _cmd_report,
+        "analyze": _cmd_analyze,
         "compare": _cmd_compare,
         "serve": _cmd_serve,
     }[args.command]

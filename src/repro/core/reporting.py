@@ -108,7 +108,7 @@ def format_table(rows: Sequence[Sequence], headers: Sequence[str]) -> str:
 def format_trace_summary(trace: Dict) -> str:
     """Human-readable summary of a pipeline trace document.
 
-    ``trace`` is the ``repro.trace/2`` dict produced by
+    ``trace`` is the ``repro.trace/3`` dict produced by
     :meth:`repro.instrument.Tracer.to_dict` (also found in
     ``KappaResult.trace``).  Renders the phase timings, the per-level
     coarsening and refinement tables, and the invariant-check outcome.

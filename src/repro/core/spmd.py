@@ -61,7 +61,12 @@ def kappa_spmd_program(comm: Comm, g: Graph, k: int, seed: int,
     ``seed + level``), a resumed run is bit-identical to an uninterrupted
     one.  With resilience off, ``rz`` is a shared no-op.
     """
-    observe_comm(comm, cfg)  # attach per-PE telemetry when cfg.observe
+    # attach per-PE telemetry when cfg.observe; beyond spans and the comm
+    # matrix the recorder keeps the causal event log (schema /3) whose
+    # DAG is identical on every engine — the program below must stay
+    # deterministic in its send/recv/collective order per rank for that
+    # to hold (the cross-engine suite asserts it)
+    observe_comm(comm, cfg)
     rz = spmd_resilience(comm, g, k, seed, cfg)
     final = rz.restore("final")
     if final is not None:

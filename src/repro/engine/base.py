@@ -320,7 +320,10 @@ class CommBase:
     def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
         """Exchange with a partner PE (both sides call this).  Rank order
         breaks the symmetry so engines with bounded channel buffers
-        cannot deadlock on large payloads."""
+        cannot deadlock on large payloads — and fixes the send/recv hook
+        order per rank, so the causal event log (trace schema /3) is
+        identical on every engine.  The sim Comm implements the same
+        rank-ordered protocol."""
         if peer == self.rank:
             raise ValueError("sendrecv with self")
         if self.rank < peer:

@@ -192,6 +192,9 @@ class ProcessComm(CommBase):
         box = self._inbox.setdefault(source, {})
         q = box.get(tag)
         if q:
+            # the hook fires exactly once per successful user recv —
+            # including zero-wait buffered hits — so the causal recv
+            # counter walks each channel in lockstep with the sender
             if obs is not None:
                 obs.on_recv_wait(source, self.rank, tag,
                                  time.perf_counter() - t0)

@@ -130,7 +130,10 @@ class SequentialComm(CommBase):
 
     # -- point to point -------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Send (non-blocking buffered; channels are unbounded FIFOs)."""
+        """Send (non-blocking buffered; channels are unbounded FIFOs).
+        FIFO order per (src, dst, tag) channel is load-bearing: the
+        causal tracer pairs the n-th send with the n-th recv on each
+        channel (repro.observability.recorder)."""
         if not (0 <= dest < self.size):
             raise ValueError(f"bad destination {dest}")
         self.bytes_sent += payload_nbytes(obj)

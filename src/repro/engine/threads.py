@@ -281,6 +281,9 @@ class ThreadsComm(CommBase):
                 f"out after {timeout:g}s (engine=threads){detail}"
             ) from None
         with sh.cv:
+            # exactly one hook firing per successful user recv (stolen
+            # map_batch tasks never touch the comm), keeping the causal
+            # recv counter in lockstep with the sender's send counter
             if obs is not None:
                 obs.on_recv_wait(source, self.rank, tag,
                                  time.perf_counter() - t0)

@@ -4,7 +4,7 @@ Two cooperating components, threaded through every stage of the
 multilevel pipeline (coarsening → initial partitioning → refinement):
 
 * :class:`Tracer` — nested phase timers, counters and per-level records,
-  exported as a JSON document (``schema: "repro.trace/2"``);
+  exported as a JSON document (``schema: "repro.trace/3"``);
 * :class:`InvariantChecker` — runtime validation of the paper's core
   invariants (matching validity §3.2, weight/cut conservation under
   contraction §2, projection consistency, final balance §1) with

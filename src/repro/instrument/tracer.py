@@ -8,10 +8,10 @@ tuning loop: every phase is timed on a stack of nested spans, counters
 accumulate in the innermost open span, and each coarsening/uncoarsening
 level appends one record to a flat ``levels`` table.
 
-The emitted JSON document (``schema: "repro.trace/2"``) has the shape::
+The emitted JSON document (``schema: "repro.trace/3"``) has the shape::
 
     {
-      "schema": "repro.trace/2",
+      "schema": "repro.trace/3",
       "meta":     {...},               # graph size, k, config name, seed
       "phases":   [{"name", "t0_s", "elapsed_s", "counters",
                     "children"}, ...],
@@ -23,12 +23,18 @@ The emitted JSON document (``schema: "repro.trace/2"``) has the shape::
       "spans":       [{"pe", "name", "t0_s", "dur_s", "cpu_s", "depth"}],
       "comm_matrix": [{"src", "dst", "tag", "phase", "messages",
                        "bytes", "wait_s"}],
-      "metrics":     {"counters", "gauges", "histograms"}
+      "metrics":     {"counters", "gauges", "histograms"},
+      # causal event log (schema /3): per-PE program-ordered
+      # send/recv/collective records with per-channel sequence ids,
+      # plus per-PE wall clocks — the input to
+      # repro.observability.critpath
+      "events":      {"records": [{"type", "pe", "i", "seq", ...}],
+                      "clocks":  [{"pe", "t0_s", "t1_s"}]}
     }
 
-Schema ``/1`` files (pre-observability) are still readable:
-:func:`repro.observability.load_trace` upgrades them to the ``/2`` shape
-with empty observability sections.  Phase spans carry the wall-clock
+Schema ``/1`` and ``/2`` files are still readable:
+:func:`repro.observability.load_trace` upgrades them to the ``/3`` shape
+with empty defaults for the sections their schema predates.  Phase spans carry the wall-clock
 start ``t0_s`` (``time.time()``) so exporters can place driver phases on
 the same absolute timeline as per-PE spans from other OS processes.
 
@@ -154,7 +160,7 @@ class Tracer:
     def to_dict(self) -> Dict[str, Any]:
         obs = self.observability or {}
         doc: Dict[str, Any] = {
-            "schema": "repro.trace/2",
+            "schema": "repro.trace/3",
             "meta": dict(self.meta),
             "phases": [s.to_dict() for s in self._root.children],
             "levels": list(self.levels),
@@ -162,6 +168,8 @@ class Tracer:
             "spans": list(obs.get("spans", [])),
             "comm_matrix": list(obs.get("comm_matrix", [])),
             "metrics": dict(obs.get("metrics", {})),
+            "events": dict(obs.get("events") or
+                           {"records": [], "clocks": []}),
         }
         if self.invariants is not None:
             doc["invariants"] = self.invariants
@@ -235,9 +243,10 @@ class NullTracer:
         return {}
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"schema": "repro.trace/2", "meta": {}, "phases": [],
+        return {"schema": "repro.trace/3", "meta": {}, "phases": [],
                 "levels": [], "counters": {}, "spans": [],
-                "comm_matrix": [], "metrics": {}}
+                "comm_matrix": [], "metrics": {},
+                "events": {"records": [], "clocks": []}}
 
 
 #: Shared no-op tracer; algorithms default to this so tracing adds no

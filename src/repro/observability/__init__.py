@@ -14,8 +14,14 @@ The layer has three recording primitives and four consumers:
 * reporting — ``python -m repro report`` (:func:`render_report`, a
   single-file HTML/markdown run report) and ``python -m repro compare``
   (:func:`compare_files`, regression flagging between two runs);
-* schema — trace documents are ``repro.trace/2``; :func:`load_trace`
-  also reads ``/1`` files and upgrades them in place.
+* schema — trace documents are ``repro.trace/3`` (causal ``events``
+  log on top of spans/comm_matrix/metrics); :func:`load_trace` also
+  reads ``/1`` and ``/2`` files and upgrades them;
+* analysis — :func:`analyze_trace` / ``python -m repro analyze`` build
+  the cross-PE event DAG (:func:`build_event_dag`), extract the
+  critical path and attribute wall time into compute / blocked-on-recv
+  / collective-wait buckets (``repro.analysis/1`` documents
+  ``compare_files`` can diff).
 
 Everything is off by default: engine communicators carry ``obs = None``
 and every hook site is a single ``is None`` test, so the hot paths pay
@@ -35,6 +41,14 @@ from .compare import (
     compare_documents,
     compare_files,
     format_comparison,
+)
+from .critpath import (
+    ANALYSIS_SCHEMA,
+    EventDag,
+    analyze_trace,
+    build_event_dag,
+    critical_path,
+    format_analysis,
 )
 from .exporters import (
     append_journal,
@@ -66,8 +80,10 @@ from .report import render_html_report, render_markdown_report, render_report
 from .trace_io import (
     SCHEMA_V1,
     SCHEMA_V2,
+    SCHEMA_V3,
     TRACE_SCHEMA,
     TraceSchemaError,
+    absent_sections,
     load_trace,
     load_trace_file,
     upgrade_trace,
@@ -81,8 +97,12 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "merge_registry_docs", "prometheus_text",
     # trace schema
-    "SCHEMA_V1", "SCHEMA_V2", "TRACE_SCHEMA", "TraceSchemaError",
+    "SCHEMA_V1", "SCHEMA_V2", "SCHEMA_V3", "TRACE_SCHEMA",
+    "TraceSchemaError", "absent_sections",
     "load_trace", "load_trace_file", "upgrade_trace",
+    # causal analysis
+    "ANALYSIS_SCHEMA", "EventDag", "analyze_trace", "build_event_dag",
+    "critical_path", "format_analysis",
     # exporters
     "append_journal", "chrome_trace", "journal_record",
     "prometheus_exposition", "read_journal", "write_chrome_trace",

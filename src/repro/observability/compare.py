@@ -21,7 +21,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from .trace_io import SCHEMA_V1, SCHEMA_V2, load_trace
+from .critpath import ANALYSIS_SCHEMA
+from .trace_io import SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, load_trace
 
 __all__ = [
     "CompareError",
@@ -114,7 +115,8 @@ def _flag(delta: Delta, threshold: float) -> bool:
 # ---------------------------------------------------------------------------
 
 def load_document(path: str) -> Tuple[str, Any]:
-    """Load ``path`` and classify it: ("trace"|"journal"|"bench", doc)."""
+    """Load ``path`` and classify it:
+    ("trace"|"journal"|"bench"|"analysis", doc)."""
     if path.endswith(".jsonl"):
         from .exporters import read_journal
 
@@ -140,8 +142,10 @@ def load_document(path: str) -> Tuple[str, Any]:
     if isinstance(doc, list):
         return "journal", doc
     schema = doc.get("schema", "")
-    if schema in (SCHEMA_V1, SCHEMA_V2):
+    if schema in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3):
         return "trace", load_trace(doc)
+    if schema == ANALYSIS_SCHEMA:
+        return "analysis", doc
     if schema.startswith("repro.bench"):
         return "bench", doc
     if schema.startswith("repro.journal"):
@@ -248,6 +252,33 @@ def _bench_metrics(doc: Dict[str, Any]) -> Dict[str, float]:
     return out
 
 
+def _analysis_metrics(doc: Dict[str, Any]) -> Dict[str, float]:
+    """`repro.analysis/1` documents (repro analyze --json): the headline
+    scalars plus per-PE and per-phase wait fractions.  Every name lands
+    in the lower-is-better lists by its existing substrings (``_s``,
+    ``wait``, ``imbalance``), so critical-path growth and rising wait
+    fractions flag as regressions with no new direction rules."""
+    out: Dict[str, float] = {}
+    for name in ("critical_path_s", "wall_s", "wait_fraction",
+                 "load_imbalance"):
+        if _is_number(doc.get(name)):
+            out[name] = float(doc[name])
+    for row in doc.get("per_pe") or []:
+        key = f"pe{row.get('pe', '?')}"
+        for name in ("wall_s", "recv_wait_s", "coll_wait_s",
+                     "wait_fraction"):
+            if _is_number(row.get(name)):
+                out[f"{key}.{name}"] = float(row[name])
+    for row in doc.get("per_phase") or []:
+        key = f"phase.{row.get('phase', '?')}"
+        for name in ("recv_wait_s", "coll_wait_s", "wait_fraction"):
+            if _is_number(row.get(name)):
+                out[f"{key}.{name}"] = float(row[name])
+    if not out:
+        raise CompareError("no comparable metrics in analysis document")
+    return out
+
+
 def _is_number(value: Any) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
@@ -256,6 +287,7 @@ _EXTRACTORS = {
     "trace": _trace_metrics,
     "journal": _journal_metrics,
     "bench": _bench_metrics,
+    "analysis": _analysis_metrics,
 }
 
 

@@ -1,6 +1,6 @@
 """Trace exporters: Chrome ``trace_event`` JSON, Prometheus, JSONL journal.
 
-All exporters consume the normalised ``repro.trace/2`` document (see
+All exporters consume the normalised ``repro.trace/3`` document (see
 :mod:`repro.observability.trace_io`) so they work on fresh runs and on
 upgraded ``/1`` files alike.
 

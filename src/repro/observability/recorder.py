@@ -25,6 +25,23 @@ the deterministic star model every engine's collectives reduce to (rank
 message counts are symmetric per pair by construction regardless of how
 the engine physically rendezvoused.
 
+Causal events (trace schema ``repro.trace/3``)
+----------------------------------------------
+On top of the aggregate matrix the recorder keeps a flat *event log*:
+one record per user-level ``send``/``recv``/collective, stamped with the
+PE-local program-order index ``i`` and a monotone logical sequence id
+``seq`` per ``(peer, tag)`` channel.  Because every engine delivers
+messages FIFO per ``(src, dst, tag)`` channel, the *n*-th receive on a
+channel always matches the *n*-th send — so the sequence ids pair sends
+with their receives without any wire-format change, and the resulting
+causal DAG (:mod:`repro.observability.critpath`) is a pure function of
+the SPMD program: identical across the sequential, sim, process and
+threads engines.  Duplicate frames injected by the resilience layer
+(``copies > 1``) are *one* logical message and advance ``seq`` once.
+Collectives are logged as one ``coll`` event per PE keyed by a per-PE
+round counter; SPMD programs execute collectives in a single global
+order, so equal round numbers identify the same collective on every PE.
+
 At run end every PE's :meth:`PeRecorder.export` travels back through
 ``EngineResult.obs`` (the process engine sends it over the wire codec)
 and rank 0 / the driver merges them with :func:`merge_pe_obs`.
@@ -172,6 +189,14 @@ class PeRecorder:
             buckets=(1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0),
         )
         self._phases: List[str] = []
+        #: causal event log — one record per user send/recv/collective,
+        #: in PE-local program order
+        self.events: List[Dict[str, Any]] = []
+        self._send_seq: Dict[Tuple[int, Any], int] = {}
+        self._recv_seq: Dict[Tuple[int, Any], int] = {}
+        self._coll_round = 0
+        self.t0_s = time.time()
+        self.t1_s: Optional[float] = None
 
     # -- phase / span hooks (comm.timed, maybe_span) --------------------
     @property
@@ -198,13 +223,35 @@ class PeRecorder:
     # -- comm hooks ------------------------------------------------------
     def on_send(self, src: int, dst: int, tag: Any, obj: Any,
                 copies: int = 1) -> None:
-        self.matrix.add_send(src, dst, tag, self.phase, wire_size(obj),
+        phase = self.phase
+        self.matrix.add_send(src, dst, tag, phase, wire_size(obj),
                              copies=copies)
+        # one *logical* message regardless of duplicate frames: seq pairs
+        # this send with the matching FIFO receive on the other side
+        key = (dst, tag)
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+        self.events.append({
+            "type": "send", "i": len(self.events), "src": src, "dst": dst,
+            "tag": tag, "seq": seq, "phase": phase, "t_s": time.time(),
+        })
 
     def on_recv_wait(self, src: int, dst: int, tag: Any,
                      seconds: float) -> None:
-        self.matrix.add_wait(src, dst, tag, self.phase, seconds)
+        phase = self.phase
+        self.matrix.add_wait(src, dst, tag, phase, seconds)
         self._wait_hist.observe(seconds)
+        # fires exactly once per successful user recv on every engine
+        # (including zero-wait buffered hits), so the recv-side counter
+        # walks the channel in lockstep with the sender's send counter
+        key = (src, tag)
+        seq = self._recv_seq.get(key, 0)
+        self._recv_seq[key] = seq + 1
+        self.events.append({
+            "type": "recv", "i": len(self.events), "src": src, "dst": dst,
+            "tag": tag, "seq": seq, "phase": phase, "t_s": time.time(),
+            "wait_s": float(seconds),
+        })
 
     def on_collective(self, rank: int, size: int, value: Any,
                       slots: Any, wait_s: float) -> None:
@@ -217,9 +264,18 @@ class PeRecorder:
         receives the slot list back — keeps the matrices identical across
         engines and message counts symmetric per (i, 0) pair.
         """
+        # the round counter advances even for degenerate single-PE
+        # collectives so round numbers stay comparable across gang sizes
+        rnd = self._coll_round
+        self._coll_round = rnd + 1
         if size <= 1:
             return
         phase = self.phase
+        self.events.append({
+            "type": "coll", "i": len(self.events), "rank": rank,
+            "round": rnd, "phase": phase, "t_s": time.time(),
+            "wait_s": float(wait_s),
+        })
         if rank == 0:
             share = wait_s / (size - 1)
             for src in range(1, size):
@@ -236,11 +292,15 @@ class PeRecorder:
     # -- export ----------------------------------------------------------
     def export(self) -> Dict[str, Any]:
         """Wire-codec-friendly snapshot shipped back to the driver."""
+        self.t1_s = time.time()
         return {
             "pe": self.rank,
             "spans": list(self.spans.spans),
             "comm": self.matrix.export(),
             "metrics": self.metrics.export(),
+            "events": list(self.events),
+            "t0_s": float(self.t0_s),
+            "t1_s": float(self.t1_s),
         }
 
 
@@ -280,7 +340,8 @@ def maybe_span(comm: Any, name: str):
 def merge_pe_obs(pe_docs: List[Optional[Dict[str, Any]]],
                  ) -> Optional[Dict[str, Any]]:
     """Merge per-PE :meth:`PeRecorder.export` documents into the run-level
-    observability document (``spans`` / ``comm_matrix`` / ``metrics``)."""
+    observability document (``spans`` / ``comm_matrix`` / ``metrics`` /
+    ``events``)."""
     docs = [d for d in pe_docs if d]
     if not docs:
         return None
@@ -290,6 +351,17 @@ def merge_pe_obs(pe_docs: List[Optional[Dict[str, Any]]],
         for span in doc.get("spans", ()):
             spans.append({**span, "pe": pe})
     spans.sort(key=lambda s: (s.get("t0_s", 0.0), s.get("pe", 0)))
+    events: List[Dict[str, Any]] = []
+    clocks: List[Dict[str, Any]] = []
+    for doc in docs:
+        pe = int(doc.get("pe", 0))
+        for rec in doc.get("events", ()):
+            events.append({**rec, "pe": pe})
+        if doc.get("t0_s") is not None:
+            clocks.append({"pe": pe, "t0_s": float(doc["t0_s"]),
+                           "t1_s": float(doc.get("t1_s") or doc["t0_s"])})
+    events.sort(key=lambda e: (e.get("pe", 0), e.get("i", 0)))
+    clocks.sort(key=lambda c: c["pe"])
     cells: Dict[Tuple[int, int, Any, str], List[float]] = {}
     for doc in docs:
         for rec in doc.get("comm", ()):
@@ -308,4 +380,5 @@ def merge_pe_obs(pe_docs: List[Optional[Dict[str, Any]]],
     ]
     metrics = merge_registry_docs([d.get("metrics") for d in docs])
     return {"pes": len(docs), "spans": spans, "comm_matrix": comm_matrix,
-            "metrics": metrics}
+            "metrics": metrics,
+            "events": {"records": events, "clocks": clocks}}

@@ -258,5 +258,10 @@ def merge_registry_docs(docs: Iterable[Optional[Dict[str, Any]]],
             else:  # incompatible shapes: keep totals, drop the buckets
                 merged["sum"] += float(hist["sum"])
                 merged["count"] += int(hist["count"])
+                # collapse the bucket detail to the single +Inf bucket so
+                # the exposition stays internally consistent (the first
+                # doc's bucket counts no longer cover every observation)
+                merged["buckets"] = []
+                merged["counts"] = [merged["count"]]
     return {"counters": counters, "gauges": gauges,
             "histograms": histograms}

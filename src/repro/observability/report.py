@@ -2,17 +2,24 @@
 
 ``python -m repro report trace.json -o report.html`` renders one
 self-contained HTML document (inline CSS + SVG, no external assets) from
-a trace file of either schema version:
+a trace file of any schema version:
 
 * a **Gantt timeline** — one row per PE built from the observability
   spans (falling back to the driver's phase tree when the run was traced
   without per-PE observability);
 * a **communication heatmap** — bytes per (src PE, dst PE) aggregated
   over tags and phases, with the per-phase breakdown tabulated below;
+* an **Analysis** section — the wall-time critical path, per-PE
+  compute / recv-wait / coll-wait buckets, per-phase wait fractions and
+  the top waits with causing (src, phase) pairs, rendered from the
+  causal event log (:mod:`repro.observability.critpath`) when the trace
+  carries one;
 * the **per-level table** — n, m, cut (and balance where recorded) for
   every coarsening/refinement level, the multilevel cut trajectory;
 * the merged **metrics registry** (counters, gauges, histograms).
 
+Sections whose backing trace section is absent (a ``/1`` file, a
+stripped document) render a "section absent" note instead of raising.
 ``--format markdown`` emits the same content as tables for terminals and
 PR comments.
 """
@@ -23,8 +30,9 @@ import html
 import json
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .critpath import analyze_trace
 from .exporters import _walk_phases
-from .trace_io import load_trace
+from .trace_io import absent_sections, load_trace
 
 __all__ = ["render_report", "render_html_report", "render_markdown_report"]
 
@@ -261,8 +269,106 @@ def _html_metrics(doc: Dict[str, Any]) -> str:
             "<th>value</th></tr>" + "".join(rows) + "</table>")
 
 
+def _ms(value: Any) -> str:
+    return "" if value is None else f"{float(value) * 1e3:.3f}"
+
+
+def _pct(value: Any) -> str:
+    return "" if value is None else f"{float(value):.1%}"
+
+
+def _html_notes(absent: List[str]) -> str:
+    if not absent:
+        return ""
+    items = "".join(
+        f"<li>section absent in trace: <code>{html.escape(name)}</code>"
+        "</li>" for name in absent
+    )
+    return f"<ul class='notes'>{items}</ul>"
+
+
+def _html_analysis(doc: Dict[str, Any], absent: List[str]) -> str:
+    """The critical-path / wait-attribution section."""
+    if "events" in absent:
+        return ("<p>(events section absent — causal analysis needs a "
+                "<code>repro.trace/3</code> trace from an observed run)"
+                "</p>")
+    a = analyze_trace(doc)
+    if a.get("critical_path_s") is None:
+        note = "; ".join(a.get("notes") or []) or "no events recorded"
+        return f"<p>(causal analysis unavailable: {html.escape(note)})</p>"
+    strag = a.get("straggler") or {}
+    head = (
+        f"<p>critical path <b>{a['critical_path_s'] * 1e3:.2f} ms</b> over "
+        f"{len(a.get('critical_path') or [])} events; "
+        f"wall {a['wall_s'] * 1e3:.2f} ms, "
+        f"wait fraction <b>{a['wait_fraction']:.1%}</b>, "
+        f"load imbalance {a['load_imbalance']:.3f}, "
+        f"straggler PE {strag.get('pe')} "
+        f"(×{strag.get('score', 1.0):.3f} of mean wall)</p>"
+    )
+    pe_rows = "".join(
+        f"<tr><td>{r['pe']}</td>"
+        f"<td>{r['compute_s'] * 1e3:.3f}</td>"
+        f"<td>{r['recv_wait_s'] * 1e3:.3f}</td>"
+        f"<td>{r['coll_wait_s'] * 1e3:.3f}</td>"
+        f"<td>{r['wall_s'] * 1e3:.3f}</td>"
+        f"<td>{r['wait_fraction']:.1%}</td></tr>"
+        for r in a.get("per_pe") or []
+    )
+    pe_table = (
+        "<table><tr><th>PE</th><th>compute ms</th><th>recv-wait ms</th>"
+        "<th>coll-wait ms</th><th>wall ms</th><th>wait %</th></tr>"
+        + pe_rows + "</table>"
+    )
+    phase_rows = "".join(
+        f"<tr><td class='l'>{html.escape(str(r['phase']))}</td>"
+        f"<td>{_ms(r.get('wall_s'))}</td>"
+        f"<td>{_ms(r.get('recv_wait_s'))}</td>"
+        f"<td>{_ms(r.get('coll_wait_s'))}</td>"
+        f"<td>{r.get('messages', 0)}</td>"
+        f"<td>{_pct(r.get('wait_fraction'))}</td></tr>"
+        for r in a.get("per_phase") or []
+    )
+    phase_table = (
+        "<table><tr><th class='l'>phase</th><th>wall ms</th>"
+        "<th>recv-wait ms</th><th>coll-wait ms</th><th>msgs</th>"
+        "<th>wait %</th></tr>" + phase_rows + "</table>"
+    )
+    wait_rows = "".join(
+        "<tr>"
+        f"<td>{w['pe']}</td><td class='l'>{html.escape(str(w['type']))}</td>"
+        f"<td class='l'>{html.escape(str(w.get('phase')))}</td>"
+        f"<td>{w['wait_s'] * 1e3:.3f}</td>"
+        f"<td class='l'>{html.escape(_wait_cause(w))}</td></tr>"
+        for w in a.get("top_waits") or []
+    )
+    wait_table = (
+        "<table><tr><th>PE</th><th class='l'>kind</th>"
+        "<th class='l'>phase</th><th>wait ms</th>"
+        "<th class='l'>cause (src, phase)</th></tr>"
+        + wait_rows + "</table>"
+    ) if wait_rows else ""
+    notes = "".join(f"<p class='note'>{html.escape(n)}</p>"
+                    for n in a.get("notes") or [])
+    return (head + "<h3>Per-PE time buckets</h3>" + pe_table
+            + "<h3>Per-phase waits</h3>" + phase_table
+            + ("<h3>Top waits</h3>" + wait_table if wait_table else "")
+            + notes)
+
+
+def _wait_cause(w: Dict[str, Any]) -> str:
+    if w.get("type") == "recv":
+        cause = f"pe{w.get('src')}"
+        if w.get("src_phase"):
+            cause += f", {w['src_phase']}"
+        return cause
+    return f"collective round {w.get('round')}"
+
+
 def render_html_report(doc: Dict[str, Any]) -> str:
     """Self-contained HTML run report (inline CSS/SVG, no assets)."""
+    absent = absent_sections(doc)
     doc = load_trace(doc)
     meta = doc.get("meta") or {}
     title = "repro run report"
@@ -273,12 +379,15 @@ def render_html_report(doc: Dict[str, Any]) -> str:
 <html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
 <style>{_CSS}</style></head><body>
 <h1>{html.escape(title)}</h1>
+{_html_notes(absent)}
 <h2>Run metadata</h2>
 {_html_meta(doc)}
 <h2>Phase timeline (Gantt, one row per PE)</h2>
 {_html_gantt(doc)}
 <h2>Communication heatmap (bytes per PE pair)</h2>
 {_html_heatmap(doc)}
+<h2>Analysis (critical path, wait attribution)</h2>
+{_html_analysis(doc, absent)}
 <h2>Levels (cut / balance trajectory)</h2>
 {_html_levels(doc)}
 <h2>Metrics</h2>
@@ -301,9 +410,14 @@ def _md_table(header: Sequence[str], rows: List[Sequence[Any]]) -> str:
 
 def render_markdown_report(doc: Dict[str, Any]) -> str:
     """Markdown run report (tables; timeline as per-PE phase lists)."""
+    absent = absent_sections(doc)
     doc = load_trace(doc)
     meta = doc.get("meta") or {}
     out: List[str] = ["# repro run report", ""]
+    for name in absent:
+        out.append(f"> note: section absent in trace: `{name}`")
+    if absent:
+        out.append("")
     if meta:
         out.append(_md_table(
             ["meta", "value"], sorted(meta.items())
@@ -332,6 +446,56 @@ def render_markdown_report(doc: Dict[str, Any]) -> str:
             [[s, d, b] for (s, d), b in sorted(pairs.items())],
         ))
         out.append("")
+    out.append("## Analysis")
+    out.append("")
+    if "events" in absent:
+        out.append("(events section absent — causal analysis needs a "
+                   "`repro.trace/3` trace from an observed run)")
+        out.append("")
+    else:
+        a = analyze_trace(doc)
+        if a.get("critical_path_s") is None:
+            note = "; ".join(a.get("notes") or []) or "no events recorded"
+            out.append(f"(causal analysis unavailable: {note})")
+            out.append("")
+        else:
+            strag = a.get("straggler") or {}
+            out.append(
+                f"critical path **{a['critical_path_s'] * 1e3:.2f} ms** "
+                f"over {len(a.get('critical_path') or [])} events; wall "
+                f"{a['wall_s'] * 1e3:.2f} ms, wait fraction "
+                f"**{a['wait_fraction']:.1%}**, load imbalance "
+                f"{a['load_imbalance']:.3f}, straggler PE "
+                f"{strag.get('pe')}"
+            )
+            out.append("")
+            out.append(_md_table(
+                ["PE", "compute ms", "recv-wait ms", "coll-wait ms",
+                 "wall ms", "wait %"],
+                [[r["pe"], _ms(r["compute_s"]), _ms(r["recv_wait_s"]),
+                  _ms(r["coll_wait_s"]), _ms(r["wall_s"]),
+                  _pct(r["wait_fraction"])]
+                 for r in a.get("per_pe") or []],
+            ))
+            out.append("")
+            if a.get("per_phase"):
+                out.append(_md_table(
+                    ["phase", "wall ms", "recv-wait ms", "coll-wait ms",
+                     "msgs", "wait %"],
+                    [[r["phase"], _ms(r.get("wall_s")),
+                      _ms(r["recv_wait_s"]), _ms(r["coll_wait_s"]),
+                      r.get("messages", 0), _pct(r.get("wait_fraction"))]
+                     for r in a["per_phase"]],
+                ))
+                out.append("")
+            if a.get("top_waits"):
+                out.append(_md_table(
+                    ["PE", "kind", "phase", "wait ms", "cause"],
+                    [[w["pe"], w["type"], w.get("phase"),
+                      _ms(w["wait_s"]), _wait_cause(w)]
+                     for w in a["top_waits"]],
+                ))
+                out.append("")
     levels = _level_rows(doc)
     if levels:
         cols: List[str] = []

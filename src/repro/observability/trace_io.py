@@ -1,29 +1,37 @@
 """Trace-document schema versions and the version-tolerant loader.
 
-The Tracer emits ``repro.trace/2`` documents: everything schema ``/1``
-had (``meta`` / ``phases`` / ``levels`` / ``counters`` / ``invariants``)
-plus the observability sections ``spans`` (per-PE timeline records),
-``comm_matrix`` (per (src, dst, tag, phase) traffic cells) and
-``metrics`` (a registry export).  Phase spans now also carry a wall-clock
-``t0_s`` so the Chrome ``trace_event`` exporter can place them on an
-absolute timeline.
+The Tracer emits ``repro.trace/3`` documents: everything schema ``/2``
+had (``meta`` / ``phases`` / ``levels`` / ``counters`` / ``invariants``
+plus the observability sections ``spans``, ``comm_matrix`` and
+``metrics``) and a new ``events`` section — the causal event log: one
+record per user-level send/recv/collective, stamped with the PE-local
+program-order index and a per-channel logical sequence id, plus per-PE
+wall clocks.  :mod:`repro.observability.critpath` turns this section
+into the cross-PE event DAG and the critical path.
 
-:func:`load_trace` reads both versions: a ``/1`` document is upgraded in
-place to the ``/2`` shape (empty observability sections), so every
-consumer — the report renderer, the comparator, tests — handles exactly
-one schema.
+:func:`load_trace` reads all three versions: ``/1`` and ``/2`` documents
+are upgraded to the ``/3`` shape (missing sections defaulted empty), so
+every consumer — the report renderer, the analyzer, the comparator,
+tests — handles exactly one schema.  :func:`absent_sections` classifies
+which sections were *absent in the raw document* (as opposed to present
+but empty); call it **before** :func:`load_trace`, which defaults the
+sections in and destroys that information — the report/analyze CLIs use
+it to print "section absent" notes instead of silently rendering empty
+tables.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 __all__ = [
     "SCHEMA_V1",
     "SCHEMA_V2",
+    "SCHEMA_V3",
     "TRACE_SCHEMA",
     "TraceSchemaError",
+    "absent_sections",
     "load_trace",
     "load_trace_file",
     "upgrade_trace",
@@ -31,47 +39,77 @@ __all__ = [
 
 SCHEMA_V1 = "repro.trace/1"
 SCHEMA_V2 = "repro.trace/2"
+SCHEMA_V3 = "repro.trace/3"
 
 #: the schema current Tracers emit
-TRACE_SCHEMA = SCHEMA_V2
+TRACE_SCHEMA = SCHEMA_V3
 
 #: sections the observability layer added in /2 (empty defaults on
 #: upgraded /1 documents)
 _V2_SECTIONS = ("spans", "comm_matrix", "metrics")
+
+#: sections added in /3 — the causal event log
+_V3_SECTIONS = ("events",)
+
+#: every optional observability section, newest last
+_OBS_SECTIONS = _V2_SECTIONS + _V3_SECTIONS
 
 
 class TraceSchemaError(ValueError):
     """A document is not a readable repro trace."""
 
 
-def upgrade_trace(doc: Dict[str, Any]) -> Dict[str, Any]:
-    """Return ``doc`` in the ``/2`` shape (copied only when upgrading).
+def _empty_section(section: str) -> Any:
+    if section == "metrics":
+        return {}
+    if section == "events":
+        return {"records": [], "clocks": []}
+    return []
 
-    ``/1`` documents gain empty ``spans``/``comm_matrix`` lists and an
-    empty ``metrics`` registry export; ``/2`` documents pass through with
-    any missing observability section defaulted the same way (a run with
-    observability off emits the sections but leaves them empty).
+
+def absent_sections(doc: Dict[str, Any]) -> List[str]:
+    """Observability sections missing from the *raw* document.
+
+    A ``/1`` trace reports every section; a ``/2`` trace reports at
+    least ``events``; a stripped document reports whatever was removed.
+    Must run before :func:`load_trace` / :func:`upgrade_trace`, which
+    default the sections in place.
+    """
+    if not isinstance(doc, dict):
+        return list(_OBS_SECTIONS)
+    return [s for s in _OBS_SECTIONS if s not in doc]
+
+
+def upgrade_trace(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Return ``doc`` in the ``/3`` shape (copied only when upgrading).
+
+    ``/1`` and ``/2`` documents gain empty defaults for the sections
+    their schema predates; ``/3`` documents pass through with any
+    missing section defaulted the same way (a run with observability
+    off emits the sections but leaves them empty).
     """
     schema = doc.get("schema")
-    if schema == SCHEMA_V2:
-        for section in _V2_SECTIONS:
-            doc.setdefault(section, {} if section == "metrics" else [])
+    if schema == SCHEMA_V3:
+        for section in _OBS_SECTIONS:
+            doc.setdefault(section, _empty_section(section))
         return doc
-    if schema == SCHEMA_V1:
+    if schema in (SCHEMA_V1, SCHEMA_V2):
         out = dict(doc)
-        out["schema"] = SCHEMA_V2
-        out["spans"] = []
-        out["comm_matrix"] = []
-        out["metrics"] = {}
+        out["schema"] = SCHEMA_V3
+        for section in _OBS_SECTIONS:
+            if schema == SCHEMA_V1 or section in _V3_SECTIONS:
+                out[section] = _empty_section(section)
+            else:
+                out.setdefault(section, _empty_section(section))
         return out
     raise TraceSchemaError(
-        f"unknown trace schema {schema!r}; expected {SCHEMA_V1!r} or "
-        f"{SCHEMA_V2!r}"
+        f"unknown trace schema {schema!r}; expected {SCHEMA_V1!r}, "
+        f"{SCHEMA_V2!r} or {SCHEMA_V3!r}"
     )
 
 
 def load_trace(doc: Dict[str, Any]) -> Dict[str, Any]:
-    """Validate + normalise an in-memory trace document to ``/2``."""
+    """Validate + normalise an in-memory trace document to ``/3``."""
     if not isinstance(doc, dict):
         raise TraceSchemaError(
             f"trace document must be a JSON object, got "
@@ -81,7 +119,7 @@ def load_trace(doc: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def load_trace_file(path: str) -> Dict[str, Any]:
-    """Read a trace JSON file (either schema version), normalised to /2."""
+    """Read a trace JSON file (any schema version), normalised to /3."""
     with open(path) as fh:
         try:
             doc = json.load(fh)

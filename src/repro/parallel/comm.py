@@ -223,9 +223,19 @@ class Comm:
         return msg.payload
 
     def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
-        """Exchange with a partner PE (both sides call this)."""
+        """Exchange with a partner PE (both sides call this).  Rank order
+        breaks the symmetry — the same protocol as
+        :meth:`repro.engine.base.CommBase.sendrecv`, so the causal event
+        order (and hence the cross-PE event DAG) is identical on every
+        engine."""
+        if peer == self.rank:
+            raise ValueError("sendrecv with self")
+        if self.rank < peer:
+            self.send(obj, peer, tag)
+            return self.recv(peer, tag)
+        out = self.recv(peer, tag)
         self.send(obj, peer, tag)
-        return self.recv(peer, tag)
+        return out
 
     # -- collectives ------------------------------------------------------
     def _rendezvous(self, value: Any) -> List[Any]:

@@ -205,17 +205,25 @@ class PartitionResult:
 
 
 def execute_request(g: Graph, request: PartitionRequest,
-                    tracer=None) -> PartitionResult:
+                    tracer=None, observe: bool = False) -> PartitionResult:
     """Run one request against the library — the single entry point the
     service workers (and the CLI) call.
 
     Deterministic: the same ``(graph, request)`` pair always produces a
     bit-identical partition, which is the property the result cache and
     the service's bit-identical-to-library guarantee rest on.
+
+    ``observe=True`` turns on per-PE telemetry (causal events, comm
+    matrix) for *this run only* — the cache key stays that of the base
+    config, because observability never changes the partition; the job
+    layer uses this to produce trace + analysis artifacts without
+    forking the cache keyspace.
     """
     cfg = request.config()
     key = request.cache_key(g, cfg)
-    res = KappaPartitioner(cfg).partition(
+    run_cfg = cfg.derive(observe=True) \
+        if observe and not getattr(cfg, "observe", False) else cfg
+    res = KappaPartitioner(run_cfg).partition(
         g, request.k, seed=request.seed, execution=request.execution,
         tracer=tracer,
     )

@@ -105,6 +105,10 @@ class Job:
     finished_at: Optional[float] = None
     cache_hit: bool = False
     session_id: Optional[str] = None
+    #: correlation id (``X-Repro-Request-Id``): client-supplied or
+    #: server-generated, echoed in responses and stamped into the
+    #: journal and per-job trace/analysis artifacts
+    request_id: Optional[str] = None
     error: Optional[str] = None
     result: Optional[PartitionResult] = None
     #: set when every state transition is finished (done/failed)
@@ -126,6 +130,8 @@ class Job:
         }
         if self.session_id is not None:
             doc["session"] = self.session_id
+        if self.request_id is not None:
+            doc["request_id"] = self.request_id
         if self.started_at is not None:
             doc["started_at"] = self.started_at
         if self.finished_at is not None:
@@ -228,6 +234,10 @@ class JobManager:
             self.registry.counter(name)
         self.registry.gauge("queue_depth")
         self.registry.gauge("sessions_held")
+        # critical-path analysis of the most recent observed job (set by
+        # _trace_artifact whenever an analysis sidecar is produced)
+        self.registry.gauge("critical_path_s")
+        self.registry.gauge("wait_fraction")
         self.registry.histogram("job_wait_seconds", buckets=_JOB_BUCKETS)
         self.registry.histogram("job_run_seconds", buckets=_JOB_BUCKETS)
 
@@ -326,12 +336,14 @@ class JobManager:
     # ------------------------------------------------------------------
     def submit_partition(self, graph: Graph, request: PartitionRequest,
                          tenant: str = "anonymous",
-                         detail: str = "") -> Job:
+                         detail: str = "",
+                         request_id: Optional[str] = None) -> Job:
         """A scratch partition job; served from the cache when possible."""
         cfg = request.config()  # fail fast (RequestError → 400)
         key = request.cache_key(graph, cfg)
         job = Job(id=_new_id("job"), kind="partition", tenant=tenant,
-                  request=request.to_json(), detail=detail)
+                  request=request.to_json(), detail=detail,
+                  request_id=request_id)
         cached = self.cache.get(key)
         if cached is not None:
             return self._finish_cached(job, cached)
@@ -344,14 +356,19 @@ class JobManager:
                       request: PartitionRequest, key: str,
                       ) -> PartitionResult:
         tracer = Tracer() if self.artifacts_dir is not None else None
-        result = execute_request(graph, request, tracer=tracer)
+        # observe=True only when we will actually keep the trace: it adds
+        # causal events + comm matrix to the artifact without changing the
+        # partition or the cache key
+        result = execute_request(graph, request, tracer=tracer,
+                                 observe=tracer is not None)
         self.cache.put(key, result)
         self._trace_artifact(job, result)
         return result
 
     def create_session(self, graph: Graph, request: PartitionRequest,
                        tenant: str = "anonymous",
-                       detail: str = "") -> Job:
+                       detail: str = "",
+                       request_id: Optional[str] = None) -> Job:
         """Open an incremental session: the graph is *held* server-side
         and the initial full partition runs as a job; subsequent PATCH
         jobs mutate the held graph instead of re-uploading it."""
@@ -359,7 +376,7 @@ class JobManager:
         session = SessionHandle(_new_id("sess"), graph, request, detail)
         job = Job(id=_new_id("job"), kind="session_init", tenant=tenant,
                   request=request.to_json(), detail=detail,
-                  session_id=session.id)
+                  session_id=session.id, request_id=request_id)
         seq = session.claim_seq()
         with self._lock:
             self._admit()
@@ -396,7 +413,8 @@ class JobManager:
             session.leave()
 
     def submit_patch(self, session_id: str, batch_doc: Mapping[str, Any],
-                     tenant: str = "anonymous") -> Job:
+                     tenant: str = "anonymous",
+                     request_id: Optional[str] = None) -> Job:
         """Apply a mutation batch to a held session (in submission
         order) and incrementally repartition."""
         with self._lock:
@@ -409,7 +427,8 @@ class JobManager:
             raise RequestError(f"bad mutation batch: {exc}") from None
         job = Job(id=_new_id("job"), kind="patch", tenant=tenant,
                   request={"session": session_id, "ops": len(batch)},
-                  detail=session.detail, session_id=session_id)
+                  detail=session.detail, session_id=session_id,
+                  request_id=request_id)
         with self._lock:
             self._admit()
             seq = session.claim_seq()
@@ -493,11 +512,38 @@ class JobManager:
         if self.artifacts_dir is None or result.kappa is None \
                 or result.kappa.trace is None:
             return
+        trace = dict(result.kappa.trace)
+        meta = dict(trace.get("meta") or {})
+        meta["job"] = job.id
+        if job.request_id is not None:
+            meta["request_id"] = job.request_id
+        trace["meta"] = meta
         path = self.artifacts_dir / f"{job.id}.trace.json"
         with open(path, "w") as fh:
-            json.dump(result.kappa.trace, fh,
+            json.dump(trace, fh,
                       default=lambda o: o.item() if hasattr(o, "item") else o)
             fh.write("\n")
+        # critical-path sidecar: every trace artifact gets an
+        # {job}.analysis.json next to it, and /metrics reflects the most
+        # recent analysed job.  Analysis must never fail a job.
+        try:
+            from ..observability import analyze_trace
+
+            analysis = analyze_trace(trace)
+            analysis.setdefault("meta", {})["job"] = job.id
+            if job.request_id is not None:
+                analysis["meta"]["request_id"] = job.request_id
+            apath = self.artifacts_dir / f"{job.id}.analysis.json"
+            with open(apath, "w") as fh:
+                json.dump(analysis, fh, default=lambda o: o.item()
+                          if hasattr(o, "item") else o)
+                fh.write("\n")
+            self.registry.gauge("critical_path_s").set(
+                float(analysis.get("critical_path_s") or 0.0))
+            self.registry.gauge("wait_fraction").set(
+                float(analysis.get("wait_fraction") or 0.0))
+        except Exception:
+            pass
 
     def _journal(self, job: Job) -> None:
         if self.artifacts_dir is None:
@@ -509,6 +555,8 @@ class JobManager:
             "tenant": job.tenant, "cache_hit": job.cache_hit,
             "wall_s": ((job.finished_at or 0.0) - job.submitted_at),
         }
+        if job.request_id is not None:
+            record["request_id"] = job.request_id
         if job.result is not None:
             record["cut"] = float(job.result.cut)
             record["time_s"] = float(job.result.time_s)

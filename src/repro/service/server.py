@@ -33,6 +33,7 @@ import re
 import signal
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
@@ -50,6 +51,10 @@ from .quotas import QuotaManager
 __all__ = ["PartitionServer", "create_server", "run_server"]
 
 TENANT_HEADER = "X-Repro-Tenant"
+#: correlation id: echoed on every response, stamped into journal
+#: records and per-job trace/analysis artifacts; generated server-side
+#: when the client does not send one
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
 DEFAULT_MAX_REQUEST_BYTES = 32 * 1024 * 1024  # 32 MiB
 
 #: sub-second-biased buckets for HTTP endpoint latency
@@ -120,12 +125,28 @@ class _Handler(BaseHTTPRequestHandler):
         return self.headers.get(TENANT_HEADER, "anonymous").strip() \
             or "anonymous"
 
+    def _resolve_request_id(self) -> str:
+        """The correlation id for *this* request: the client's
+        ``X-Repro-Request-Id`` header, or a fresh server-generated one.
+
+        Called at the top of every ``do_*`` (the handler instance is
+        reused across keep-alive requests, so the id must be re-resolved
+        per request, never cached on first access)."""
+        rid = (self.headers.get(REQUEST_ID_HEADER) or "").strip()
+        if not rid:
+            rid = f"req-{uuid.uuid4().hex[:12]}"
+        self._request_id = rid
+        return rid
+
     def _send_json(self, status: int, doc: Dict[str, Any],
                    retry_after: Optional[float] = None) -> None:
         body = json.dumps(doc).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        rid = getattr(self, "_request_id", None)
+        if rid:
+            self.send_header(REQUEST_ID_HEADER, rid)
         if retry_after is not None:
             self.send_header("Retry-After", str(max(1, int(retry_after + 0.5))))
         self.end_headers()
@@ -140,6 +161,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        rid = getattr(self, "_request_id", None)
+        if rid:
+            self.send_header(REQUEST_ID_HEADER, rid)
         self.end_headers()
         self.wfile.write(body)
         reg = self.server.registry
@@ -187,6 +211,7 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
         t0 = time.perf_counter()
+        self._resolve_request_id()
         path = self.path.split("?", 1)[0]
         if path == "/healthz":
             self._send_json(200, {
@@ -243,6 +268,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         t0 = time.perf_counter()
+        self._resolve_request_id()
         path = self.path.split("?", 1)[0]
         if path == "/v1/partition":
             self._submit(hold_session=False)
@@ -258,6 +284,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_PATCH(self) -> None:  # noqa: N802
         t0 = time.perf_counter()
+        self._resolve_request_id()
         path = self.path.split("?", 1)[0]
         match = _SESSION_RE.match(path)
         if match:
@@ -283,14 +310,17 @@ class _Handler(BaseHTTPRequestHandler):
             request = PartitionRequest.from_json(body)
             graph, detail = resolve_graph(body.get("graph"))
             manager = self.server.manager
+            rid = getattr(self, "_request_id", None)
             if hold_session:
                 job = manager.create_session(graph, request,
                                              tenant=self.tenant,
-                                             detail=detail)
+                                             detail=detail,
+                                             request_id=rid)
             else:
                 job = manager.submit_partition(graph, request,
                                                tenant=self.tenant,
-                                               detail=detail)
+                                               detail=detail,
+                                               request_id=rid)
         except (RequestError, GraphSpecError) as exc:
             return self._error(400, str(exc))
         except AdmissionError as exc:
@@ -306,8 +336,9 @@ class _Handler(BaseHTTPRequestHandler):
         if not self._admit_tenant():
             return
         try:
-            job = self.server.manager.submit_patch(session_id, body,
-                                                   tenant=self.tenant)
+            job = self.server.manager.submit_patch(
+                session_id, body, tenant=self.tenant,
+                request_id=getattr(self, "_request_id", None))
         except UnknownSession:
             return self._error(404, f"unknown session {session_id!r}")
         except RequestError as exc:

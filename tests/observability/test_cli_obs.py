@@ -126,6 +126,50 @@ class TestReportCommand:
             assert f"PE {pe}" in html
 
 
+class TestAnalyzeCommand:
+    @pytest.fixture
+    def trace_file(self, graph_file, tmp_path):
+        t = str(tmp_path / "trace.json")
+        rc = main(["partition", graph_file, "-k", "4",
+                   "--preset", "minimal", "--engine", "sim",
+                   "-o", str(tmp_path / "p"), "--trace", t,
+                   "--trace-events", str(tmp_path / "te.json")])
+        assert rc == 0
+        return t
+
+    def test_analyze_prints_critical_path(self, trace_file, capsys):
+        rc = main(["analyze", trace_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "per-PE buckets" in out
+
+    def test_analyze_json_output(self, trace_file, tmp_path, capsys):
+        out = str(tmp_path / "analysis.json")
+        rc = main(["analyze", trace_file, "--json", out])
+        assert rc == 0
+        doc = json.loads(open(out).read())
+        assert doc["schema"] == "repro.analysis/1"
+        assert doc["critical_path_s"] is not None
+        assert doc["per_pe"] and doc["top_waits"]
+
+    def test_analyze_unobserved_trace_degrades(self, graph_file,
+                                               tmp_path, capsys):
+        t = str(tmp_path / "plain.json")
+        rc = main(["partition", graph_file, "-k", "2",
+                   "--preset", "minimal", "-o", str(tmp_path / "p"),
+                   "--trace", t])
+        assert rc == 0
+        rc = main(["analyze", t])
+        assert rc == 0  # note, not a traceback
+        assert "note" in capsys.readouterr().out
+
+    def test_analyze_missing_file_errors(self, tmp_path, capsys):
+        rc = main(["analyze", str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "cannot analyze trace" in capsys.readouterr().err
+
+
 class TestCompareCommand:
     @pytest.fixture
     def journals(self, tmp_path):
@@ -181,12 +225,13 @@ class TestCompareCommand:
         assert "cannot compare" in capsys.readouterr().err
 
 
-class TestTraceStillV2Loadable:
-    def test_cli_trace_loads_as_v2(self, graph_file, tmp_path):
+class TestTraceLoadsAsCurrentSchema:
+    def test_cli_trace_loads_as_v3(self, graph_file, tmp_path):
         t = str(tmp_path / "trace.json")
         rc = main(["partition", graph_file, "-k", "2",
                    "--preset", "minimal", "-o", str(tmp_path / "p"),
                    "--trace", t])
         assert rc == 0
         doc = load_trace_file(t)
-        assert doc["schema"] == "repro.trace/2"
+        assert doc["schema"] == "repro.trace/3"
+        assert "events" in doc  # defaulted even for unobserved runs

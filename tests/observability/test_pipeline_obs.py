@@ -66,9 +66,10 @@ class TestMergedDocument:
         partition_graph(small_graph, 4, config=OBS_CFG, seed=1,
                         execution="cluster", engine="sim", tracer=tracer)
         doc = tracer.to_dict()
-        assert doc["schema"] == "repro.trace/2"
+        assert doc["schema"] == "repro.trace/3"
         assert doc["spans"] and doc["comm_matrix"]
         assert doc["metrics"]["counters"]
+        assert doc["events"]["records"] and doc["events"]["clocks"]
 
 
 class TestProcessEngine:

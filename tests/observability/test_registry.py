@@ -128,3 +128,65 @@ class TestMerge:
         text = prometheus_text(merge_registry_docs([a.export()]))
         assert "repro_c 1" in text
         assert math.isfinite(1.0)  # sanity anchor for the import
+
+    def test_incompatible_buckets_collapse_consistently(self):
+        """Mismatched bucket bounds must not ship bucket lines that
+        disagree with _count: the detail collapses to the +Inf bucket."""
+        a = MetricsRegistry()
+        a.histogram("w", buckets=(1.0, 2.0)).observe(0.5)
+        a.histogram("w").observe(1.5)
+        b = MetricsRegistry()
+        b.histogram("w", buckets=(5.0,)).observe(4.0)
+        merged = merge_registry_docs([a.export(), b.export()])
+        assert merged["histograms"]["w"]["count"] == 3
+        assert merged["histograms"]["w"]["sum"] == pytest.approx(6.0)
+        assert merged["histograms"]["w"]["buckets"] == []
+        assert merged["histograms"]["w"]["counts"] == [3]
+        text = prometheus_text(merged)
+        assert 'repro_w_bucket{le="+Inf"} 3' in text
+        assert "repro_w_count 3" in text
+        # order independence of the collapse
+        flipped = merge_registry_docs([b.export(), a.export()])
+        assert flipped["histograms"]["w"]["counts"] == [3]
+
+    def test_merge_empty_registries(self):
+        merged = merge_registry_docs([MetricsRegistry().export(),
+                                      MetricsRegistry().export()])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert prometheus_text(merged) == ""
+        assert merge_registry_docs([]) == \
+            {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_duplicate_names_across_pes_fold_by_kind(self):
+        """The same metric name on every PE: counters sum, gauges keep
+        the max, histograms sum bucket-wise — no doubling, no clobber."""
+        docs = []
+        for pe in range(4):
+            r = MetricsRegistry()
+            r.counter("messages_sent").inc(10 + pe)
+            r.gauge("peak_depth").set(float(pe))
+            r.histogram("recv_wait_s", buckets=(0.01,)).observe(0.005)
+            docs.append(r.export())
+        merged = merge_registry_docs(docs)
+        assert merged["counters"]["messages_sent"] == 46.0
+        assert merged["gauges"]["peak_depth"] == 3.0
+        assert merged["histograms"]["recv_wait_s"]["counts"] == [4, 0]
+        assert merged["histograms"]["recv_wait_s"]["count"] == 4
+        # one sample line per name, not one per PE
+        text = prometheus_text(merged)
+        assert text.count("repro_messages_sent 46") == 1
+        assert text.count("repro_peak_depth 3") == 1
+
+    def test_same_name_different_kind_across_pes(self):
+        """A name used as a counter on one PE and a gauge on another
+        merges into both sections (kinds are independent namespaces)."""
+        a = MetricsRegistry()
+        a.counter("x").inc(2)
+        b = MetricsRegistry()
+        b.gauge("x").set(9.0)
+        merged = merge_registry_docs([a.export(), b.export()])
+        assert merged["counters"]["x"] == 2.0
+        assert merged["gauges"]["x"] == 9.0
+        text = prometheus_text(merged)
+        assert "# TYPE repro_x counter" in text
+        assert "# TYPE repro_x gauge" in text

@@ -53,6 +53,44 @@ class TestReport:
         html = render_report(doc, fmt="html")
         assert "cut" in html  # level table still renders
 
+    def test_analysis_section_in_reports(self, observed_doc):
+        html = render_report(observed_doc, fmt="html")
+        assert "Analysis" in html and "critical path" in html.lower()
+        md = render_report(observed_doc, fmt="markdown")
+        assert "## Analysis" in md
+
+
+class TestStrippedTraceDegradation:
+    """Regression: a trace with observability sections removed renders
+    with 'section absent' notes — never a traceback (the bug this
+    guards against was a KeyError deep in the heatmap renderer)."""
+
+    @pytest.mark.parametrize("drop", [
+        ("comm_matrix",), ("spans",), ("events",),
+        ("spans", "comm_matrix", "metrics", "events"),
+    ])
+    @pytest.mark.parametrize("fmt", ["html", "markdown"])
+    def test_stripped_sections_render_with_note(self, observed_doc,
+                                                drop, fmt):
+        stripped = {k: v for k, v in observed_doc.items()
+                    if k not in drop}
+        out = render_report(stripped, fmt=fmt)
+        for name in drop:
+            assert f"section absent in trace: " in out
+            assert name in out
+        # the driver-side report still renders
+        assert ("repro run report" in out) or ("<h1>" in out)
+
+    def test_stripped_trace_analyze_has_notes(self, observed_doc):
+        from repro.observability import analyze_trace
+
+        stripped = {k: v for k, v in observed_doc.items()
+                    if k not in ("events", "comm_matrix")}
+        an = analyze_trace(stripped)
+        assert an["critical_path_s"] is None
+        joined = " ".join(an["notes"])
+        assert "events" in joined and "comm_matrix" in joined
+
 
 def _journal_line(cut, **meta):
     return {"schema": "repro.journal/1", "ts": 0.0, "cut": cut,
@@ -76,6 +114,22 @@ class TestCompare:
     def test_identical_docs_pass(self, observed_doc):
         cmp = compare_documents("trace", observed_doc, observed_doc)
         assert cmp.ok and not cmp.regressions
+
+    def test_analysis_docs_compare(self, observed_doc, tmp_path):
+        from repro.observability import analyze_trace
+
+        an = analyze_trace(observed_doc)
+        base, new = tmp_path / "a.json", tmp_path / "b.json"
+        base.write_text(json.dumps(an))
+        worse = dict(an, critical_path_s=an["critical_path_s"] * 2,
+                     wait_fraction=min(1.0, an["wait_fraction"] * 2))
+        new.write_text(json.dumps(worse))
+        kind, doc = load_document(str(base))
+        assert kind == "analysis"
+        cmp = compare_files(str(base), str(new), threshold=0.2)
+        assert not cmp.ok  # longer critical path / more waiting regress
+        names = {r.metric for r in cmp.regressions}
+        assert "critical_path_s" in names and "wait_fraction" in names
 
     def test_higher_is_better_direction(self):
         base = {"schema": "repro.bench_kernels/1",

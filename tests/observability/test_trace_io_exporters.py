@@ -11,7 +11,9 @@ from repro.instrument import Tracer
 from repro.observability import (
     SCHEMA_V1,
     SCHEMA_V2,
+    SCHEMA_V3,
     TRACE_SCHEMA,
+    absent_sections,
     TraceSchemaError,
     append_journal,
     chrome_trace,
@@ -33,23 +35,45 @@ def _v1_doc():
 
 
 class TestSchema:
-    def test_current_schema_is_v2(self):
-        assert TRACE_SCHEMA == SCHEMA_V2 == "repro.trace/2"
+    def test_current_schema_is_v3(self):
+        assert TRACE_SCHEMA == SCHEMA_V3 == "repro.trace/3"
 
     def test_v1_upgrade_adds_empty_sections(self):
         doc = _v1_doc()
         up = upgrade_trace(doc)
-        assert up["schema"] == SCHEMA_V2
+        assert up["schema"] == SCHEMA_V3
         assert up["spans"] == [] and up["comm_matrix"] == []
         assert up["metrics"] == {}
+        assert up["events"] == {"records": [], "clocks": []}
         # original sections survive untouched
         assert up["levels"] == doc["levels"]
         assert doc["schema"] == SCHEMA_V1  # /1 input not mutated
 
-    def test_v2_passthrough_in_place(self):
-        doc = {"schema": SCHEMA_V2, "phases": []}
+    def test_v2_upgrade_keeps_sections_adds_events(self):
+        doc = {"schema": SCHEMA_V2, "phases": [],
+               "spans": [{"pe": 0, "name": "x"}], "comm_matrix": [],
+               "metrics": {"counters": {"n": 1}}}
+        up = upgrade_trace(doc)
+        assert up["schema"] == SCHEMA_V3
+        assert up["spans"] == doc["spans"]
+        assert up["metrics"] == doc["metrics"]
+        assert up["events"] == {"records": [], "clocks": []}
+        assert doc["schema"] == SCHEMA_V2  # /2 input not mutated
+
+    def test_v3_passthrough_in_place(self):
+        doc = {"schema": SCHEMA_V3, "phases": []}
         assert upgrade_trace(doc) is doc
         assert doc["spans"] == []
+        assert doc["events"] == {"records": [], "clocks": []}
+
+    def test_absent_sections_on_raw_docs(self):
+        assert absent_sections(_v1_doc()) == \
+            ["spans", "comm_matrix", "metrics", "events"]
+        assert absent_sections({"schema": SCHEMA_V2, "spans": [],
+                                "comm_matrix": [], "metrics": {}}) == \
+            ["events"]
+        assert absent_sections("not a dict") == \
+            ["spans", "comm_matrix", "metrics", "events"]
 
     def test_unknown_schema_raises(self):
         with pytest.raises(TraceSchemaError, match="unknown trace schema"):
@@ -61,7 +85,7 @@ class TestSchema:
         path = tmp_path / "t.json"
         path.write_text(json.dumps(_v1_doc()))
         doc = load_trace_file(str(path))
-        assert doc["schema"] == SCHEMA_V2
+        assert doc["schema"] == SCHEMA_V3
 
     def test_bad_json_raises(self, tmp_path):
         path = tmp_path / "junk.json"
@@ -69,14 +93,14 @@ class TestSchema:
         with pytest.raises(TraceSchemaError, match="not valid JSON"):
             load_trace_file(str(path))
 
-    def test_tracer_emits_v2_round_trip(self, tmp_path):
+    def test_tracer_emits_v3_round_trip(self, tmp_path):
         tr = Tracer()
         with tr.phase("coarsening"):
             tr.count("rounds")
         path = tmp_path / "trace.json"
         tr.write(str(path))
         doc = load_trace_file(str(path))
-        assert doc["schema"] == SCHEMA_V2
+        assert doc["schema"] == SCHEMA_V3
         assert doc["phases"][0]["t0_s"] > 0
         assert doc["counters"] == {"rounds": 1}
 

@@ -136,3 +136,61 @@ def test_artifacts_journal_and_trace(tmp_path, rgg128):
     journal = (tmp_path / "journal.jsonl").read_text().strip().splitlines()
     rec = json.loads(journal[-1])
     assert rec["job"] == job.id and rec["state"] == "done"
+
+
+def test_analysis_sidecar_request_id_and_gauges(tmp_path, rgg128):
+    """Every observed job gets a critical-path sidecar next to its
+    trace; the correlation id flows into artifacts and the journal; the
+    /metrics gauges track the analysed run."""
+    import json
+
+    mgr = JobManager(workers=1, queue_limit=8,
+                     artifacts_dir=str(tmp_path))
+    try:
+        job = mgr.submit_partition(
+            rgg128, PartitionRequest(k=4, seed=3, execution="cluster"),
+            request_id="req-corr-1")
+        assert job.wait(timeout=30.0) and job.state == "done"
+        assert job.request_id == "req-corr-1"
+        assert job.status_json()["request_id"] == "req-corr-1"
+    finally:
+        mgr.drain(timeout=30.0)
+    trace = json.loads((tmp_path / f"{job.id}.trace.json").read_text())
+    assert trace["schema"] == "repro.trace/3"
+    assert trace["meta"]["request_id"] == "req-corr-1"
+    assert trace["events"]["records"]  # job ran observed
+    analysis = json.loads(
+        (tmp_path / f"{job.id}.analysis.json").read_text())
+    assert analysis["schema"] == "repro.analysis/1"
+    assert analysis["meta"]["job"] == job.id
+    assert analysis["meta"]["request_id"] == "req-corr-1"
+    assert analysis["critical_path_s"] is not None
+    rec = json.loads((tmp_path / "journal.jsonl").read_text()
+                     .strip().splitlines()[-1])
+    assert rec["request_id"] == "req-corr-1"
+    scalars = mgr.registry.scalars()
+    assert scalars["critical_path_s"] == \
+        pytest.approx(analysis["critical_path_s"])
+    assert scalars["wait_fraction"] == \
+        pytest.approx(analysis["wait_fraction"])
+
+
+def test_observe_does_not_fork_cache_key(tmp_path, rgg128):
+    """An observed (artifacts) run and a plain run of the same request
+    share one cache key — telemetry never changes the partition."""
+    req = PartitionRequest(k=4, seed=3)
+    observed = JobManager(workers=1, queue_limit=8,
+                          artifacts_dir=str(tmp_path))
+    plain = JobManager(workers=1, queue_limit=8)
+    try:
+        j1 = observed.submit_partition(rgg128, req)
+        j2 = plain.submit_partition(rgg128, req)
+        assert j1.wait(timeout=30.0) and j2.wait(timeout=30.0)
+        assert j1.result.cache_key == j2.result.cache_key
+        assert (j1.result.part == j2.result.part).all()
+        # and the observed manager's own cache hits on resubmission
+        j3 = observed.submit_partition(rgg128, req)
+        assert j3.cache_hit
+    finally:
+        observed.drain(timeout=30.0)
+        plain.drain(timeout=30.0)

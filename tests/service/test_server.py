@@ -90,6 +90,31 @@ def test_metrics_exposition(client):
     assert "repro_http_job_status_latency_seconds_count" in text
 
 
+def test_request_id_echoed_and_stamped(server):
+    """A client-supplied X-Repro-Request-Id comes back on the response
+    and lands in the job status; without one the server generates an
+    id, fresh per request even over one keep-alive connection."""
+    body = json.dumps({"k": 2, "seed": 6, "graph": SPEC}).encode()
+    resp = _raw(server.url + "/v1/partition", method="POST", body=body,
+                headers={"Content-Type": "application/json",
+                         "X-Repro-Request-Id": "corr-abc"})
+    assert resp.headers.get("X-Repro-Request-Id") == "corr-abc"
+    doc = json.loads(resp.read())
+    assert doc["request_id"] == "corr-abc"
+    # the id sticks to the job for later status polls
+    status = _raw(server.url + f"/v1/jobs/{doc['job']}")
+    assert json.loads(status.read())["request_id"] == "corr-abc"
+
+
+def test_request_id_generated_when_absent(server):
+    r1 = _raw(server.url + "/healthz")
+    r2 = _raw(server.url + "/healthz")
+    id1 = r1.headers.get("X-Repro-Request-Id")
+    id2 = r2.headers.get("X-Repro-Request-Id")
+    assert id1 and id1.startswith("req-")
+    assert id2 and id2 != id1  # never reused across requests
+
+
 def test_unknown_routes_and_ids_404(server, client):
     for path in ("/v1/jobs/job-missing", "/v1/jobs/job-missing/result",
                  "/v1/sessions/sess-missing", "/nope"):

@@ -58,6 +58,7 @@ MODULES = [
     "repro.observability.exporters",
     "repro.observability.report",
     "repro.observability.compare",
+    "repro.observability.critpath",
     "repro.kernels",
     "repro.kernels.registry",
     "repro.kernels.python_backend",

@@ -78,7 +78,7 @@ class TestTraceOutput:
         res = KappaPartitioner(CFG).partition(
             delaunay512, 4, seed=7, tracer=tracer)
         trace = res.trace
-        assert trace["schema"] == "repro.trace/2"
+        assert trace["schema"] == "repro.trace/3"
         assert trace["meta"]["n"] == delaunay512.n
         assert trace["meta"]["k"] == 4
         assert trace["meta"]["check_invariants"] == "strict"
@@ -106,7 +106,7 @@ class TestTraceOutput:
         # the trace round-trips through JSON without custom encoders
         path = tmp_path / "trace.json"
         tracer.write(path)
-        assert json.loads(path.read_text())["schema"] == "repro.trace/2"
+        assert json.loads(path.read_text())["schema"] == "repro.trace/3"
 
     def test_counters_track_fm_activity(self, delaunay512):
         tracer = Tracer()
